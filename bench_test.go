@@ -1,0 +1,155 @@
+package mobilenet
+
+// One benchmark per experiment in the validation suite: every "table and
+// figure" of the reproduction (E1-E17, see DESIGN.md §5) has a bench target
+// that regenerates it at reduced scale. Full-scale numbers come from
+// cmd/paperrepro; these benches exist so `go test -bench=.` exercises every
+// experiment pipeline end to end and tracks its cost over time.
+//
+// Scale 0.15 keeps each iteration in the tens-to-hundreds of milliseconds.
+// Verdicts at this scale are logged, not asserted: tiny grids add noise
+// that full-scale runs do not have.
+
+import (
+	"testing"
+
+	"mobilenet/internal/experiments"
+)
+
+const (
+	benchScale = 0.15
+	benchReps  = 2
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(experiments.Params{
+			Scale: benchScale,
+			Reps:  benchReps,
+			Seed:  uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			b.Logf("%s verdict at bench scale: %s", id, res.Verdict)
+		}
+	}
+}
+
+// BenchmarkE01BroadcastVsK regenerates E1: T_B vs k at fixed n (Theorems 1-2).
+func BenchmarkE01BroadcastVsK(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE02BroadcastVsN regenerates E2: T_B vs n at fixed k (Theorems 1-2).
+func BenchmarkE02BroadcastVsN(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE03RadiusSweep regenerates E3: radius-independence below r_c (headline).
+func BenchmarkE03RadiusSweep(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE04Percolation regenerates E4: the percolation transition of G_0(r).
+func BenchmarkE04Percolation(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE05Islands regenerates E5: Lemma 6 island-size caps.
+func BenchmarkE05Islands(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE06Meeting regenerates E6: Lemma 3 meeting probabilities.
+func BenchmarkE06Meeting(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE07Hitting regenerates E7: Lemma 1 hitting probabilities.
+func BenchmarkE07Hitting(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE08WalkRange regenerates E8: Lemma 2 range and displacement.
+func BenchmarkE08WalkRange(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE09Gossip regenerates E9: Corollary 2 gossip-vs-broadcast.
+func BenchmarkE09Gossip(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Frog regenerates E10: §4 Frog-model scaling.
+func BenchmarkE10Frog(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Coverage regenerates E11: §4 coverage-vs-broadcast.
+func BenchmarkE11Coverage(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12CoverTime regenerates E12: §4 multi-walk cover time.
+func BenchmarkE12CoverTime(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13PredatorPrey regenerates E13: §4 predator-prey extinction.
+func BenchmarkE13PredatorPrey(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14WangRefutation regenerates E14: the Wang et al. [28] refutation.
+func BenchmarkE14WangRefutation(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Frontier regenerates E15: Lemma 7 frontier-speed scaling.
+func BenchmarkE15Frontier(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Stationarity regenerates E16: §2 stationarity of the walk.
+func BenchmarkE16Stationarity(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17FarAgent regenerates E17: Theorem 2's far-agent premise.
+func BenchmarkE17FarAgent(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkX01Barriers regenerates X1: mobility-barrier domains (§4 future work).
+func BenchmarkX01Barriers(b *testing.B) { benchExperiment(b, "X1") }
+
+// BenchmarkX02CellReach regenerates X2: Theorem 1's cell-by-cell exploration.
+func BenchmarkX02CellReach(b *testing.B) { benchExperiment(b, "X2") }
+
+// BenchmarkX03LazinessAblation regenerates X3: the parity-deadlock ablation.
+func BenchmarkX03LazinessAblation(b *testing.B) { benchExperiment(b, "X3") }
+
+// BenchmarkX04Supercritical regenerates X4: the Peres et al. regime contrast.
+func BenchmarkX04Supercritical(b *testing.B) { benchExperiment(b, "X4") }
+
+// BenchmarkX05PartialGossip regenerates X5: gossip time vs rumor count.
+func BenchmarkX05PartialGossip(b *testing.B) { benchExperiment(b, "X5") }
+
+// BenchmarkX06PercolationThreshold regenerates X6: the empirical r_c scaling.
+func BenchmarkX06PercolationThreshold(b *testing.B) { benchExperiment(b, "X6") }
+
+// BenchmarkX07BoundaryAblation regenerates X7: bounded grid vs torus.
+func BenchmarkX07BoundaryAblation(b *testing.B) { benchExperiment(b, "X7") }
+
+// BenchmarkX08SynchronyAblation regenerates X8: lockstep vs random
+// sequential updates.
+func BenchmarkX08SynchronyAblation(b *testing.B) { benchExperiment(b, "X8") }
+
+// BenchmarkBroadcastThroughput measures raw simulation speed through the
+// public API: one full broadcast on a 64x64 grid with 32 agents.
+func BenchmarkBroadcastThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := New(64*64, 32, WithSeed(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Broadcast()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("broadcast incomplete")
+		}
+	}
+}
+
+// BenchmarkGossipThroughput measures a full gossip run through the public
+// API at the same scale.
+func BenchmarkGossipThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := New(48*48, 24, WithSeed(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Gossip()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("gossip incomplete")
+		}
+	}
+}

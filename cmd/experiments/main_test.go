@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperimentWithArtifacts(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	err := run([]string{"-run", "E17", "-scale", "0.1", "-reps", "2", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A CSV table and an SVG figure must exist.
+	csvs, err := filepath.Glob(filepath.Join(dir, "e17_table*.csv"))
+	if err != nil || len(csvs) == 0 {
+		t.Fatalf("no CSV artifacts: %v %v", csvs, err)
+	}
+	svgs, err := filepath.Glob(filepath.Join(dir, "e17_fig*.svg"))
+	if err != nil || len(svgs) == 0 {
+		t.Fatalf("no SVG artifacts: %v %v", svgs, err)
+	}
+	data, err := os.ReadFile(csvs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV artifact")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNoActionIsError(t *testing.T) {
+	t.Parallel()
+	if err := run(nil); err == nil {
+		t.Fatal("no action accepted")
+	}
+}
+
+func TestRunExtensionByID(t *testing.T) {
+	t.Parallel()
+	// X3 at tiny scale is fast and exercises the extension lookup path.
+	if err := run([]string{"-run", "X3", "-scale", "0.1", "-reps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

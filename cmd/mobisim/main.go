@@ -1,0 +1,171 @@
+// Command mobisim runs a single dissemination simulation and prints the
+// measured times alongside the paper's theoretical scales.
+//
+// Usage:
+//
+//	mobisim -n 16384 -k 64 -r 0 -seed 1 -model broadcast
+//
+// Models: broadcast (default), gossip, frog, cover, extinction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilenet"
+	"mobilenet/internal/core"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobisim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 16384, "number of grid nodes (rounded up to a square)")
+		k        = fs.Int("k", 64, "number of agents")
+		r        = fs.Int("r", 0, "transmission radius (Manhattan)")
+		seed     = fs.Uint64("seed", 1, "randomness seed")
+		model    = fs.String("model", "broadcast", "model: broadcast|gossip|frog|cover|extinction")
+		preys    = fs.Int("preys", 0, "prey count for -model extinction (default k)")
+		curve    = fs.Bool("curve", false, "print the informed-count curve (broadcast only)")
+		traceOut = fs.String("trace", "", "record the full trajectory to this file (broadcast only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := mobilenet.New(*n, *k, mobilenet.WithRadius(*r), mobilenet.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid: %dx%d (n=%d)  agents: k=%d  radius: r=%d\n",
+		net.Side(), net.Side(), net.Nodes(), net.Agents(), net.Radius())
+	fmt.Printf("percolation radius r_c = %.2f  regime: %s\n",
+		net.PercolationRadius(), regime(net))
+	fmt.Printf("theoretical scale n/sqrt(k) = %.1f\n\n", net.ExpectedBroadcastScale())
+
+	switch *model {
+	case "broadcast":
+		if *traceOut != "" {
+			return tracedBroadcast(net, *seed, *r, *traceOut)
+		}
+		res, err := net.Broadcast()
+		if err != nil {
+			return err
+		}
+		report("broadcast time T_B", res.Steps, res.Completed)
+		if res.CoverageSteps >= 0 {
+			fmt.Printf("coverage time T_C = %d\n", res.CoverageSteps)
+		}
+		if *curve {
+			printCurve(res.InformedCurve)
+		}
+	case "gossip":
+		res, err := net.Gossip()
+		if err != nil {
+			return err
+		}
+		report("gossip time T_G", res.Steps, res.Completed)
+	case "frog":
+		res, err := net.FrogBroadcast()
+		if err != nil {
+			return err
+		}
+		report("frog-model broadcast time", res.Steps, res.Completed)
+	case "cover":
+		res, err := net.CoverTime()
+		if err != nil {
+			return err
+		}
+		report("cover time", res.Steps, res.Completed)
+		fmt.Printf("nodes covered: %d/%d\n", res.Covered, net.Nodes())
+	case "extinction":
+		m := *preys
+		if m <= 0 {
+			m = *k
+		}
+		res, err := net.Extinction(m)
+		if err != nil {
+			return err
+		}
+		report("extinction time", res.Steps, res.Completed)
+		fmt.Printf("surviving preys: %d\n", res.Survivors)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	return nil
+}
+
+// tracedBroadcast runs a broadcast step by step, recording every position
+// into a trace file for later replay/debugging.
+func tracedBroadcast(net *mobilenet.Network, seed uint64, radius int, path string) error {
+	g, err := grid.New(net.Side())
+	if err != nil {
+		return err
+	}
+	b, err := core.NewBroadcast(core.Config{
+		Grid: g, K: net.Agents(), Radius: radius, Seed: seed, Source: 0,
+	})
+	if err != nil {
+		return err
+	}
+	rec, err := trace.NewRecorder(net.Side(), b.Population().Positions())
+	if err != nil {
+		return err
+	}
+	for !b.Done() {
+		b.Step()
+		if err := rec.Record(b.Population().Positions()); err != nil {
+			return err
+		}
+	}
+	report("broadcast time T_B", b.Time(), true)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := rec.Trace().WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d agents x %d steps -> %s (%d bytes)\n",
+		rec.K(), rec.Steps(), path, n)
+	return nil
+}
+
+func regime(net *mobilenet.Network) string {
+	if net.Subcritical() {
+		return "subcritical (sparse, T_B = Θ̃(n/√k))"
+	}
+	return "supercritical (T_B polylog, Peres et al.)"
+}
+
+func report(name string, steps int, completed bool) {
+	if completed {
+		fmt.Printf("%s = %d\n", name, steps)
+		return
+	}
+	fmt.Printf("%s: DID NOT COMPLETE within %d steps\n", name, steps)
+}
+
+func printCurve(curve []int) {
+	fmt.Println("\ninformed agents over time (sampled):")
+	stride := len(curve)/20 + 1
+	for t := 0; t < len(curve); t += stride {
+		fmt.Printf("  t=%7d  informed=%d\n", t, curve[t])
+	}
+	if len(curve) > 0 {
+		fmt.Printf("  t=%7d  informed=%d\n", len(curve)-1, curve[len(curve)-1])
+	}
+}

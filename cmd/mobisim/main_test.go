@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mobilenet/internal/trace"
+)
+
+func TestRunModels(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-n", "256", "-k", "8", "-model", "broadcast"},
+		{"-n", "256", "-k", "8", "-model", "broadcast", "-curve"},
+		{"-n", "256", "-k", "8", "-model", "gossip"},
+		{"-n", "256", "-k", "8", "-model", "frog"},
+		{"-n", "256", "-k", "8", "-model", "cover"},
+		{"-n", "256", "-k", "8", "-model", "extinction"},
+		{"-n", "256", "-k", "8", "-model", "extinction", "-preys", "3"},
+	}
+	for _, args := range cases {
+		args := args
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			t.Parallel()
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	t.Parallel()
+	path := t.TempDir() + "/run.mtrace"
+	if err := run([]string{"-n", "256", "-k", "8", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() < 16 {
+		t.Errorf("trace file suspiciously small: %d bytes", st.Size())
+	}
+	// The recorded trace must parse back.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.K() != 8 || tr.Side() != 16 {
+		t.Errorf("trace shape k=%d side=%d", tr.K(), tr.Side())
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-model", "teleport"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-k", "0"}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := run([]string{"-r", "-3"}); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

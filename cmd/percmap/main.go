@@ -1,0 +1,123 @@
+// Command percmap explores the percolation structure of the visibility
+// graph: it sweeps the transmission radius through the critical point
+// r_c ≈ sqrt(n/k) and prints the component census plus an ASCII occupancy
+// map of the largest component.
+//
+// Usage:
+//
+//	percmap -n 4096 -k 256 -reps 8
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"mobilenet/internal/agent"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/percolation"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+	"mobilenet/internal/visibility"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "percmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("percmap", flag.ContinueOnError)
+	var (
+		n    = fs.Int("n", 4096, "number of grid nodes")
+		k    = fs.Int("k", 256, "number of agents")
+		reps = fs.Int("reps", 8, "replicates per radius")
+		seed = fs.Uint64("seed", 1, "randomness seed")
+		view = fs.Float64("view", 1.0, "radius (in units of r_c) for the ASCII component map")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := grid.FromNodes(*n)
+	if err != nil {
+		return err
+	}
+	rc := theory.PercolationRadius(g.N(), *k)
+	fmt.Printf("grid %dx%d (n=%d), k=%d, r_c = %.2f\n\n", g.Side(), g.Side(), g.N(), *k, rc)
+
+	var radii []int
+	seen := map[int]bool{}
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0} {
+		r := int(math.Round(f * rc))
+		if !seen[r] {
+			seen[r] = true
+			radii = append(radii, r)
+		}
+	}
+	sweep := percolation.Sweep{Grid: g, K: *k, Radii: radii, Replicates: *reps, Seed: *seed}
+	rows, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	table := tableio.NewTable("Component census vs radius",
+		"r", "r/r_c", "mean max comp", "giant fraction", "mean #components", "mean isolated")
+	for _, row := range rows {
+		table.AddRow(row.Radius, float64(row.Radius)/rc, row.MeanMaxSize,
+			row.MeanGiantFraction, row.MeanComponents, row.MeanIsolated)
+	}
+	if err := table.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	// ASCII map of one placement at the requested view radius.
+	viewR := int(math.Round(*view * rc))
+	fmt.Printf("\ncomponent map at r = %d (%.2f r_c): '#' largest component, 'o' other agents\n\n", viewR, *view)
+	return printMap(g, *k, viewR, *seed)
+}
+
+func printMap(g *grid.Grid, k, radius int, seed uint64) error {
+	pop, err := agent.New(g, k, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	lab := visibility.NewLabeller(k)
+	labels, count := lab.Components(pop.Positions(), radius)
+	sizes := visibility.Sizes(labels, count, nil)
+	largest := int32(0)
+	for l, s := range sizes {
+		if s > sizes[largest] {
+			largest = int32(l)
+		}
+	}
+	// Downsample the grid to at most 64x64 character cells.
+	cell := g.Side() / 64
+	if cell < 1 {
+		cell = 1
+	}
+	w := (g.Side() + cell - 1) / cell
+	rows := make([][]byte, w)
+	for i := range rows {
+		rows[i] = bytes.Repeat([]byte{'.'}, w)
+	}
+	for i, p := range pop.Positions() {
+		cx, cy := int(p.X)/cell, int(p.Y)/cell
+		glyph := byte('o')
+		if labels[i] == largest && sizes[largest] > 1 {
+			glyph = '#'
+		}
+		if rows[cy][cx] != '#' { // largest-component marks win
+			rows[cy][cx] = glyph
+		}
+	}
+	for _, r := range rows {
+		fmt.Println(string(r))
+	}
+	fmt.Printf("\nlargest component: %d/%d agents in %d components\n", sizes[largest], k, count)
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunDefaultsSmall(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-n", "256", "-k", "32", "-reps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomView(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-n", "256", "-k", "16", "-reps", "1", "-view", "2.0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

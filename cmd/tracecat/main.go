@@ -1,0 +1,103 @@
+// Command tracecat inspects trajectory traces recorded with
+// `mobisim -trace`: it prints the header, verifies every move stays on the
+// grid, and reports per-agent displacement and range statistics from a full
+// replay.
+//
+// Usage:
+//
+//	tracecat run.mtrace
+//	tracecat -agents run.mtrace   # add a per-agent table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobilenet/internal/bitset"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracecat", flag.ContinueOnError)
+	perAgent := fs.Bool("agents", false, "print per-agent statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracecat [-agents] <trace-file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: %d agents, %d steps, %dx%d grid\n",
+		tr.K(), tr.Steps(), tr.Side(), tr.Side())
+
+	// Replay with verification and statistics.
+	rp := tr.Replay()
+	k := tr.K()
+	start := make([]grid.Point, k)
+	copy(start, rp.Positions())
+	visited := make([]*bitset.Set, k)
+	g, err := grid.New(tr.Side())
+	if err != nil {
+		return err
+	}
+	for i := range visited {
+		visited[i] = bitset.New(g.N())
+		visited[i].Add(int(g.ID(start[i])))
+	}
+	maxDisp := make([]int, k)
+	for rp.Step() {
+		for i, p := range rp.Positions() {
+			if !g.Contains(p) {
+				return fmt.Errorf("corrupt trace: agent %d off-grid at t=%d", i, rp.Time())
+			}
+			visited[i].Add(int(g.ID(p)))
+			if d := grid.ManhattanPoints(start[i], p); d > maxDisp[i] {
+				maxDisp[i] = d
+			}
+		}
+	}
+
+	totalRange, totalDisp := 0, 0
+	for i := 0; i < k; i++ {
+		totalRange += visited[i].Len()
+		totalDisp += maxDisp[i]
+	}
+	fmt.Fprintf(out, "verified: all moves on-grid\n")
+	fmt.Fprintf(out, "mean range: %.1f nodes, mean max displacement: %.1f\n",
+		float64(totalRange)/float64(k), float64(totalDisp)/float64(k))
+
+	if *perAgent {
+		table := tableio.NewTable("Per-agent statistics",
+			"agent", "start", "end", "range", "max displacement")
+		for i := 0; i < k; i++ {
+			end := rp.Positions()[i]
+			table.AddRow(i,
+				fmt.Sprintf("(%d,%d)", start[i].X, start[i].Y),
+				fmt.Sprintf("(%d,%d)", end.X, end.Y),
+				visited[i].Len(), maxDisp[i])
+		}
+		if err := table.WriteText(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilenet/internal/agent"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/trace"
+)
+
+func writeTestTrace(t *testing.T, steps int) string {
+	t.Helper()
+	g := grid.MustNew(12)
+	pop, err := agent.New(g, 5, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.NewRecorder(12, pop.Positions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		pop.Step()
+		if err := rec.Record(pop.Positions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "t.mtrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Trace().WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	t.Parallel()
+	path := writeTestTrace(t, 80)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"5 agents", "80 steps", "12x12 grid", "verified", "mean range"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunPerAgent(t *testing.T) {
+	t.Parallel()
+	path := writeTestTrace(t, 40)
+	var out bytes.Buffer
+	if err := run([]string{"-agents", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Per-agent statistics") {
+		t.Errorf("per-agent table missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing file argument accepted")
+	}
+	if err := run([]string{"/nonexistent/file"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Corrupt file.
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}

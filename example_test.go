@@ -1,0 +1,86 @@
+package mobilenet_test
+
+import (
+	"fmt"
+	"log"
+
+	"mobilenet"
+)
+
+// The smallest complete use of the library: build a sparse network,
+// broadcast a rumor, compare with the paper's scale.
+func ExampleNew() {
+	net, err := mobilenet.New(64*64, 16, mobilenet.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nodes=%d agents=%d r_c=%.0f subcritical=%v\n",
+		net.Nodes(), net.Agents(), net.PercolationRadius(), net.Subcritical())
+	// Output:
+	// nodes=4096 agents=16 r_c=16 subcritical=true
+}
+
+// Broadcast returns the dissemination time T_B; with a fixed seed the run
+// is fully reproducible.
+func ExampleNetwork_Broadcast() {
+	net, err := mobilenet.New(16*16, 8, mobilenet.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Broadcast()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed=%v informed=%d/%d\n",
+		res.Completed, res.InformedCurve[len(res.InformedCurve)-1], net.Agents())
+	// Output:
+	// completed=true informed=8/8
+}
+
+// Gossip measures the all-to-all time T_G (Corollary 2 of the paper).
+func ExampleNetwork_Gossip() {
+	net, err := mobilenet.New(12*12, 6, mobilenet.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.Gossip()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed=%v\n", res.Completed)
+	// Output:
+	// completed=true
+}
+
+// Census inspects the static component structure of the visibility graph —
+// the percolation picture behind the paper's sparse/supercritical split.
+func ExampleNetwork_Census() {
+	net, err := mobilenet.New(32*32, 64, mobilenet.WithSeed(23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// At a grid-spanning radius everyone is one component.
+	c, err := net.Census(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("components=%d giant=%.0f%%\n", c.Components, 100*c.GiantFraction)
+	// Output:
+	// components=1 giant=100%
+}
+
+// BroadcastWithObstacles exercises the §4 future-work extension: mobility
+// barriers that block movement but not radio.
+func ExampleNetwork_BroadcastWithObstacles() {
+	net, err := mobilenet.New(24*24, 12, mobilenet.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := net.BroadcastWithObstacles(mobilenet.Obstacles{WallColumn: 12, WallGap: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed=%v\n", res.Completed)
+	// Output:
+	// completed=true
+}

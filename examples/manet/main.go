@@ -1,0 +1,83 @@
+// MANET scenario: how much transmission power does a mobile ad-hoc network
+// actually need?
+//
+// The paper's headline result says: below the percolation radius, none of
+// it matters — the broadcast time is Θ̃(n/√k) regardless of the radio
+// range, because dissemination is bottlenecked by the mobility (walks
+// meeting each other), not by the radio. Power spent on a bigger antenna
+// buys nothing until the network crosses the percolation point, where the
+// behaviour switches to the polylogarithmic supercritical regime.
+//
+// This example sweeps the radius across r_c for a vehicular-scale network
+// and prints the measured broadcast times, reproducing the E3 shape
+// through the public API.
+//
+// Run with:
+//
+//	go run ./examples/manet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mobilenet"
+)
+
+func main() {
+	const (
+		nodes  = 128 * 128 // city grid: 16384 intersections
+		agents = 64        // 64 vehicles carrying radios
+		reps   = 5         // medians over a few seeds
+	)
+
+	probe, err := mobilenet.New(nodes, agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := probe.PercolationRadius()
+	fmt.Printf("vehicular MANET: n=%d locations, k=%d vehicles\n", probe.Nodes(), agents)
+	fmt.Printf("percolation radius r_c = %.1f, mobility scale n/√k = %.0f\n\n",
+		rc, probe.ExpectedBroadcastScale())
+	fmt.Printf("%-8s %-8s %-12s %s\n", "radius", "r/r_c", "median T_B", "regime")
+
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+		r := int(math.Round(frac * rc))
+		times := make([]int, 0, reps)
+		for seed := uint64(1); seed <= reps; seed++ {
+			net, err := mobilenet.New(nodes, agents,
+				mobilenet.WithRadius(r), mobilenet.WithSeed(seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := net.Broadcast()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Completed {
+				log.Fatalf("r=%d seed=%d: broadcast did not complete", r, seed)
+			}
+			times = append(times, res.Steps)
+		}
+		regime := "subcritical — radio range wasted"
+		if float64(r) >= rc {
+			regime = "supercritical — radius finally pays off"
+		}
+		fmt.Printf("%-8d %-8.2f %-12d %s\n", r, frac, median(times), regime)
+	}
+
+	fmt.Println("\nlesson: below r_c every radius gives the same Θ̃(n/√k) broadcast time;")
+	fmt.Println("power budgets should either cross the percolation point or stay at minimum.")
+}
+
+func median(xs []int) int {
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,97 @@
+// ZebraNet scenario: gossip and coverage in a wildlife-tracking sensor
+// network.
+//
+// The paper motivates its model with sensor networks attached to animals in
+// a nature reserve (its reference [17], the ZebraNet project): every
+// collar logs its own observations (a distinct rumor), animals wander
+// independently, and collars opportunistically sync complete databases
+// whenever herds come within radio range. Two questions matter to the
+// biologists:
+//
+//  1. gossip time T_G — how long until every collar carries every record
+//     (so that retrieving any one animal recovers the full dataset), and
+//  2. coverage time T_C — how long until record-carrying animals have
+//     physically visited every cell of the reserve.
+//
+// Corollary 2 says T_G = Õ(n/√k) just like broadcast, and §4 shows
+// T_C ≈ T_B. This example measures all three through the public API.
+//
+// Run with:
+//
+//	go run ./examples/zebranet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilenet"
+)
+
+func main() {
+	const (
+		nodes = 48 * 48 // reserve tessellated into 2304 cells
+		reps  = 5
+	)
+
+	fmt.Printf("ZebraNet-style reserve: n=%d cells\n\n", nodes)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s\n", "collars", "median T_B", "median T_G", "median T_C", "T_G/T_B")
+
+	for _, k := range []int{8, 16, 32, 64} {
+		var tb, tg, tc []int
+		for seed := uint64(1); seed <= reps; seed++ {
+			net, err := mobilenet.New(nodes, k,
+				mobilenet.WithSeed(seed), mobilenet.WithRadius(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			bres, err := net.Broadcast()
+			if err != nil {
+				log.Fatal(err)
+			}
+			gres, err := net.Gossip()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bres.Completed || !gres.Completed {
+				log.Fatalf("k=%d seed=%d: runs incomplete", k, seed)
+			}
+			tb = append(tb, bres.Steps)
+			tg = append(tg, gres.Steps)
+			if bres.CoverageSteps >= 0 {
+				tc = append(tc, bres.CoverageSteps)
+			}
+		}
+		mb, mg, mc := median(tb), median(tg), median(tc)
+		ratio := float64(mg) / float64(maxInt(mb, 1))
+		fmt.Printf("%-8d %-12d %-12d %-12d %-10.2f\n", k, mb, mg, mc, ratio)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - T_G tracks T_B within a small factor (Corollary 2): all-to-all sync")
+	fmt.Println("    costs barely more than one-to-all broadcast;")
+	fmt.Println("  - T_C stays comparable to T_B (§4): by the time the herd is synced,")
+	fmt.Println("    the reserve has been physically surveyed as well;")
+	fmt.Println("  - quadrupling the herd roughly halves all three times (the √k law).")
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+// Package agent manages populations of mobile agents: their uniform random
+// initial placement and their synchronized lazy-random-walk motion, exactly
+// as specified in the paper's §2 model. The population is the substrate all
+// dissemination processes (core, frog, predator) run on.
+package agent
+
+import (
+	"fmt"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/walk"
+)
+
+// Population is a set of k agents on a grid. Positions are exposed as a
+// slice for the benefit of the per-step hot loops in the dissemination
+// engines; treat it as read-only outside this package and use SetPosition
+// for mutations so invariants hold.
+type Population struct {
+	g   *grid.Grid
+	pos []grid.Point
+	src *rng.Source
+	t   int
+}
+
+// New places k agents uniformly and independently at random on g, drawing
+// randomness from src. It returns an error for non-positive k or nil inputs.
+//
+// The paper's sparse regime assumes n >= 2k; New does not enforce that —
+// denser populations are legal and used by the supercritical contrast
+// experiments — but callers can check Sparse().
+func New(g *grid.Grid, k int, src *rng.Source) (*Population, error) {
+	if g == nil {
+		return nil, fmt.Errorf("agent: nil grid")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("agent: nil randomness source")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("agent: population size must be positive, got %d", k)
+	}
+	p := &Population{
+		g:   g,
+		pos: make([]grid.Point, k),
+		src: src,
+	}
+	side := g.Side()
+	for i := range p.pos {
+		p.pos[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+	}
+	return p, nil
+}
+
+// K returns the number of agents.
+func (p *Population) K() int { return len(p.pos) }
+
+// Grid returns the underlying grid.
+func (p *Population) Grid() *grid.Grid { return p.g }
+
+// Time returns the number of synchronized steps taken so far.
+func (p *Population) Time() int { return p.t }
+
+// Sparse reports whether the population is in the paper's sparse regime
+// n >= 2k.
+func (p *Population) Sparse() bool { return p.g.N() >= 2*len(p.pos) }
+
+// Position returns the position of agent i.
+func (p *Population) Position(i int) grid.Point { return p.pos[i] }
+
+// SetPosition moves agent i to q (clamped onto the grid). It is intended
+// for test setup and scenario construction, not for use mid-simulation.
+func (p *Population) SetPosition(i int, q grid.Point) {
+	p.pos[i] = p.g.Clamp(q)
+}
+
+// Positions returns the internal position slice. The caller must not modify
+// it; it is exposed to keep per-step component computation allocation-free.
+func (p *Population) Positions() []grid.Point { return p.pos }
+
+// Step advances every agent one lazy-walk step, synchronously.
+func (p *Population) Step() {
+	g, src := p.g, p.src
+	for i := range p.pos {
+		p.pos[i] = walk.Step(g, p.pos[i], src)
+	}
+	p.t++
+}
+
+// StepAgent advances only agent i (used by the Frog model, where inactive
+// agents stay frozen).
+func (p *Population) StepAgent(i int) {
+	p.pos[i] = walk.Step(p.g, p.pos[i], p.src)
+}
+
+// Tick records the passage of one global time step without moving anyone;
+// model variants that move a subset of agents call this once per step.
+func (p *Population) Tick() { p.t++ }
+
+// MaxPairwiseDistance returns the largest Manhattan distance from agent
+// `from` to any other agent, and the index of that agent. It returns (0,
+// from) for single-agent populations.
+func (p *Population) MaxPairwiseDistance(from int) (dist, agentIdx int) {
+	agentIdx = from
+	for i := range p.pos {
+		if i == from {
+			continue
+		}
+		if d := grid.ManhattanPoints(p.pos[from], p.pos[i]); d > dist {
+			dist, agentIdx = d, i
+		}
+	}
+	return dist, agentIdx
+}

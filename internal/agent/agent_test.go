@@ -1,0 +1,205 @@
+package agent
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(8)
+	src := rng.New(1)
+	if _, err := New(nil, 4, src); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := New(g, 4, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(g, 0, src); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(g, -3, src); err == nil {
+		t.Error("negative k accepted")
+	}
+	p, err := New(g, 5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 5 || p.Grid() != g || p.Time() != 0 {
+		t.Errorf("basic accessors wrong: k=%d t=%d", p.K(), p.Time())
+	}
+}
+
+func TestInitialPlacementOnGridAndUniform(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(8) // 64 nodes
+	p, err := New(g, 64000, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, g.N())
+	for i := 0; i < p.K(); i++ {
+		q := p.Position(i)
+		if !g.Contains(q) {
+			t.Fatalf("agent %d off-grid at %v", i, q)
+		}
+		counts[g.ID(q)]++
+	}
+	stat, rejected, err := stats.ChiSquareUniform(counts, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected {
+		t.Errorf("initial placement not uniform: chi2=%.1f", stat)
+	}
+}
+
+func TestStepSynchronized(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(16)
+	p, err := New(g, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]grid.Point, p.K())
+	copy(before, p.Positions())
+	p.Step()
+	if p.Time() != 1 {
+		t.Errorf("Time = %d after one Step", p.Time())
+	}
+	for i := 0; i < p.K(); i++ {
+		d := grid.ManhattanPoints(before[i], p.Position(i))
+		if d > 1 {
+			t.Errorf("agent %d moved distance %d in one step", i, d)
+		}
+		if !g.Contains(p.Position(i)) {
+			t.Errorf("agent %d off grid after step", i)
+		}
+	}
+}
+
+func TestStepAgentMovesOnlyOne(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(16)
+	p, err := New(g, 8, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]grid.Point, p.K())
+	copy(before, p.Positions())
+	// Step agent 3 repeatedly; everyone else must remain fixed.
+	for i := 0; i < 50; i++ {
+		p.StepAgent(3)
+	}
+	for i := 0; i < p.K(); i++ {
+		if i == 3 {
+			continue
+		}
+		if p.Position(i) != before[i] {
+			t.Errorf("agent %d moved during StepAgent(3)", i)
+		}
+	}
+	if p.Time() != 0 {
+		t.Errorf("StepAgent advanced global time to %d", p.Time())
+	}
+	p.Tick()
+	if p.Time() != 1 {
+		t.Errorf("Tick did not advance time")
+	}
+}
+
+func TestSetPositionClamps(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(4)
+	p, err := New(g, 2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPosition(0, grid.Point{X: -10, Y: 99})
+	if got := p.Position(0); got != (grid.Point{X: 0, Y: 3}) {
+		t.Errorf("SetPosition clamped to %v, want (0,3)", got)
+	}
+}
+
+func TestSparse(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(4) // 16 nodes
+	sparse, err := New(g, 8, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Sparse() {
+		t.Error("k=8, n=16 should be sparse (n >= 2k)")
+	}
+	dense, err := New(g, 9, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Sparse() {
+		t.Error("k=9, n=16 should not be sparse")
+	}
+}
+
+func TestMaxPairwiseDistance(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(10)
+	p, err := New(g, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPosition(0, grid.Point{X: 0, Y: 0})
+	p.SetPosition(1, grid.Point{X: 3, Y: 3})
+	p.SetPosition(2, grid.Point{X: 9, Y: 9})
+	d, idx := p.MaxPairwiseDistance(0)
+	if d != 18 || idx != 2 {
+		t.Errorf("MaxPairwiseDistance = (%d, %d), want (18, 2)", d, idx)
+	}
+	d, idx = p.MaxPairwiseDistance(2)
+	if d != 18 || idx != 0 {
+		t.Errorf("MaxPairwiseDistance from 2 = (%d, %d), want (18, 0)", d, idx)
+	}
+}
+
+func TestMaxPairwiseDistanceSingleAgent(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(5)
+	p, err := New(g, 1, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, idx := p.MaxPairwiseDistance(0)
+	if d != 0 || idx != 0 {
+		t.Errorf("single agent distance = (%d,%d), want (0,0)", d, idx)
+	}
+}
+
+func TestDeterministicPopulations(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(12)
+	p1, _ := New(g, 20, rng.New(11))
+	p2, _ := New(g, 20, rng.New(11))
+	for s := 0; s < 100; s++ {
+		p1.Step()
+		p2.Step()
+	}
+	for i := 0; i < 20; i++ {
+		if p1.Position(i) != p2.Position(i) {
+			t.Fatalf("populations with equal seeds diverged at agent %d", i)
+		}
+	}
+}
+
+func BenchmarkPopulationStep(b *testing.B) {
+	g := grid.MustNew(128)
+	p, err := New(g, 256, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}

@@ -1,0 +1,372 @@
+// Package barrier implements the extension the paper names as future work
+// in Section 4: information dissemination on planar domains with mobility
+// barriers. A Domain is a grid with a set of blocked nodes; agents walk
+// with the same 1/5-lazy kernel but a move into a blocked node is replaced
+// by staying put, which keeps the uniform distribution over free nodes
+// stationary (every free->free edge remains symmetric with probability
+// 1/5).
+//
+// Communication is unchanged: two agents within Manhattan distance r
+// exchange rumors regardless of walls. This models radio that penetrates
+// obstacles which block only movement (fences, water, cliffs); fully
+// opaque barriers would also need line-of-sight pruning in the visibility
+// graph, which is out of scope here and noted in DESIGN.md.
+package barrier
+
+import (
+	"fmt"
+
+	"mobilenet/internal/bitset"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/visibility"
+)
+
+// Domain is a grid with blocked nodes. Construct with NewDomain and the
+// obstacle builders; the zero value is not usable.
+type Domain struct {
+	g       *grid.Grid
+	blocked *bitset.Set
+	free    int // number of free nodes
+}
+
+// NewDomain returns a fully open domain over g.
+func NewDomain(g *grid.Grid) (*Domain, error) {
+	if g == nil {
+		return nil, fmt.Errorf("barrier: nil grid")
+	}
+	return &Domain{g: g, blocked: bitset.New(g.N()), free: g.N()}, nil
+}
+
+// Grid returns the underlying grid.
+func (d *Domain) Grid() *grid.Grid { return d.g }
+
+// FreeNodes returns the number of unblocked nodes.
+func (d *Domain) FreeNodes() int { return d.free }
+
+// Blocked reports whether p is blocked. Points off the grid count as
+// blocked.
+func (d *Domain) Blocked(p grid.Point) bool {
+	if !d.g.Contains(p) {
+		return true
+	}
+	return d.blocked.Contains(int(d.g.ID(p)))
+}
+
+// Block marks p as blocked; it reports whether the state changed.
+func (d *Domain) Block(p grid.Point) bool {
+	if !d.g.Contains(p) {
+		return false
+	}
+	if d.blocked.Add(int(d.g.ID(p))) {
+		d.free--
+		return true
+	}
+	return false
+}
+
+// Unblock clears a blocked node; it reports whether the state changed.
+func (d *Domain) Unblock(p grid.Point) bool {
+	if !d.g.Contains(p) {
+		return false
+	}
+	if d.blocked.Remove(int(d.g.ID(p))) {
+		d.free++
+		return true
+	}
+	return false
+}
+
+// AddWall blocks the vertical line x = col, leaving a centred gap of the
+// given width. It returns an error when the column is off-grid or the gap
+// exceeds the side.
+func (d *Domain) AddWall(col, gapWidth int) error {
+	side := d.g.Side()
+	if col < 0 || col >= side {
+		return fmt.Errorf("barrier: wall column %d outside grid side %d", col, side)
+	}
+	if gapWidth < 0 || gapWidth > side {
+		return fmt.Errorf("barrier: gap width %d invalid for side %d", gapWidth, side)
+	}
+	gapLo := (side - gapWidth) / 2
+	gapHi := gapLo + gapWidth
+	for y := 0; y < side; y++ {
+		if y >= gapLo && y < gapHi {
+			continue
+		}
+		d.Block(grid.Point{X: int32(col), Y: int32(y)})
+	}
+	return nil
+}
+
+// AddRandomObstacles blocks approximately density*n nodes chosen uniformly
+// at random (already-blocked choices are skipped, so the final blocked
+// fraction can be slightly below the request). Density must lie in [0, 1).
+func (d *Domain) AddRandomObstacles(density float64, src *rng.Source) error {
+	if density < 0 || density >= 1 {
+		return fmt.Errorf("barrier: obstacle density %v outside [0,1)", density)
+	}
+	if src == nil {
+		return fmt.Errorf("barrier: nil randomness source")
+	}
+	target := int(density * float64(d.g.N()))
+	side := d.g.Side()
+	for i := 0; i < target; i++ {
+		d.Block(grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))})
+	}
+	return nil
+}
+
+// floodFrom flood-fills the free region containing start and returns the
+// visited set and its size.
+func (d *Domain) floodFrom(start grid.Point) (*bitset.Set, int) {
+	seen := bitset.New(d.g.N())
+	stack := []grid.Point{start}
+	seen.Add(int(d.g.ID(start)))
+	count := 0
+	var buf []grid.Point
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		buf = d.g.Neighbors(p, buf[:0])
+		for _, q := range buf {
+			if d.Blocked(q) {
+				continue
+			}
+			if seen.Add(int(d.g.ID(q))) {
+				stack = append(stack, q)
+			}
+		}
+	}
+	return seen, count
+}
+
+// FreeConnected reports whether the free region is a single connected
+// component (4-neighbour connectivity). Note that random obstacle fields
+// almost always enclose small free pockets, so for agent placement
+// LargestFreeComponent is usually the right notion.
+func (d *Domain) FreeConnected() bool {
+	if d.free == 0 {
+		return false
+	}
+	_, count := d.floodFrom(d.someFreeNode())
+	return count == d.free
+}
+
+func (d *Domain) someFreeNode() grid.Point {
+	side := int32(d.g.Side())
+	for y := int32(0); y < side; y++ {
+		for x := int32(0); x < side; x++ {
+			if p := (grid.Point{X: x, Y: y}); !d.Blocked(p) {
+				return p
+			}
+		}
+	}
+	return grid.Point{X: -1, Y: -1} // unreachable: callers check free > 0
+}
+
+// LargestFreeComponent returns the node set of the largest connected free
+// component and its size. It returns (nil, 0) on fully blocked domains.
+func (d *Domain) LargestFreeComponent() (*bitset.Set, int) {
+	if d.free == 0 {
+		return nil, 0
+	}
+	visited := bitset.New(d.g.N())
+	var best *bitset.Set
+	bestSize := 0
+	side := int32(d.g.Side())
+	for y := int32(0); y < side; y++ {
+		for x := int32(0); x < side; x++ {
+			p := grid.Point{X: x, Y: y}
+			if d.Blocked(p) || visited.Contains(int(d.g.ID(p))) {
+				continue
+			}
+			comp, size := d.floodFrom(p)
+			visited.UnionWith(comp)
+			if size > bestSize {
+				best, bestSize = comp, size
+			}
+		}
+	}
+	return best, bestSize
+}
+
+// Step advances one lazy-walk step from p, treating blocked nodes like grid
+// boundaries (the move is replaced by staying).
+func (d *Domain) Step(p grid.Point, src *rng.Source) grid.Point {
+	q := p
+	switch src.Intn(5) {
+	case 0:
+		q.X--
+	case 1:
+		q.X++
+	case 2:
+		q.Y--
+	case 3:
+		q.Y++
+	default:
+		return p
+	}
+	if d.Blocked(q) {
+		return p
+	}
+	return q
+}
+
+// PlaceUniform returns k agents placed uniformly at random on free nodes.
+// It uses rejection sampling, which stays cheap for the obstacle densities
+// the experiments use (< 50%).
+func (d *Domain) PlaceUniform(k int, src *rng.Source) ([]grid.Point, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("barrier: k must be positive, got %d", k)
+	}
+	if d.free == 0 {
+		return nil, fmt.Errorf("barrier: no free nodes to place agents on")
+	}
+	side := d.g.Side()
+	out := make([]grid.Point, k)
+	for i := range out {
+		for {
+			p := grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+			if !d.Blocked(p) {
+				out[i] = p
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// PlaceUniformConnected places k agents uniformly at random on the largest
+// connected free component, the physically sensible placement for
+// dissemination studies on obstacle fields (enclosed pockets can never be
+// reached by mobility).
+func (d *Domain) PlaceUniformConnected(k int, src *rng.Source) ([]grid.Point, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("barrier: k must be positive, got %d", k)
+	}
+	comp, size := d.LargestFreeComponent()
+	if size == 0 {
+		return nil, fmt.Errorf("barrier: no free nodes to place agents on")
+	}
+	side := d.g.Side()
+	out := make([]grid.Point, k)
+	for i := range out {
+		for {
+			p := grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+			if comp.Contains(int(d.g.ID(p))) {
+				out[i] = p
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Config parameterises a broadcast on a domain with barriers.
+type Config struct {
+	// Domain is the arena with obstacles. Required.
+	Domain *Domain
+	// K is the number of agents. Required.
+	K int
+	// Radius is the transmission radius (communication ignores walls; see
+	// the package comment).
+	Radius int
+	// Seed drives placement and motion.
+	Seed uint64
+	// MaxSteps caps the run. Required to be positive: barrier domains have
+	// no general closed-form envelope to derive a default from (a narrow
+	// gap can slow dissemination arbitrarily).
+	MaxSteps int
+	// ConnectedPlacement places agents on the largest connected free
+	// component instead of all free nodes, guaranteeing mobility can
+	// eventually inform everyone at r=0 (random obstacle fields enclose
+	// unreachable pockets otherwise).
+	ConnectedPlacement bool
+}
+
+func (c *Config) validate() error {
+	if c.Domain == nil {
+		return fmt.Errorf("barrier: config requires a domain")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("barrier: K must be positive, got %d", c.K)
+	}
+	if c.Radius < 0 {
+		return fmt.Errorf("barrier: negative radius %d", c.Radius)
+	}
+	if c.MaxSteps <= 0 {
+		return fmt.Errorf("barrier: MaxSteps must be positive (no default on barrier domains)")
+	}
+	return nil
+}
+
+// Result summarises a barrier broadcast run.
+type Result struct {
+	// Steps is the broadcast time (valid when Completed).
+	Steps int
+	// Completed is false when MaxSteps was reached first.
+	Completed bool
+	// Informed is the number of informed agents at the end.
+	Informed int
+}
+
+// RunBroadcast runs a single-rumor broadcast from agent 0 on the domain.
+func RunBroadcast(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	src := rng.New(cfg.Seed)
+	var pos []grid.Point
+	var err error
+	if cfg.ConnectedPlacement {
+		pos, err = cfg.Domain.PlaceUniformConnected(cfg.K, src)
+	} else {
+		pos, err = cfg.Domain.PlaceUniform(cfg.K, src)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	informed := make([]bool, cfg.K)
+	informed[0] = true
+	nInf := 1
+	lab := visibility.NewLabeller(cfg.K)
+
+	var compScratch []bool
+	exchange := func() {
+		if nInf == cfg.K {
+			return
+		}
+		labels, count := lab.Components(pos, cfg.Radius)
+		if cap(compScratch) < count {
+			compScratch = make([]bool, count)
+		}
+		compInf := compScratch[:count]
+		for i := range compInf {
+			compInf[i] = false
+		}
+		for i, inf := range informed {
+			if inf {
+				compInf[labels[i]] = true
+			}
+		}
+		for i := range informed {
+			if !informed[i] && compInf[labels[i]] {
+				informed[i] = true
+				nInf++
+			}
+		}
+	}
+
+	exchange()
+	t := 0
+	for nInf < cfg.K && t < cfg.MaxSteps {
+		for i := range pos {
+			pos[i] = cfg.Domain.Step(pos[i], src)
+		}
+		t++
+		exchange()
+	}
+	return Result{Steps: t, Completed: nInf == cfg.K, Informed: nInf}, nil
+}

@@ -1,0 +1,438 @@
+package barrier
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+)
+
+func pt(x, y int32) grid.Point { return grid.Point{X: x, Y: y} }
+
+func openDomain(t *testing.T, side int) *Domain {
+	t.Helper()
+	d, err := NewDomain(grid.MustNew(side))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDomain(t *testing.T) {
+	t.Parallel()
+	if _, err := NewDomain(nil); err == nil {
+		t.Error("nil grid accepted")
+	}
+	d := openDomain(t, 8)
+	if d.FreeNodes() != 64 {
+		t.Errorf("FreeNodes = %d, want 64", d.FreeNodes())
+	}
+	if d.Blocked(pt(3, 3)) {
+		t.Error("open domain has blocked node")
+	}
+	if !d.Blocked(pt(-1, 0)) || !d.Blocked(pt(8, 0)) {
+		t.Error("off-grid not treated as blocked")
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 8)
+	if !d.Block(pt(2, 2)) {
+		t.Error("first Block reported no change")
+	}
+	if d.Block(pt(2, 2)) {
+		t.Error("second Block reported change")
+	}
+	if d.FreeNodes() != 63 {
+		t.Errorf("FreeNodes = %d after one block", d.FreeNodes())
+	}
+	if !d.Blocked(pt(2, 2)) {
+		t.Error("node not blocked")
+	}
+	if !d.Unblock(pt(2, 2)) {
+		t.Error("Unblock reported no change")
+	}
+	if d.Unblock(pt(2, 2)) {
+		t.Error("second Unblock reported change")
+	}
+	if d.FreeNodes() != 64 {
+		t.Errorf("FreeNodes = %d after unblock", d.FreeNodes())
+	}
+	if d.Block(pt(-1, 5)) || d.Unblock(pt(99, 5)) {
+		t.Error("off-grid block/unblock reported change")
+	}
+}
+
+func TestAddWall(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 9)
+	if err := d.AddWall(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Gap of width 3 centred: rows 3,4,5 free; rest blocked.
+	for y := int32(0); y < 9; y++ {
+		blocked := d.Blocked(pt(4, y))
+		wantBlocked := y < 3 || y > 5
+		if blocked != wantBlocked {
+			t.Errorf("wall col row %d: blocked=%v, want %v", y, blocked, wantBlocked)
+		}
+	}
+	if d.FreeNodes() != 81-6 {
+		t.Errorf("FreeNodes = %d, want 75", d.FreeNodes())
+	}
+	if err := d.AddWall(-1, 2); err == nil {
+		t.Error("off-grid wall accepted")
+	}
+	if err := d.AddWall(2, 100); err == nil {
+		t.Error("oversized gap accepted")
+	}
+}
+
+func TestAddWallFullGapBlocksNothing(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 6)
+	if err := d.AddWall(3, 6); err != nil {
+		t.Fatal(err)
+	}
+	if d.FreeNodes() != 36 {
+		t.Errorf("gap=side wall blocked %d nodes", 36-d.FreeNodes())
+	}
+}
+
+func TestAddRandomObstacles(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 16)
+	if err := d.AddRandomObstacles(0.2, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := 256 - d.FreeNodes()
+	if blocked < 30 || blocked > 52 {
+		t.Errorf("density 0.2 blocked %d/256 nodes", blocked)
+	}
+	if err := d.AddRandomObstacles(-0.1, rng.New(1)); err == nil {
+		t.Error("negative density accepted")
+	}
+	if err := d.AddRandomObstacles(1.0, rng.New(1)); err == nil {
+		t.Error("density 1 accepted")
+	}
+	if err := d.AddRandomObstacles(0.1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestFreeConnected(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 8)
+	if !d.FreeConnected() {
+		t.Error("open domain not connected")
+	}
+	// Wall with a gap keeps it connected.
+	if err := d.AddWall(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !d.FreeConnected() {
+		t.Error("gapped wall disconnected the domain")
+	}
+	// Sealing the gap splits it.
+	d2 := openDomain(t, 8)
+	if err := d2.AddWall(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d2.FreeConnected() {
+		t.Error("solid wall left the domain connected")
+	}
+}
+
+func TestFreeConnectedEmpty(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 2)
+	for y := int32(0); y < 2; y++ {
+		for x := int32(0); x < 2; x++ {
+			d.Block(pt(x, y))
+		}
+	}
+	if d.FreeConnected() {
+		t.Error("fully blocked domain reported connected")
+	}
+}
+
+func TestStepRespectsWalls(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 5)
+	// Box agent into a single free cell surrounded by walls.
+	for _, p := range []grid.Point{pt(1, 2), pt(3, 2), pt(2, 1), pt(2, 3)} {
+		d.Block(p)
+	}
+	src := rng.New(3)
+	pos := pt(2, 2)
+	for i := 0; i < 500; i++ {
+		pos = d.Step(pos, src)
+		if pos != pt(2, 2) {
+			t.Fatalf("agent escaped the box to %v", pos)
+		}
+	}
+}
+
+func TestStepNeverEntersBlocked(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 16)
+	if err := d.AddRandomObstacles(0.3, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	pos, err := d.PlaceUniform(1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pos[0]
+	for i := 0; i < 20000; i++ {
+		q := d.Step(p, src)
+		if d.Blocked(q) {
+			t.Fatalf("stepped onto blocked node %v", q)
+		}
+		if grid.ManhattanPoints(p, q) > 1 {
+			t.Fatalf("jumped from %v to %v", p, q)
+		}
+		p = q
+	}
+}
+
+func TestPlaceUniformAvoidsWalls(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 10)
+	if err := d.AddWall(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := d.PlaceUniform(200, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pos {
+		if d.Blocked(p) {
+			t.Fatalf("agent placed on blocked node %v", p)
+		}
+	}
+	if _, err := d.PlaceUniform(0, rng.New(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestLargestFreeComponent(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 8)
+	// Solid wall splits 8x8 into 4*8=32 and 3*8=24 free nodes.
+	if err := d.AddWall(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	comp, size := d.LargestFreeComponent()
+	if size != 32 {
+		t.Fatalf("largest component size = %d, want 32", size)
+	}
+	// All members left of the wall.
+	count := 0
+	comp.ForEach(func(id int) bool {
+		x := id % 8
+		if x >= 4 {
+			t.Fatalf("largest component contains node right of wall (x=%d)", x)
+		}
+		count++
+		return true
+	})
+	if count != 32 {
+		t.Fatalf("component bitset has %d members", count)
+	}
+	// Fully blocked domain.
+	d2 := openDomain(t, 2)
+	for y := int32(0); y < 2; y++ {
+		for x := int32(0); x < 2; x++ {
+			d2.Block(pt(x, y))
+		}
+	}
+	if comp, size := d2.LargestFreeComponent(); comp != nil || size != 0 {
+		t.Errorf("blocked domain: comp=%v size=%d", comp, size)
+	}
+}
+
+func TestPlaceUniformConnected(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 10)
+	if err := d.AddWall(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Largest side is x<5 (5 columns vs 4).
+	pos, err := d.PlaceUniformConnected(100, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pos {
+		if p.X >= 5 {
+			t.Fatalf("agent placed off the largest component at %v", p)
+		}
+		if d.Blocked(p) {
+			t.Fatalf("agent on blocked node %v", p)
+		}
+	}
+	if _, err := d.PlaceUniformConnected(0, rng.New(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Fully blocked domain errors.
+	d2 := openDomain(t, 2)
+	for y := int32(0); y < 2; y++ {
+		for x := int32(0); x < 2; x++ {
+			d2.Block(pt(x, y))
+		}
+	}
+	if _, err := d2.PlaceUniformConnected(1, rng.New(1)); err == nil {
+		t.Error("fully blocked domain accepted")
+	}
+}
+
+func TestConnectedPlacementBroadcastCompletesOnSplitDomain(t *testing.T) {
+	t.Parallel()
+	// With a solid wall, plain placement eventually deadlocks (agents on
+	// both sides) but connected placement always completes.
+	d := openDomain(t, 10)
+	if err := d.AddWall(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBroadcast(Config{
+		Domain: d, K: 8, Seed: 11, MaxSteps: 500000, ConnectedPlacement: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("connected placement did not complete: %+v", res)
+	}
+}
+
+func TestRunBroadcastValidation(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 8)
+	bad := []Config{
+		{K: 4, MaxSteps: 10},
+		{Domain: d, K: 0, MaxSteps: 10},
+		{Domain: d, K: 4, Radius: -1, MaxSteps: 10},
+		{Domain: d, K: 4, MaxSteps: 0},
+	}
+	for i, c := range bad {
+		if _, err := RunBroadcast(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunBroadcastOpenDomainCompletes(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 8)
+	res, err := RunBroadcast(Config{Domain: d, K: 6, Seed: 1, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Informed != 6 {
+		t.Fatalf("open-domain broadcast: %+v", res)
+	}
+}
+
+func TestRunBroadcastThroughGap(t *testing.T) {
+	t.Parallel()
+	d := openDomain(t, 12)
+	if err := d.AddWall(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBroadcast(Config{Domain: d, K: 8, Seed: 3, MaxSteps: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("gapped-wall broadcast incomplete: %+v", res)
+	}
+}
+
+func TestRunBroadcastBlockedBySolidWallMobility(t *testing.T) {
+	t.Parallel()
+	// Solid wall, radius 0: the rumor cannot cross by movement and there
+	// is no radio bridge, so with agents on both sides the broadcast must
+	// NOT complete. Seed chosen so both sides are populated (checked).
+	d := openDomain(t, 10)
+	if err := d.AddWall(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	pos, err := d.PlaceUniform(8, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := 0, 0
+	for _, p := range pos {
+		if p.X < 5 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Skip("all agents landed on one side; geometry untestable with this seed")
+	}
+	res, err := RunBroadcast(Config{Domain: d, K: 8, Seed: 11, MaxSteps: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatalf("broadcast crossed a solid wall at r=0: %+v", res)
+	}
+	if res.Informed < 1 || res.Informed >= 8 {
+		t.Errorf("informed = %d, want partial dissemination", res.Informed)
+	}
+}
+
+func TestRunBroadcastRadioBridgesWall(t *testing.T) {
+	t.Parallel()
+	// Same solid wall, but a transmission radius wide enough to bridge the
+	// one-node-thick wall: broadcast completes (communication penetrates).
+	d := openDomain(t, 10)
+	if err := d.AddWall(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBroadcast(Config{Domain: d, K: 12, Radius: 4, Seed: 13, MaxSteps: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("radio did not bridge the wall: %+v", res)
+	}
+}
+
+func TestBarrierDeterministic(t *testing.T) {
+	t.Parallel()
+	mk := func() Result {
+		d := openDomain(t, 10)
+		if err := d.AddRandomObstacles(0.15, rng.New(21)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunBroadcast(Config{Domain: d, K: 5, Seed: 17, MaxSteps: 300000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("barrier broadcast not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkBarrierBroadcast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := NewDomain(grid.MustNew(24))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.AddWall(12, 4); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunBroadcast(Config{Domain: d, K: 12, Seed: uint64(i), MaxSteps: 1 << 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

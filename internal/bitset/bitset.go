@@ -1,0 +1,203 @@
+// Package bitset provides dense bit sets used for two purposes in the
+// simulator: the rumor sets M_a(t) carried by each agent (which only ever
+// grow — agents never forget rumors), and visited-node sets over grid nodes
+// (for range, coverage and informed-area tracking).
+//
+// The representation is a plain []uint64; the zero value of Set is an empty
+// set that can be grown with Add. Fixed-capacity sets created with New never
+// reallocate, which the hot loops rely on.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a growable dense bit set over non-negative integer elements.
+type Set struct {
+	words []uint64
+	count int // cached popcount, maintained incrementally
+}
+
+// New returns a set with capacity for elements [0, n). The set starts empty.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the number of elements currently in the set.
+func (s *Set) Len() int { return s.count }
+
+// Capacity returns the number of elements the set can hold without growing.
+func (s *Set) Capacity() int { return len(s.words) * wordBits }
+
+// grow ensures the set can hold element i.
+func (s *Set) grow(i int) {
+	need := i/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	w := make([]uint64, need)
+	copy(w, s.words)
+	s.words = w
+}
+
+// Add inserts i into the set and reports whether it was newly added.
+// It panics on negative i.
+func (s *Set) Add(i int) bool {
+	if i < 0 {
+		panic("bitset: negative element")
+	}
+	s.grow(i)
+	w, b := i/wordBits, uint(i%wordBits)
+	mask := uint64(1) << b
+	if s.words[w]&mask != 0 {
+		return false
+	}
+	s.words[w] |= mask
+	s.count++
+	return true
+}
+
+// Remove deletes i from the set and reports whether it was present.
+func (s *Set) Remove(i int) bool {
+	if i < 0 || i >= s.Capacity() {
+		return false
+	}
+	w, b := i/wordBits, uint(i%wordBits)
+	mask := uint64(1) << b
+	if s.words[w]&mask == 0 {
+		return false
+	}
+	s.words[w] &^= mask
+	s.count--
+	return true
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.Capacity() {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// UnionWith adds every element of other to s (s |= other) and reports
+// whether s changed. This is the rumor-exchange primitive: within a
+// connected component every agent's set becomes the union of all members'.
+func (s *Set) UnionWith(other *Set) bool {
+	if other == nil {
+		return false
+	}
+	if len(other.words) > len(s.words) {
+		s.grow(len(other.words)*wordBits - 1)
+	}
+	changed := false
+	for i, w := range other.words {
+		old := s.words[i]
+		merged := old | w
+		if merged != old {
+			s.count += bits.OnesCount64(merged) - bits.OnesCount64(old)
+			s.words[i] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IsSupersetOf reports whether s contains every element of other.
+func (s *Set) IsSupersetOf(other *Set) bool {
+	if other == nil {
+		return true
+	}
+	for i, w := range other.words {
+		var mine uint64
+		if i < len(s.words) {
+			mine = s.words[i]
+		}
+		if w&^mine != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and other contain exactly the same elements.
+func (s *Set) Equal(other *Set) bool {
+	if other == nil {
+		return s.count == 0
+	}
+	if s.count != other.count {
+		return false
+	}
+	long, short := s.words, other.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, count: s.count}
+}
+
+// CopyFrom makes s an exact copy of other, growing s as needed. It is the
+// bulk primitive gossip uses to install a component's merged rumor set into
+// every member.
+func (s *Set) CopyFrom(other *Set) {
+	if other == nil {
+		s.Clear()
+		return
+	}
+	if len(other.words) > len(s.words) {
+		s.words = make([]uint64, len(other.words))
+	}
+	n := copy(s.words, other.words)
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+	s.count = other.count
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// ForEach calls fn for every element in ascending order. Iteration stops if
+// fn returns false.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns all elements in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.count)
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,358 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsLen(t *testing.T) {
+	t.Parallel()
+	s := New(128)
+	if s.Len() != 0 {
+		t.Fatalf("new set Len = %d", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		if !s.Add(i) {
+			t.Errorf("Add(%d) reported not-new on first insert", i)
+		}
+		if s.Add(i) {
+			t.Errorf("Add(%d) reported new on second insert", i)
+		}
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) false after Add", i)
+		}
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	if s.Contains(2) || s.Contains(126) {
+		t.Error("Contains reports absent elements")
+	}
+}
+
+func TestAddGrows(t *testing.T) {
+	t.Parallel()
+	var s Set // zero value usable
+	if !s.Add(1000) {
+		t.Fatal("Add(1000) on zero set failed")
+	}
+	if !s.Contains(1000) || s.Len() != 1 {
+		t.Fatalf("zero-value set state wrong: contains=%v len=%d", s.Contains(1000), s.Len())
+	}
+	if s.Contains(999) || s.Contains(1001) {
+		t.Error("neighboring elements spuriously present")
+	}
+}
+
+func TestAddPanicsNegative(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(8).Add(-1)
+}
+
+func TestRemove(t *testing.T) {
+	t.Parallel()
+	s := New(64)
+	s.Add(10)
+	s.Add(20)
+	if !s.Remove(10) {
+		t.Error("Remove(10) reported absent")
+	}
+	if s.Remove(10) {
+		t.Error("second Remove(10) reported present")
+	}
+	if s.Remove(-1) || s.Remove(1000) {
+		t.Error("Remove out-of-range reported present")
+	}
+	if s.Len() != 1 || !s.Contains(20) {
+		t.Errorf("set corrupted after removes: len=%d", s.Len())
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	t.Parallel()
+	s := New(10)
+	if s.Contains(-5) || s.Contains(1<<20) {
+		t.Error("Contains true for out-of-range element")
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	t.Parallel()
+	a := New(128)
+	b := New(128)
+	a.Add(1)
+	a.Add(64)
+	b.Add(64)
+	b.Add(100)
+	if !a.UnionWith(b) {
+		t.Error("UnionWith reported no change")
+	}
+	for _, i := range []int{1, 64, 100} {
+		if !a.Contains(i) {
+			t.Errorf("after union, missing %d", i)
+		}
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d, want 3", a.Len())
+	}
+	if a.UnionWith(b) {
+		t.Error("idempotent re-union reported change")
+	}
+	if a.UnionWith(nil) {
+		t.Error("UnionWith(nil) reported change")
+	}
+}
+
+func TestUnionWithGrows(t *testing.T) {
+	t.Parallel()
+	a := New(8)
+	b := New(512)
+	b.Add(400)
+	if !a.UnionWith(b) {
+		t.Fatal("union with larger set reported no change")
+	}
+	if !a.Contains(400) {
+		t.Fatal("element 400 missing after growth union")
+	}
+}
+
+func TestIsSupersetOf(t *testing.T) {
+	t.Parallel()
+	a := New(64)
+	b := New(64)
+	a.Add(1)
+	a.Add(2)
+	b.Add(1)
+	if !a.IsSupersetOf(b) {
+		t.Error("a should be superset of b")
+	}
+	if b.IsSupersetOf(a) {
+		t.Error("b should not be superset of a")
+	}
+	if !a.IsSupersetOf(nil) {
+		t.Error("any set is superset of nil")
+	}
+	big := New(256)
+	big.Add(200)
+	if a.IsSupersetOf(big) {
+		t.Error("a is not superset of set with larger element")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	t.Parallel()
+	a := New(64)
+	b := New(256) // different capacities, same elements
+	a.Add(3)
+	b.Add(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("sets with equal elements but different capacity not Equal")
+	}
+	b.Add(200)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("unequal sets reported Equal")
+	}
+	empty := New(8)
+	if !empty.Equal(nil) {
+		t.Error("empty set should Equal nil")
+	}
+	if a.Equal(nil) {
+		t.Error("non-empty set Equal nil")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	t.Parallel()
+	src := New(256)
+	src.Add(7)
+	src.Add(200)
+	dst := New(8)
+	dst.Add(3)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom did not produce an equal set")
+	}
+	if dst.Contains(3) {
+		t.Error("stale element survived CopyFrom")
+	}
+	// Copying a smaller set into a larger one clears the tail words.
+	small := New(8)
+	small.Add(1)
+	dst.CopyFrom(small)
+	if !dst.Equal(small) || dst.Contains(200) {
+		t.Error("tail not cleared when copying smaller set")
+	}
+	// CopyFrom(nil) empties the set.
+	dst.CopyFrom(nil)
+	if dst.Len() != 0 {
+		t.Error("CopyFrom(nil) did not clear")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	t.Parallel()
+	a := New(64)
+	a.Add(5)
+	c := a.Clone()
+	c.Add(6)
+	if a.Contains(6) {
+		t.Error("mutating clone affected original")
+	}
+	a.Add(7)
+	if c.Contains(7) {
+		t.Error("mutating original affected clone")
+	}
+}
+
+func TestClear(t *testing.T) {
+	t.Parallel()
+	s := New(64)
+	for i := 0; i < 64; i += 3 {
+		s.Add(i)
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Errorf("Len after Clear = %d", s.Len())
+	}
+	for i := 0; i < 64; i++ {
+		if s.Contains(i) {
+			t.Fatalf("element %d present after Clear", i)
+		}
+	}
+}
+
+func TestForEachAscendingAndStop(t *testing.T) {
+	t.Parallel()
+	s := New(200)
+	want := []int{0, 63, 64, 130, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d elements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+	// Early stop after 2 visits.
+	visits := 0
+	s.ForEach(func(i int) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Errorf("early stop visited %d, want 2", visits)
+	}
+}
+
+func TestElements(t *testing.T) {
+	t.Parallel()
+	s := New(100)
+	s.Add(9)
+	s.Add(1)
+	s.Add(50)
+	got := s.Elements()
+	want := []int{1, 9, 50}
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: Len always equals the number of distinct inserted elements, and
+// UnionWith is monotone (superset afterwards) and commutative in contents.
+func TestQuickSetAlgebra(t *testing.T) {
+	t.Parallel()
+	f := func(xs, ys []uint16) bool {
+		a1, b1 := New(0), New(0)
+		distinct := make(map[int]bool)
+		for _, x := range xs {
+			a1.Add(int(x))
+			distinct[int(x)] = true
+		}
+		if a1.Len() != len(distinct) {
+			return false
+		}
+		for _, y := range ys {
+			b1.Add(int(y))
+		}
+		u1 := a1.Clone()
+		u1.UnionWith(b1)
+		u2 := b1.Clone()
+		u2.UnionWith(a1)
+		if !u1.Equal(u2) {
+			return false // commutativity of contents
+		}
+		if !u1.IsSupersetOf(a1) || !u1.IsSupersetOf(b1) {
+			return false // monotone
+		}
+		// Union size bounded by sum, at least max.
+		if u1.Len() > a1.Len()+b1.Len() || u1.Len() < a1.Len() || u1.Len() < b1.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: popcount cache stays consistent with brute-force recount through
+// interleaved adds and removes.
+func TestQuickCountConsistency(t *testing.T) {
+	t.Parallel()
+	f := func(ops []int16) bool {
+		s := New(0)
+		ref := make(map[int]bool)
+		for _, op := range ops {
+			v := int(op)
+			if v >= 0 {
+				s.Add(v)
+				ref[v] = true
+			} else {
+				s.Remove(-v)
+				delete(ref, -v)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for e := range ref {
+			if !s.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x := New(4096)
+	y := New(4096)
+	for i := 0; i < 4096; i += 7 {
+		y.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}

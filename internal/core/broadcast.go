@@ -1,0 +1,285 @@
+package core
+
+import (
+	"mobilenet/internal/agent"
+	"mobilenet/internal/bitset"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/visibility"
+)
+
+// Broadcast simulates the spread of a single rumor from one source agent to
+// the whole population. Construct with NewBroadcast, then either call Run
+// for the full simulation or Step to drive it manually.
+type Broadcast struct {
+	cfg Config
+	pop *agent.Population
+	lab *visibility.Labeller
+
+	informed      []bool
+	informedCount int
+	src           int
+
+	area      *bitset.Set // informed area I(t); nil unless tracked
+	frontierX int32
+
+	curve    []int
+	frontier []int32
+	maxComp  int
+
+	cells      *cellTracker // Theorem 1 tessellation bookkeeping; nil when off
+	sourceCell int
+
+	compScratch []bool // per-component informed flags, reused across steps
+
+	coverageStep int // first step with |I(t)| = n; -1 until then
+}
+
+// NewBroadcast validates cfg, places the population and performs the time-0
+// rumor exchange (the rumor floods the source's component of G_0(r) before
+// anyone moves, per the paper's model).
+func NewBroadcast(cfg Config) (*Broadcast, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	pop, err := agent.New(cfg.Grid, cfg.K, src)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range cfg.Placement {
+		pop.SetPosition(i, p)
+	}
+	b := &Broadcast{
+		cfg:          cfg,
+		pop:          pop,
+		lab:          visibility.NewLabeller(cfg.K),
+		informed:     make([]bool, cfg.K),
+		coverageStep: -1,
+		frontierX:    -1,
+	}
+	b.src = cfg.Source
+	if b.src == SourceRandom {
+		b.src = src.Intn(cfg.K)
+	}
+	b.informed[b.src] = true
+	b.informedCount = 1
+	if cfg.TrackInformedArea || cfg.RecordFrontier {
+		b.area = bitset.New(cfg.Grid.N())
+	}
+	if cfg.CellSide > 0 {
+		b.cells = newCellTracker(cfg.Grid, cfg.CellSide)
+		b.sourceCell = int(b.cells.tess.CellOf(pop.Position(b.src)))
+	}
+	// Time-0 exchange on the initial configuration.
+	b.exchange()
+	b.record()
+	return b, nil
+}
+
+// exchange floods rumors through the connected components of the current
+// visibility graph and updates the informed-area trackers. Component
+// computation is skipped entirely once everyone is informed (the
+// coverage-continuation phase only needs positions), unless component
+// statistics were requested.
+func (b *Broadcast) exchange() {
+	if b.cfg.TrackComponents || b.informedCount < b.pop.K() {
+		labels, count := b.lab.Components(b.pop.Positions(), b.cfg.Radius)
+		if b.cfg.TrackComponents {
+			if m := visibility.MaxSize(labels, count); m > b.maxComp {
+				b.maxComp = m
+			}
+		}
+		if b.informedCount < b.pop.K() {
+			// Mark components containing at least one informed agent...
+			if cap(b.compScratch) < count {
+				b.compScratch = make([]bool, count)
+			}
+			compInformed := b.compScratch[:count]
+			for i := range compInformed {
+				compInformed[i] = false
+			}
+			for i, inf := range b.informed {
+				if inf {
+					compInformed[labels[i]] = true
+				}
+			}
+			// ...and flood them.
+			for i := range b.informed {
+				if !b.informed[i] && compInformed[labels[i]] {
+					b.informed[i] = true
+					b.informedCount++
+				}
+			}
+		}
+	}
+	if b.area != nil {
+		g := b.pop.Grid()
+		pos := b.pop.Positions()
+		for i, inf := range b.informed {
+			if !inf {
+				continue
+			}
+			b.area.Add(int(g.ID(pos[i])))
+			if pos[i].X > b.frontierX {
+				b.frontierX = pos[i].X
+			}
+		}
+		if b.coverageStep < 0 && b.area.Len() == g.N() {
+			b.coverageStep = b.pop.Time()
+		}
+	}
+	if b.cells != nil && !b.cells.allReached() {
+		t := b.pop.Time()
+		pos := b.pop.Positions()
+		for i, inf := range b.informed {
+			if inf {
+				b.cells.observe(pos[i], t)
+			}
+		}
+	}
+}
+
+func (b *Broadcast) record() {
+	if b.cfg.RecordCurve {
+		b.curve = append(b.curve, b.informedCount)
+	}
+	if b.cfg.RecordFrontier {
+		b.frontier = append(b.frontier, b.frontierX)
+	}
+}
+
+// Step advances the system one time unit: all agents move synchronously,
+// then rumors flood the new components.
+func (b *Broadcast) Step() {
+	b.pop.Step()
+	b.exchange()
+	b.record()
+}
+
+// Done reports whether every agent is informed.
+func (b *Broadcast) Done() bool { return b.informedCount == b.pop.K() }
+
+// Time returns the current simulation time.
+func (b *Broadcast) Time() int { return b.pop.Time() }
+
+// InformedCount returns the number of informed agents.
+func (b *Broadcast) InformedCount() int { return b.informedCount }
+
+// Informed reports whether agent i knows the rumor.
+func (b *Broadcast) Informed(i int) bool { return b.informed[i] }
+
+// SourceAgent returns the index of the source agent.
+func (b *Broadcast) SourceAgent() int { return b.src }
+
+// Population exposes the underlying population (read-only use expected).
+func (b *Broadcast) Population() *agent.Population { return b.pop }
+
+// InformedArea returns the number of grid nodes in I(t), or 0 when area
+// tracking is disabled.
+func (b *Broadcast) InformedArea() int {
+	if b.area == nil {
+		return 0
+	}
+	return b.area.Len()
+}
+
+// FrontierX returns the rightmost x-coordinate of the informed area, or -1
+// when area tracking is disabled.
+func (b *Broadcast) FrontierX() int32 { return b.frontierX }
+
+// BroadcastResult summarises a completed (or capped) broadcast run.
+type BroadcastResult struct {
+	// Steps is the broadcast time T_B: the first time step at which every
+	// agent is informed. Valid only when Completed.
+	Steps int
+	// Completed is false when the run hit MaxSteps before full dissemination.
+	Completed bool
+	// Source is the index of the source agent.
+	Source int
+	// InformedCurve holds the informed count after each step, starting with
+	// t=0 (present only with Config.RecordCurve).
+	InformedCurve []int
+	// FrontierTrace holds the rightmost informed-area x-coordinate after
+	// each step, starting with t=0 (present only with Config.RecordFrontier).
+	FrontierTrace []int32
+	// CoverageSteps is T_C, the first time the informed area covers every
+	// grid node; -1 if not reached or not tracked.
+	CoverageSteps int
+	// MaxComponent is the largest visibility component observed (present
+	// only with Config.TrackComponents).
+	MaxComponent int
+}
+
+// Run advances the simulation until every agent is informed or the step cap
+// is reached, and returns the result. When Config.TrackInformedArea is set,
+// the run continues after full information until the grid is covered (to
+// measure T_C), still subject to the step cap.
+func (b *Broadcast) Run() BroadcastResult {
+	stepCap := b.cfg.maxSteps()
+	for !b.Done() && b.pop.Time() < stepCap {
+		b.Step()
+	}
+	res := BroadcastResult{
+		Steps:         b.pop.Time(),
+		Completed:     b.Done(),
+		Source:        b.src,
+		InformedCurve: b.curve,
+		FrontierTrace: b.frontier,
+		CoverageSteps: -1,
+		MaxComponent:  b.maxComp,
+	}
+	if b.area != nil {
+		for b.coverageStep < 0 && b.pop.Time() < stepCap {
+			b.Step()
+		}
+		res.CoverageSteps = b.coverageStep
+		res.MaxComponent = b.maxComp
+	}
+	return res
+}
+
+// RunBroadcast is the one-shot convenience wrapper used by most experiments.
+func RunBroadcast(cfg Config) (BroadcastResult, error) {
+	b, err := NewBroadcast(cfg)
+	if err != nil {
+		return BroadcastResult{}, err
+	}
+	return b.Run(), nil
+}
+
+// distanceToAll returns the Manhattan distance from the source agent to the
+// farthest agent at time 0; exposed through helper for the Theorem 2
+// geometry experiment (E17).
+func distanceToAll(g *grid.Grid, pos []grid.Point, from int) int {
+	best := 0
+	for i := range pos {
+		if i == from {
+			continue
+		}
+		if d := grid.ManhattanPoints(pos[from], pos[i]); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// InitialSpread places a fresh population per cfg and returns the distance
+// from the source to the farthest agent, without running the simulation.
+// This isolates the geometric premise of Theorem 2: with probability
+// 1 - 2^-(k-1) some agent starts at distance >= sqrt(n)/2 from the source.
+func InitialSpread(cfg Config) (int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	src := rng.New(cfg.Seed)
+	pop, err := agent.New(cfg.Grid, cfg.K, src)
+	if err != nil {
+		return 0, err
+	}
+	s := cfg.Source
+	if s == SourceRandom {
+		s = src.Intn(cfg.K)
+	}
+	return distanceToAll(cfg.Grid, pop.Positions(), s), nil
+}

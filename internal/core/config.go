@@ -1,0 +1,104 @@
+// Package core implements the paper's information-dissemination process:
+// k agents perform independent lazy random walks on an n-node grid, and at
+// every time step each rumor floods the entire connected component of the
+// visibility graph G_t(r) containing an informed agent. The package
+// measures the quantities the paper's theorems bound — the broadcast time
+// T_B, the gossip time T_G, the coverage time T_C, and the informed-area
+// frontier of the Theorem 2 lower-bound argument.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/theory"
+)
+
+// SourceRandom selects a uniformly random source agent in Config.Source.
+const SourceRandom = -1
+
+// Config parameterises a dissemination run.
+type Config struct {
+	// Grid is the arena. Required.
+	Grid *grid.Grid
+	// K is the number of agents. Required, positive.
+	K int
+	// Radius is the transmission radius r >= 0 in Manhattan distance.
+	Radius int
+	// Seed drives all randomness of the run (placement and motion).
+	Seed uint64
+	// Source is the index of the initially informed agent, or SourceRandom.
+	// Only used by broadcast (gossip starts every agent with its own rumor).
+	Source int
+	// MaxSteps caps the simulation length; 0 selects a generous default of
+	// 64 * (n/sqrt(k)) * (log2(n)+1) steps, far above the Õ(n/√k) bound.
+	MaxSteps int
+
+	// TrackInformedArea enables the informed-area bitset I(t): the set of
+	// grid nodes visited by informed agents. Required for frontier and
+	// coverage measurements; costs one bitset write per informed agent step.
+	TrackInformedArea bool
+	// RecordCurve records the number of informed agents after every step.
+	RecordCurve bool
+	// RecordFrontier records the rightmost informed-area x-coordinate after
+	// every step (implies TrackInformedArea).
+	RecordFrontier bool
+	// TrackComponents records the largest visibility component seen.
+	TrackComponents bool
+	// CellSide, when positive, tessellates the grid into CellSide-sided
+	// cells and records the first time an informed agent enters each cell —
+	// the bookkeeping of the paper's Theorem 1 proof (cells of side
+	// l = sqrt(14 n log³n / (c3 k))). See theory.CellSide for the paper's
+	// value.
+	CellSide int
+
+	// Placement, when non-nil, overrides the uniform random initial
+	// placement with explicit agent positions (len == K, all on-grid).
+	// Deterministic placements support scenario construction and
+	// regression tests; the paper's model corresponds to leaving this nil.
+	Placement []grid.Point
+}
+
+func (c *Config) validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("core: config requires a grid")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", c.K)
+	}
+	if c.Source != SourceRandom && (c.Source < 0 || c.Source >= c.K) {
+		return fmt.Errorf("core: source %d out of range [0,%d)", c.Source, c.K)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("core: negative MaxSteps %d", c.MaxSteps)
+	}
+	if c.CellSide < 0 {
+		return fmt.Errorf("core: negative CellSide %d", c.CellSide)
+	}
+	if c.Placement != nil {
+		if len(c.Placement) != c.K {
+			return fmt.Errorf("core: placement has %d positions for %d agents", len(c.Placement), c.K)
+		}
+		for i, p := range c.Placement {
+			if !c.Grid.Contains(p) {
+				return fmt.Errorf("core: placement %d at %v is off-grid", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// maxSteps resolves the step cap, applying the default when unset.
+func (c *Config) maxSteps() int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	n := c.Grid.N()
+	scale := theory.BroadcastScale(n, c.K)
+	cap := 64 * scale * (math.Log2(float64(n)) + 1)
+	if cap < 4096 {
+		cap = 4096
+	}
+	return int(cap)
+}

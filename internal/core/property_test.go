@@ -1,0 +1,126 @@
+package core
+
+// Property-based tests of the dissemination invariants, run across random
+// configurations via testing/quick.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobilenet/internal/grid"
+)
+
+// Property: across random small configurations, the informed count is
+// non-decreasing step to step, broadcast always terminates within the
+// default cap, and the final informed count equals k.
+func TestQuickBroadcastInvariants(t *testing.T) {
+	t.Parallel()
+	f := func(seedRaw uint32, kRaw, sideRaw, rRaw uint8) bool {
+		side := int(sideRaw%12) + 4 // 4..15
+		k := int(kRaw%10) + 2       // 2..11
+		r := int(rRaw % 4)          // 0..3
+		cfg := Config{
+			Grid:        grid.MustNew(side),
+			K:           k,
+			Radius:      r,
+			Seed:        uint64(seedRaw),
+			Source:      0,
+			RecordCurve: true,
+		}
+		b, err := NewBroadcast(cfg)
+		if err != nil {
+			return false
+		}
+		prev := b.InformedCount()
+		if prev < 1 {
+			return false
+		}
+		for !b.Done() && b.Time() < 1<<20 {
+			b.Step()
+			cur := b.InformedCount()
+			if cur < prev || cur > k {
+				return false
+			}
+			prev = cur
+		}
+		return b.Done() && b.InformedCount() == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gossip rumor sets grow monotonically per agent, every agent
+// keeps its own rumor, and completion means full sets everywhere.
+func TestQuickGossipInvariants(t *testing.T) {
+	t.Parallel()
+	f := func(seedRaw uint32, kRaw, sideRaw uint8) bool {
+		side := int(sideRaw%10) + 4 // 4..13
+		k := int(kRaw%8) + 2        // 2..9
+		cfg := Config{
+			Grid:   grid.MustNew(side),
+			K:      k,
+			Radius: 0,
+			Seed:   uint64(seedRaw),
+		}
+		g, err := NewGossip(cfg)
+		if err != nil {
+			return false
+		}
+		prev := make([]int, k)
+		for i := 0; i < k; i++ {
+			if !g.Knows(i, i) {
+				return false
+			}
+			prev[i] = g.RumorCount(i)
+		}
+		for !g.Done() && g.Time() < 1<<20 {
+			g.Step()
+			for i := 0; i < k; i++ {
+				c := g.RumorCount(i)
+				if c < prev[i] || c > k || !g.Knows(i, i) {
+					return false
+				}
+				prev[i] = c
+			}
+		}
+		if !g.Done() {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if g.RumorCount(i) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with identical seeds, a larger radius never yields a strictly
+// larger broadcast time (information flow at radius r is a subset of flow
+// at radius r' >= r over the same trajectories).
+func TestQuickRadiusMonotonicity(t *testing.T) {
+	t.Parallel()
+	f := func(seedRaw uint32, kRaw, sideRaw, rRaw uint8) bool {
+		side := int(sideRaw%10) + 6 // 6..15
+		k := int(kRaw%8) + 2
+		r := int(rRaw % 3)
+		base := Config{Grid: grid.MustNew(side), K: k, Radius: r, Seed: uint64(seedRaw), Source: 0}
+		lo, err := RunBroadcast(base)
+		if err != nil || !lo.Completed {
+			return false
+		}
+		base.Radius = r + 2
+		hi, err := RunBroadcast(base)
+		if err != nil || !hi.Completed {
+			return false
+		}
+		return hi.Steps <= lo.Steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package coverage measures cover times of multiple independent random
+// walks: the first time every grid node has been visited by at least one
+// walk. The paper's Section 4 derives the high-probability bound
+// O((n log^2 n)/k + n log n), improving earlier expectation-only results;
+// Experiment E12 validates the 1/k decay and the n log n floor.
+package coverage
+
+import (
+	"fmt"
+
+	"mobilenet/internal/bitset"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/theory"
+	"mobilenet/internal/walk"
+)
+
+// Config parameterises a cover-time run.
+type Config struct {
+	// Grid is the arena. Required.
+	Grid *grid.Grid
+	// Walkers is the number of independent random walks k. Required.
+	Walkers int
+	// Seed drives placement and motion.
+	Seed uint64
+	// MaxSteps caps the run; 0 derives a default from the paper's bound
+	// with a 64x headroom.
+	MaxSteps int
+	// RecordCurve enables recording of the covered-node count per step.
+	RecordCurve bool
+}
+
+func (c *Config) validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("coverage: config requires a grid")
+	}
+	if c.Walkers <= 0 {
+		return fmt.Errorf("coverage: walkers must be positive, got %d", c.Walkers)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("coverage: negative MaxSteps %d", c.MaxSteps)
+	}
+	return nil
+}
+
+func (c *Config) maxSteps() int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	v := int(64 * theory.CoverTimeBound(c.Grid.N(), c.Walkers))
+	if v < 4096 {
+		v = 4096
+	}
+	return v
+}
+
+// Result summarises a cover-time run.
+type Result struct {
+	// Steps is the cover time: the first step at which every node has been
+	// visited. Valid only when Completed.
+	Steps int
+	// Completed is false when MaxSteps was reached with nodes unvisited.
+	Completed bool
+	// Covered is the number of visited nodes at the end.
+	Covered int
+	// Curve, when requested, holds the covered count after each step
+	// (starting with t=0, the initial placement).
+	Curve []int
+}
+
+// Run measures the cover time of k independent lazy random walks started at
+// uniformly random nodes.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	g := cfg.Grid
+	src := rng.New(cfg.Seed)
+	k := cfg.Walkers
+	pos := make([]grid.Point, k)
+	visited := bitset.New(g.N())
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(g.Side())), Y: int32(src.Intn(g.Side()))}
+		visited.Add(int(g.ID(pos[i])))
+	}
+	res := Result{}
+	if cfg.RecordCurve {
+		res.Curve = append(res.Curve, visited.Len())
+	}
+	stepCap := cfg.maxSteps()
+	t := 0
+	for visited.Len() < g.N() && t < stepCap {
+		for i := range pos {
+			pos[i] = walk.Step(g, pos[i], src)
+			visited.Add(int(g.ID(pos[i])))
+		}
+		t++
+		if cfg.RecordCurve {
+			res.Curve = append(res.Curve, visited.Len())
+		}
+	}
+	res.Steps = t
+	res.Covered = visited.Len()
+	res.Completed = visited.Len() == g.N()
+	return res, nil
+}
+
+// FractionTime returns the first step at which the walks have covered at
+// least the given fraction of nodes, extracted from a recorded curve; it
+// returns -1 when the curve never reaches the fraction.
+func FractionTime(curve []int, n int, fraction float64) int {
+	if n <= 0 || fraction <= 0 {
+		return 0
+	}
+	target := int(fraction * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	for t, c := range curve {
+		if c >= target {
+			return t
+		}
+	}
+	return -1
+}

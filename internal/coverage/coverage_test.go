@@ -1,0 +1,162 @@
+package coverage
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+)
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(8)
+	bad := []Config{
+		{Walkers: 2},
+		{Grid: g, Walkers: 0},
+		{Grid: g, Walkers: -1},
+		{Grid: g, Walkers: 2, MaxSteps: -5},
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCoverSmallGrid(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Config{Grid: grid.MustNew(6), Walkers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("coverage incomplete: %+v", res)
+	}
+	if res.Covered != 36 {
+		t.Errorf("covered %d nodes, want 36", res.Covered)
+	}
+}
+
+func TestSingleWalkerCovers(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Config{Grid: grid.MustNew(4), Walkers: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("single walker did not cover 4x4 grid: %+v", res)
+	}
+}
+
+func TestCurveMonotoneAndBounded(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(8)
+	res, err := Run(Config{Grid: g, Walkers: 3, Seed: 3, RecordCurve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no curve recorded")
+	}
+	if res.Curve[0] < 1 || res.Curve[0] > 3 {
+		t.Errorf("initial coverage %d outside [1,3]", res.Curve[0])
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i] < res.Curve[i-1] {
+			t.Fatalf("coverage decreased at step %d", i)
+		}
+		// k walkers can add at most k new nodes per step.
+		if res.Curve[i]-res.Curve[i-1] > 3 {
+			t.Fatalf("coverage jumped by %d (> k) at step %d", res.Curve[i]-res.Curve[i-1], i)
+		}
+		if res.Curve[i] > g.N() {
+			t.Fatalf("coverage exceeds n at step %d", i)
+		}
+	}
+	if last := res.Curve[len(res.Curve)-1]; last != g.N() {
+		t.Errorf("final curve value %d, want %d", last, g.N())
+	}
+}
+
+func TestMoreWalkersNotSlowerOnAverage(t *testing.T) {
+	t.Parallel()
+	mean := func(k int) float64 {
+		total := 0
+		const reps = 10
+		for seed := uint64(0); seed < reps; seed++ {
+			res, err := Run(Config{Grid: grid.MustNew(16), Walkers: k, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("incomplete coverage")
+			}
+			total += res.Steps
+		}
+		return float64(total) / reps
+	}
+	m2, m16 := mean(2), mean(16)
+	if m16 >= m2 {
+		t.Errorf("cover time did not drop with 8x walkers: k=2 %.1f, k=16 %.1f", m2, m16)
+	}
+}
+
+func TestMaxStepsCap(t *testing.T) {
+	t.Parallel()
+	res, err := Run(Config{Grid: grid.MustNew(64), Walkers: 1, Seed: 5, MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("64x64 grid cannot be covered in 10 steps")
+	}
+	if res.Steps != 10 {
+		t.Errorf("Steps = %d, want 10", res.Steps)
+	}
+	if res.Covered < 1 || res.Covered > 11 {
+		t.Errorf("covered %d nodes in 10 steps by 1 walker", res.Covered)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	t.Parallel()
+	c := Config{Grid: grid.MustNew(10), Walkers: 4, Seed: 7}
+	r1, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Steps != r2.Steps || r1.Covered != r2.Covered {
+		t.Fatalf("not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestFractionTime(t *testing.T) {
+	t.Parallel()
+	curve := []int{10, 20, 40, 80, 100}
+	if got := FractionTime(curve, 100, 0.5); got != 3 {
+		t.Errorf("FractionTime(0.5) = %d, want 3", got)
+	}
+	if got := FractionTime(curve, 100, 1.0); got != 4 {
+		t.Errorf("FractionTime(1.0) = %d, want 4", got)
+	}
+	if got := FractionTime(curve, 100, 0.05); got != 0 {
+		t.Errorf("FractionTime(0.05) = %d, want 0", got)
+	}
+	if got := FractionTime([]int{1, 2}, 100, 0.9); got != -1 {
+		t.Errorf("unreachable fraction = %d, want -1", got)
+	}
+	if got := FractionTime(curve, 0, 0.5); got != 0 {
+		t.Errorf("n=0 = %d, want 0", got)
+	}
+}
+
+func BenchmarkCoverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Grid: grid.MustNew(16), Walkers: 8, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

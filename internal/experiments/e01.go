@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilenet/internal/core"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/plot"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+)
+
+// expE01 validates the k-dependence of Theorems 1 and 2: at fixed n and
+// r = 0, the broadcast time decays as k^(-1/2) up to polylog factors.
+func expE01() Experiment {
+	e := Experiment{
+		ID:    "E1",
+		Title: "Broadcast time vs k (r=0)",
+		Claim: "T_B = Θ̃(n/√k): at fixed n the log-log slope of T_B vs k is ≈ -0.5 (Theorems 1-2)",
+	}
+	e.Run = func(p Params) (*Result, error) {
+		res := e.newResult()
+		side := p.scaledSide(128)
+		g, err := grid.New(side)
+		if err != nil {
+			return nil, err
+		}
+		n := g.N()
+		reps := p.reps(12)
+		ks := []int{8, 16, 32, 64, 128, 256, 512}
+
+		table := tableio.NewTable(
+			fmt.Sprintf("Median T_B, n=%d, r=0, %d reps", n, reps),
+			"k", "median T_B", "mean", "stddev", "n/sqrt(k)", "T_B/(n/sqrt(k))")
+		var pts []pointSummary
+		envelope := plot.Series{Name: "n/sqrt(k)"}
+		for pi, k := range ks {
+			if 2*k > n {
+				continue // stay in the paper's sparse regime n >= 2k
+			}
+			k := k
+			pt, err := sweepPoint(p.Seed, pi, reps, float64(k), func(seed uint64) (float64, error) {
+				r, err := core.RunBroadcast(core.Config{
+					Grid: g, K: k, Radius: 0, Seed: seed, Source: 0,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !r.Completed {
+					return 0, fmt.Errorf("E1: broadcast k=%d seed=%d hit step cap", k, seed)
+				}
+				return float64(r.Steps), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			scale := theory.BroadcastScale(n, k)
+			table.AddRow(k, pt.Sum.Median, pt.Sum.Mean, pt.Sum.StdDev, scale, pt.Sum.Median/scale)
+			pts = append(pts, pt)
+			envelope.X = append(envelope.X, float64(k))
+			envelope.Y = append(envelope.Y, scale)
+			p.logf("E1: k=%d median T_B=%.0f (%d reps)", k, pt.Sum.Median, reps)
+		}
+		res.Tables = append(res.Tables, table)
+
+		fit, err := fitMedians(pts)
+		if err != nil {
+			return nil, err
+		}
+		res.AddFinding("power-law fit of median T_B vs k: %s", fit)
+		res.AddFinding("paper predicts exponent -0.5 (±polylog drift); Wang et al. [28] would predict ≈ -1")
+		res.Verdict = exponentVerdict(fit.Alpha, -0.5, 0.2, 0.35)
+
+		res.Figures = append(res.Figures, plot.Figure{
+			Title:  fmt.Sprintf("E1: T_B vs k (n=%d, r=0)", n),
+			XLabel: "k", YLabel: "T_B", LogX: true, LogY: true,
+			Series: []plot.Series{medianSeries("median T_B", pts), envelope},
+		})
+		return res, nil
+	}
+	return e
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilenet/internal/core"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/plot"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+)
+
+// expE02 validates the n-dependence of Theorems 1 and 2: at fixed k and
+// r = 0 the broadcast time grows linearly in n (slope ≈ 1 in log-log).
+func expE02() Experiment {
+	e := Experiment{
+		ID:    "E2",
+		Title: "Broadcast time vs n (r=0)",
+		Claim: "T_B = Θ̃(n/√k): at fixed k the log-log slope of T_B vs n is ≈ 1 (Theorems 1-2)",
+	}
+	e.Run = func(p Params) (*Result, error) {
+		res := e.newResult()
+		const k = 64
+		reps := p.reps(10)
+		baseSides := []int{32, 48, 64, 96, 128, 192}
+		table := tableio.NewTable(
+			fmt.Sprintf("Median T_B, k=%d, r=0, %d reps", k, reps),
+			"side", "n", "median T_B", "mean", "n/sqrt(k)", "T_B/(n/sqrt(k))")
+		var pts []pointSummary
+		envelope := plot.Series{Name: "n/sqrt(k)"}
+		for pi, baseSide := range baseSides {
+			side := p.scaledSide(baseSide)
+			g, err := grid.New(side)
+			if err != nil {
+				return nil, err
+			}
+			n := g.N()
+			if n < 2*k {
+				continue
+			}
+			pt, err := sweepPoint(p.Seed, pi, reps, float64(n), func(seed uint64) (float64, error) {
+				r, err := core.RunBroadcast(core.Config{
+					Grid: g, K: k, Radius: 0, Seed: seed, Source: 0,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !r.Completed {
+					return 0, fmt.Errorf("E2: broadcast n=%d seed=%d hit step cap", n, seed)
+				}
+				return float64(r.Steps), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			scale := theory.BroadcastScale(n, k)
+			table.AddRow(side, n, pt.Sum.Median, pt.Sum.Mean, scale, pt.Sum.Median/scale)
+			pts = append(pts, pt)
+			envelope.X = append(envelope.X, float64(n))
+			envelope.Y = append(envelope.Y, scale)
+			p.logf("E2: n=%d median T_B=%.0f", n, pt.Sum.Median)
+		}
+		if len(pts) < 2 {
+			return nil, fmt.Errorf("E2: not enough sweep points at scale %.2f", p.scale())
+		}
+		res.Tables = append(res.Tables, table)
+
+		fit, err := fitMedians(pts)
+		if err != nil {
+			return nil, err
+		}
+		res.AddFinding("power-law fit of median T_B vs n: %s", fit)
+		res.AddFinding("paper predicts exponent 1.0 (±polylog drift)")
+		res.Verdict = exponentVerdict(fit.Alpha, 1.0, 0.2, 0.35)
+
+		res.Figures = append(res.Figures, plot.Figure{
+			Title:  fmt.Sprintf("E2: T_B vs n (k=%d, r=0)", k),
+			XLabel: "n", YLabel: "T_B", LogX: true, LogY: true,
+			Series: []plot.Series{medianSeries("median T_B", pts), envelope},
+		})
+		return res, nil
+	}
+	return e
+}

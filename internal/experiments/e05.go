@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/percolation"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+	"mobilenet/internal/visibility"
+)
+
+// expE05 validates Lemma 6's island bound. The paper's island parameter
+// gamma = sqrt(n/(4 e^6 k)) is below one grid unit at laptop scale (the e^6
+// makes it asymptotic), so in addition to the literal gamma (which floors
+// to radius 0) the experiment probes the same structural claim at the
+// larger radii r_c/4 and r_c/2: any component at a radius a constant
+// fraction below r_c must stay logarithmic in size throughout the run.
+// This substitution is recorded in DESIGN.md §2.
+func expE05() Experiment {
+	e := Experiment{
+		ID:    "E5",
+		Title: "Island sizes over time (Lemma 6)",
+		Claim: "No island of parameter gamma (and, structurally, of any radius ≤ r_c/2) exceeds O(log n) agents during the run, w.h.p.",
+	}
+	e.Run = func(p Params) (*Result, error) {
+		res := e.newResult()
+		side := p.scaledSide(128)
+		g, err := grid.New(side)
+		if err != nil {
+			return nil, err
+		}
+		n := g.N()
+		steps := p.scaledCount(40000, 2000)
+		logN := math.Log(float64(n))
+
+		table := tableio.NewTable(
+			fmt.Sprintf("Max island size over %d steps, n=%d", steps, n),
+			"k", "radius", "radius meaning", "max island", "log n", "max/log n")
+
+		verdict := VerdictPass
+		ks := []int{64, 256}
+		pi := 0
+		for _, k := range ks {
+			if 2*k > n {
+				continue
+			}
+			gamma := theory.IslandGamma(n, k)
+			rc := theory.PercolationRadius(n, k)
+			probes := []struct {
+				radius int
+				label  string
+			}{
+				{visibility.FloorRadius(gamma), fmt.Sprintf("gamma=%.2f (paper)", gamma)},
+				{int(rc / 4), "r_c/4"},
+				{int(rc / 2), "r_c/2"},
+			}
+			for _, probe := range probes {
+				maxIsland, err := percolation.MaxIslandOverTime(g, k, probe.radius, steps, repSeed(p.Seed, pi, 0))
+				if err != nil {
+					return nil, err
+				}
+				ratio := float64(maxIsland) / logN
+				table.AddRow(k, probe.radius, probe.label, maxIsland, logN, ratio)
+				p.logf("E5: k=%d r=%d max island=%d (%.2f log n)", k, probe.radius, maxIsland, ratio)
+				// Generous finite-size ceiling: 3 log n. Exceeding it at
+				// radii ≤ r_c/2 contradicts the logarithmic-islands regime.
+				if ratio > 3 {
+					verdict = worstVerdict(verdict, VerdictWarn)
+				}
+				if ratio > 6 {
+					verdict = worstVerdict(verdict, VerdictFail)
+				}
+				pi++
+			}
+		}
+		res.Tables = append(res.Tables, table)
+		res.Verdict = verdict
+		res.AddFinding("gamma < 1 grid unit at this scale (the paper's 4e^6 constant is asymptotic); structural probes at r_c/4 and r_c/2 stand in — see DESIGN.md")
+		return res, nil
+	}
+	return e
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mobilenet/internal/meeting"
+	"mobilenet/internal/plot"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+)
+
+// expE07 validates Lemma 1: a walk visits a node at distance d within d^2
+// steps with probability at least c1/max(1, log d).
+func expE07() Experiment {
+	e := Experiment{
+		ID:    "E7",
+		Title: "Hitting probability (Lemma 1)",
+		Claim: "P[hit node at distance d within d²] ≥ c1/max(1, log d): p(d)·log d bounded below",
+	}
+	e.Run = func(p Params) (*Result, error) {
+		res := e.newResult()
+		trials := p.scaledCount(3000, 300)
+		ds := []int{2, 4, 8, 16, 32, 64}
+
+		table := tableio.NewTable(
+			fmt.Sprintf("Hitting probability, %d trials per distance", trials),
+			"d", "T=d^2", "p(d)", "p(d)*max(1,ln d)", "bound c1/max(1,ln d)")
+		product := plot.Series{Name: "p(d)·max(1,ln d)"}
+		minProduct := math.Inf(1)
+		for pi, d := range ds {
+			prob, err := meeting.HittingProbability(meeting.Trial{
+				Distance: d,
+				Trials:   trials,
+				Seed:     repSeed(p.Seed, 100+pi, 0),
+			})
+			if err != nil {
+				return nil, err
+			}
+			logD := math.Max(1, math.Log(float64(d)))
+			prod := prob * logD
+			bound := theory.HittingLowerBound(d, theory.DefaultC1)
+			table.AddRow(d, d*d, prob, prod, bound)
+			product.X = append(product.X, float64(d))
+			product.Y = append(product.Y, prod)
+			if prod < minProduct {
+				minProduct = prod
+			}
+			p.logf("E7: d=%d p=%.4f p*logd=%.4f", d, prob, prod)
+		}
+		res.Tables = append(res.Tables, table)
+
+		res.AddFinding("min over d of p(d)·max(1, ln d) = %.4f (calibrated c1 = %.2f)", minProduct, theory.DefaultC1)
+		switch {
+		case minProduct >= theory.DefaultC1:
+			res.Verdict = VerdictPass
+		case minProduct >= theory.DefaultC1/2:
+			res.Verdict = VerdictWarn
+		default:
+			res.Verdict = VerdictFail
+		}
+
+		res.Figures = append(res.Figures, plot.Figure{
+			Title:  "E7: hitting probability scaled by log d",
+			XLabel: "distance d", YLabel: "p(d)·max(1,ln d)", LogX: true,
+			Series: []plot.Series{product},
+		})
+		return res, nil
+	}
+	return e
+}

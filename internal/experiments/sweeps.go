@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobilenet/internal/plot"
+	"mobilenet/internal/stats"
+)
+
+// pointSummary couples one sweep coordinate with its replicate statistics.
+type pointSummary struct {
+	X      float64
+	Values []float64
+	Sum    stats.Summary
+}
+
+// sweepPoint runs one sweep coordinate: reps replicates of fn with
+// deterministic seeds, summarised.
+func sweepPoint(master uint64, idx, reps int, x float64, fn func(seed uint64) (float64, error)) (pointSummary, error) {
+	vals, err := runReps(master, idx, reps, fn)
+	if err != nil {
+		return pointSummary{}, err
+	}
+	s, err := stats.Summarize(vals)
+	if err != nil {
+		return pointSummary{}, err
+	}
+	return pointSummary{X: x, Values: vals, Sum: s}, nil
+}
+
+// summarizePoint wraps precomputed replicate values as a pointSummary. It
+// panics on empty input; callers always supply at least one replicate.
+func summarizePoint(x float64, vals []float64) pointSummary {
+	s, err := stats.Summarize(vals)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: summarizePoint on empty sample: %v", err))
+	}
+	return pointSummary{X: x, Values: vals, Sum: s}
+}
+
+// fitMedians fits a power law through the (X, median) pairs of a sweep.
+func fitMedians(pts []pointSummary) (stats.PowerFit, error) {
+	if len(pts) < 2 {
+		return stats.PowerFit{}, fmt.Errorf("experiments: need >= 2 sweep points, have %d", len(pts))
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Sum.Median
+	}
+	return stats.FitPowerLaw(xs, ys)
+}
+
+// medianSeries converts sweep points to a plot series of medians.
+func medianSeries(name string, pts []pointSummary) plot.Series {
+	s := plot.Series{Name: name}
+	for _, p := range pts {
+		s.X = append(s.X, p.X)
+		s.Y = append(s.Y, p.Sum.Median)
+	}
+	return s
+}
+
+// exponentVerdict classifies a fitted exponent against a target with a pass
+// band and a fail band (outside the warn band).
+func exponentVerdict(alpha, target, passTol, failTol float64) Verdict {
+	d := alpha - target
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case d <= passTol:
+		return VerdictPass
+	case d <= failTol:
+		return VerdictWarn
+	default:
+		return VerdictFail
+	}
+}
+
+// worstVerdict returns the most severe of two verdicts.
+func worstVerdict(a, b Verdict) Verdict {
+	if b > a {
+		return b
+	}
+	return a
+}

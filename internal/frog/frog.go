@@ -1,0 +1,182 @@
+// Package frog implements the Frog model variant discussed in the paper's
+// related work and Section 4: initially a single agent (the source) is
+// active and informed while all other agents sleep at their initial
+// positions; whenever an active agent comes within the transmission radius
+// of a sleeping agent, the sleeper wakes, learns the rumor and starts its
+// own random walk. The paper shows the same Θ̃(n/√k) broadcast-time bounds
+// hold in this model (Section 4), which Experiment E10 validates.
+package frog
+
+import (
+	"fmt"
+
+	"mobilenet/internal/agent"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/theory"
+	"mobilenet/internal/visibility"
+)
+
+// Config parameterises a Frog-model run.
+type Config struct {
+	// Grid is the arena. Required.
+	Grid *grid.Grid
+	// K is the total number of agents (one initially active). Required.
+	K int
+	// Radius is the wake-up radius; 0 means physical co-location, the
+	// classical Frog model.
+	Radius int
+	// Seed drives placement and motion.
+	Seed uint64
+	// Source is the initially active agent, or core-style -1 for random.
+	Source int
+	// MaxSteps caps the run; 0 selects the same generous default used by
+	// the dynamic model.
+	MaxSteps int
+}
+
+func (c *Config) validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("frog: config requires a grid")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("frog: K must be positive, got %d", c.K)
+	}
+	if c.Source != -1 && (c.Source < 0 || c.Source >= c.K) {
+		return fmt.Errorf("frog: source %d out of range [0,%d)", c.Source, c.K)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("frog: negative MaxSteps %d", c.MaxSteps)
+	}
+	return nil
+}
+
+func (c *Config) maxSteps() int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	n := c.Grid.N()
+	scale := theory.BroadcastScale(n, c.K)
+	v := int(64 * scale * 16)
+	if v < 4096 {
+		v = 4096
+	}
+	return v
+}
+
+// System is a running Frog-model simulation.
+type System struct {
+	cfg    Config
+	pop    *agent.Population
+	lab    *visibility.Labeller
+	active []bool
+	nAct   int
+
+	compScratch []bool // per-component active flags, reused across steps
+}
+
+// New places the population and wakes the source's component: sleepers
+// within the wake-up radius chain at time 0 exactly as in the dynamic model.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	pop, err := agent.New(cfg.Grid, cfg.K, src)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		pop:    pop,
+		lab:    visibility.NewLabeller(cfg.K),
+		active: make([]bool, cfg.K),
+	}
+	source := cfg.Source
+	if source == -1 {
+		source = src.Intn(cfg.K)
+	}
+	s.active[source] = true
+	s.nAct = 1
+	s.wake()
+	return s, nil
+}
+
+// wake activates every sleeping agent in the same visibility component as
+// an active agent. Chained wake-ups (sleeper A wakes sleeper B through
+// proximity) are intentional: the rumor floods the whole component, per the
+// paper's radio-faster-than-motion assumption.
+func (s *System) wake() {
+	if s.nAct == s.pop.K() {
+		return
+	}
+	labels, count := s.lab.Components(s.pop.Positions(), s.cfg.Radius)
+	if cap(s.compScratch) < count {
+		s.compScratch = make([]bool, count)
+	}
+	compActive := s.compScratch[:count]
+	for i := range compActive {
+		compActive[i] = false
+	}
+	for i, a := range s.active {
+		if a {
+			compActive[labels[i]] = true
+		}
+	}
+	for i := range s.active {
+		if !s.active[i] && compActive[labels[i]] {
+			s.active[i] = true
+			s.nAct++
+		}
+	}
+}
+
+// Step advances one time unit: active agents walk, sleepers stay, then
+// wake-ups propagate.
+func (s *System) Step() {
+	for i, a := range s.active {
+		if a {
+			s.pop.StepAgent(i)
+		}
+	}
+	s.pop.Tick()
+	s.wake()
+}
+
+// Done reports whether every agent is active (equivalently, informed).
+func (s *System) Done() bool { return s.nAct == s.pop.K() }
+
+// Time returns the simulation time.
+func (s *System) Time() int { return s.pop.Time() }
+
+// ActiveCount returns the number of active agents.
+func (s *System) ActiveCount() int { return s.nAct }
+
+// Active reports whether agent i is active.
+func (s *System) Active(i int) bool { return s.active[i] }
+
+// Result summarises a Frog-model run.
+type Result struct {
+	// Steps is the Frog-model broadcast time. Valid only when Completed.
+	Steps int
+	// Completed is false when MaxSteps was reached first.
+	Completed bool
+}
+
+// Run advances until all agents are active or the cap is reached.
+func (s *System) Run() Result {
+	stepCap := s.cfg.maxSteps()
+	for !s.Done() && s.pop.Time() < stepCap {
+		s.Step()
+	}
+	return Result{Steps: s.pop.Time(), Completed: s.Done()}
+}
+
+// RunFrog is the one-shot convenience wrapper.
+func RunFrog(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

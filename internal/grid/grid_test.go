@@ -1,0 +1,277 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	for _, side := range []int{0, -1, 46341} {
+		if _, err := New(side); err == nil {
+			t.Errorf("New(%d) should fail", side)
+		}
+	}
+	g, err := New(8)
+	if err != nil {
+		t.Fatalf("New(8): %v", err)
+	}
+	if g.Side() != 8 || g.N() != 64 {
+		t.Errorf("got side=%d n=%d, want 8/64", g.Side(), g.N())
+	}
+}
+
+func TestFromNodes(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n    int
+		side int
+	}{
+		{1, 1}, {2, 2}, {4, 2}, {5, 3}, {9, 3}, {100, 10}, {101, 11}, {16384, 128},
+	}
+	for _, tc := range cases {
+		g, err := FromNodes(tc.n)
+		if err != nil {
+			t.Fatalf("FromNodes(%d): %v", tc.n, err)
+		}
+		if g.Side() != tc.side {
+			t.Errorf("FromNodes(%d).Side() = %d, want %d", tc.n, g.Side(), tc.side)
+		}
+		if g.N() < tc.n {
+			t.Errorf("FromNodes(%d).N() = %d < requested", tc.n, g.N())
+		}
+	}
+	if _, err := FromNodes(0); err == nil {
+		t.Error("FromNodes(0) should fail")
+	}
+}
+
+func TestIDPointRoundTrip(t *testing.T) {
+	t.Parallel()
+	g := MustNew(13)
+	for y := int32(0); y < 13; y++ {
+		for x := int32(0); x < 13; x++ {
+			p := Point{x, y}
+			if got := g.Point(g.ID(p)); got != p {
+				t.Fatalf("round trip %v -> %v", p, got)
+			}
+		}
+	}
+	// IDs must be a bijection onto [0, N).
+	seen := make(map[NodeID]bool, g.N())
+	for y := int32(0); y < 13; y++ {
+		for x := int32(0); x < 13; x++ {
+			id := g.ID(Point{x, y})
+			if id < 0 || int(id) >= g.N() || seen[id] {
+				t.Fatalf("ID(%d,%d) = %d invalid or duplicate", x, y, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestManhattanMetricAxioms(t *testing.T) {
+	t.Parallel()
+	g := MustNew(32)
+	// Property-based check of metric axioms on random triples.
+	f := func(ax, ay, bx, by, cx, cy uint8) bool {
+		a := Point{int32(ax) % 32, int32(ay) % 32}
+		b := Point{int32(bx) % 32, int32(by) % 32}
+		c := Point{int32(cx) % 32, int32(cy) % 32}
+		dab := ManhattanPoints(a, b)
+		dba := ManhattanPoints(b, a)
+		dac := ManhattanPoints(a, c)
+		dcb := ManhattanPoints(c, b)
+		if dab != dba { // symmetry
+			return false
+		}
+		if (dab == 0) != (a == b) { // identity of indiscernibles
+			return false
+		}
+		if dab > dac+dcb { // triangle inequality
+			return false
+		}
+		return g.Manhattan(g.ID(a), g.ID(b)) == dab // ID form agrees
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	t.Parallel()
+	g := MustNew(5)
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Point{0, 0}, 2}, {Point{4, 4}, 2}, {Point{0, 4}, 2}, {Point{4, 0}, 2},
+		{Point{2, 0}, 3}, {Point{0, 2}, 3}, {Point{4, 2}, 3}, {Point{2, 4}, 3},
+		{Point{2, 2}, 4}, {Point{1, 1}, 4},
+	}
+	for _, tc := range cases {
+		if got := g.Degree(tc.p); got != tc.want {
+			t.Errorf("Degree(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestDegreeDegenerate(t *testing.T) {
+	t.Parallel()
+	g1 := MustNew(1)
+	if got := g1.Degree(Point{0, 0}); got != 0 {
+		t.Errorf("1x1 grid degree = %d, want 0", got)
+	}
+	g2 := MustNew(2)
+	if got := g2.Degree(Point{0, 0}); got != 2 {
+		t.Errorf("2x2 grid corner degree = %d, want 2", got)
+	}
+}
+
+func TestNeighborsMatchDegree(t *testing.T) {
+	t.Parallel()
+	g := MustNew(7)
+	var buf []Point
+	for y := int32(0); y < 7; y++ {
+		for x := int32(0); x < 7; x++ {
+			p := Point{x, y}
+			buf = g.Neighbors(p, buf[:0])
+			if len(buf) != g.Degree(p) {
+				t.Fatalf("Neighbors(%v) count %d != Degree %d", p, len(buf), g.Degree(p))
+			}
+			for _, q := range buf {
+				if !g.Contains(q) {
+					t.Fatalf("neighbor %v of %v off-grid", q, p)
+				}
+				if ManhattanPoints(p, q) != 1 {
+					t.Fatalf("neighbor %v of %v not at distance 1", q, p)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	t.Parallel()
+	g := MustNew(6)
+	adj := func(p, q Point) bool {
+		var buf []Point
+		for _, v := range g.Neighbors(p, buf) {
+			if v == q {
+				return true
+			}
+		}
+		return false
+	}
+	for y := int32(0); y < 6; y++ {
+		for x := int32(0); x < 6; x++ {
+			p := Point{x, y}
+			var buf []Point
+			for _, q := range g.Neighbors(p, buf) {
+				if !adj(q, p) {
+					t.Fatalf("adjacency not symmetric: %v->%v", p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	t.Parallel()
+	g := MustNew(4)
+	cases := []struct{ in, want Point }{
+		{Point{-1, 2}, Point{0, 2}},
+		{Point{5, 2}, Point{3, 2}},
+		{Point{2, -7}, Point{2, 0}},
+		{Point{2, 9}, Point{2, 3}},
+		{Point{1, 1}, Point{1, 1}},
+		{Point{-3, 12}, Point{0, 3}},
+	}
+	for _, tc := range cases {
+		if got := g.Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	t.Parallel()
+	g := MustNew(10)
+	if got := g.Diameter(); got != 18 {
+		t.Errorf("Diameter = %d, want 18", got)
+	}
+	// The diameter is realised by opposite corners.
+	d := ManhattanPoints(Point{0, 0}, Point{9, 9})
+	if d != g.Diameter() {
+		t.Errorf("corner distance %d != diameter %d", d, g.Diameter())
+	}
+}
+
+func TestDiscSizeInterior(t *testing.T) {
+	t.Parallel()
+	g := MustNew(101)
+	c := g.Center()
+	for r := 0; r <= 10; r++ {
+		want := 2*r*r + 2*r + 1 // closed-form L1 ball size
+		if got := g.DiscSize(c, r); got != want {
+			t.Errorf("DiscSize(center, %d) = %d, want %d", r, got, want)
+		}
+	}
+	if got := g.DiscSize(c, -1); got != 0 {
+		t.Errorf("DiscSize(r=-1) = %d, want 0", got)
+	}
+}
+
+func TestDiscSizeCornerTruncation(t *testing.T) {
+	t.Parallel()
+	g := MustNew(100)
+	corner := Point{0, 0}
+	// At the corner only one quadrant survives: sum_{d=0}^{r} (d+1).
+	for r := 0; r <= 5; r++ {
+		want := (r + 1) * (r + 2) / 2
+		if got := g.DiscSize(corner, r); got != want {
+			t.Errorf("DiscSize(corner, %d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestDiscSizeBruteForce(t *testing.T) {
+	t.Parallel()
+	g := MustNew(9)
+	for y := int32(0); y < 9; y += 2 {
+		for x := int32(0); x < 9; x += 2 {
+			p := Point{x, y}
+			for r := 0; r <= 6; r += 2 {
+				want := 0
+				for yy := int32(0); yy < 9; yy++ {
+					for xx := int32(0); xx < 9; xx++ {
+						if ManhattanPoints(p, Point{xx, yy}) <= r {
+							want++
+						}
+					}
+				}
+				if got := g.DiscSize(p, r); got != want {
+					t.Errorf("DiscSize(%v, %d) = %d, want %d", p, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCenterContained(t *testing.T) {
+	t.Parallel()
+	for _, side := range []int{1, 2, 3, 8, 9} {
+		g := MustNew(side)
+		if !g.Contains(g.Center()) {
+			t.Errorf("side %d: center %v off-grid", side, g.Center())
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	t.Parallel()
+	g := MustNew(4)
+	if got := g.String(); got != "Grid(4x4, n=16)" {
+		t.Errorf("String() = %q", got)
+	}
+}

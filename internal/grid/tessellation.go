@@ -1,0 +1,120 @@
+package grid
+
+import "fmt"
+
+// Tessellation partitions a grid into square cells of a fixed side length.
+// The paper's Theorem 1 proof tessellates G_n into cells of side
+// l = sqrt(14 n log^3 n / (c3 k)); the simulator uses the same structure to
+// track which cells the rumor has reached and when.
+//
+// Cells are indexed row-major by CellID in [0, Cells()). Cells in the last
+// row/column may be narrower when CellSide does not divide Side.
+type Tessellation struct {
+	g        *Grid
+	cellSide int32
+	perRow   int32 // number of cells per row (= per column)
+}
+
+// CellID identifies one cell of a tessellation.
+type CellID int32
+
+// NewTessellation tiles g into cells of side cellSide. cellSide is clamped
+// to [1, Side] so a requested cell larger than the grid collapses to a
+// single cell.
+func NewTessellation(g *Grid, cellSide int) *Tessellation {
+	if cellSide < 1 {
+		cellSide = 1
+	}
+	if cellSide > g.Side() {
+		cellSide = g.Side()
+	}
+	cs := int32(cellSide)
+	perRow := (g.side + cs - 1) / cs
+	return &Tessellation{g: g, cellSide: cs, perRow: perRow}
+}
+
+// Grid returns the underlying grid.
+func (t *Tessellation) Grid() *Grid { return t.g }
+
+// CellSide returns the side length of (non-truncated) cells.
+func (t *Tessellation) CellSide() int { return int(t.cellSide) }
+
+// PerRow returns the number of cells in each row of the tessellation.
+func (t *Tessellation) PerRow() int { return int(t.perRow) }
+
+// Cells returns the total number of cells.
+func (t *Tessellation) Cells() int { return int(t.perRow * t.perRow) }
+
+// CellOf returns the cell containing point p.
+func (t *Tessellation) CellOf(p Point) CellID {
+	cx := p.X / t.cellSide
+	cy := p.Y / t.cellSide
+	return CellID(cy*t.perRow + cx)
+}
+
+// CellOrigin returns the minimal (top-left) point of cell c.
+func (t *Tessellation) CellOrigin(c CellID) Point {
+	cx := int32(c) % t.perRow
+	cy := int32(c) / t.perRow
+	return Point{cx * t.cellSide, cy * t.cellSide}
+}
+
+// CellCenter returns the node closest to the centre of cell c, clamped to
+// the grid (relevant for truncated boundary cells).
+func (t *Tessellation) CellCenter(c CellID) Point {
+	o := t.CellOrigin(c)
+	return t.g.Clamp(Point{o.X + t.cellSide/2, o.Y + t.cellSide/2})
+}
+
+// AdjacentCells appends the (up to 4) side-adjacent cells of c to buf and
+// returns the extended slice.
+func (t *Tessellation) AdjacentCells(c CellID, buf []CellID) []CellID {
+	cx := int32(c) % t.perRow
+	cy := int32(c) / t.perRow
+	if cx > 0 {
+		buf = append(buf, c-1)
+	}
+	if cx < t.perRow-1 {
+		buf = append(buf, c+1)
+	}
+	if cy > 0 {
+		buf = append(buf, c-CellID(t.perRow))
+	}
+	if cy < t.perRow-1 {
+		buf = append(buf, c+CellID(t.perRow))
+	}
+	return buf
+}
+
+// DistanceToCell returns the Manhattan distance from point p to the nearest
+// node of cell c (0 when p lies inside c).
+func (t *Tessellation) DistanceToCell(p Point, c CellID) int {
+	o := t.CellOrigin(c)
+	maxX := o.X + t.cellSide - 1
+	if maxX >= t.g.side {
+		maxX = t.g.side - 1
+	}
+	maxY := o.Y + t.cellSide - 1
+	if maxY >= t.g.side {
+		maxY = t.g.side - 1
+	}
+	d := 0
+	switch {
+	case p.X < o.X:
+		d += int(o.X - p.X)
+	case p.X > maxX:
+		d += int(p.X - maxX)
+	}
+	switch {
+	case p.Y < o.Y:
+		d += int(o.Y - p.Y)
+	case p.Y > maxY:
+		d += int(p.Y - maxY)
+	}
+	return d
+}
+
+// String implements fmt.Stringer.
+func (t *Tessellation) String() string {
+	return fmt.Sprintf("Tessellation(cell=%d, %dx%d cells)", t.cellSide, t.perRow, t.perRow)
+}

@@ -1,0 +1,185 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTessellationBasics(t *testing.T) {
+	t.Parallel()
+	g := MustNew(16)
+	tess := NewTessellation(g, 4)
+	if tess.CellSide() != 4 || tess.PerRow() != 4 || tess.Cells() != 16 {
+		t.Fatalf("got cellSide=%d perRow=%d cells=%d", tess.CellSide(), tess.PerRow(), tess.Cells())
+	}
+}
+
+func TestTessellationClamping(t *testing.T) {
+	t.Parallel()
+	g := MustNew(8)
+	if got := NewTessellation(g, 0).CellSide(); got != 1 {
+		t.Errorf("cellSide 0 clamps to %d, want 1", got)
+	}
+	if got := NewTessellation(g, -3).CellSide(); got != 1 {
+		t.Errorf("negative cellSide clamps to %d, want 1", got)
+	}
+	tess := NewTessellation(g, 100)
+	if tess.CellSide() != 8 || tess.Cells() != 1 {
+		t.Errorf("oversized cell: side=%d cells=%d, want 8/1", tess.CellSide(), tess.Cells())
+	}
+}
+
+func TestTessellationTruncatedCells(t *testing.T) {
+	t.Parallel()
+	g := MustNew(10)
+	tess := NewTessellation(g, 4) // 10 = 4+4+2, so 3 cells per row
+	if tess.PerRow() != 3 || tess.Cells() != 9 {
+		t.Fatalf("perRow=%d cells=%d, want 3/9", tess.PerRow(), tess.Cells())
+	}
+	// Point in the truncated corner cell.
+	if got := tess.CellOf(Point{9, 9}); got != 8 {
+		t.Errorf("CellOf(9,9) = %d, want 8", got)
+	}
+}
+
+func TestCellOfPartitionsGrid(t *testing.T) {
+	t.Parallel()
+	g := MustNew(12)
+	tess := NewTessellation(g, 5)
+	counts := make(map[CellID]int)
+	for y := int32(0); y < 12; y++ {
+		for x := int32(0); x < 12; x++ {
+			c := tess.CellOf(Point{x, y})
+			if int(c) < 0 || int(c) >= tess.Cells() {
+				t.Fatalf("CellOf(%d,%d) = %d out of range", x, y, c)
+			}
+			counts[c]++
+		}
+	}
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	if total != g.N() {
+		t.Fatalf("cells cover %d nodes, want %d", total, g.N())
+	}
+	if len(counts) != tess.Cells() {
+		t.Fatalf("%d distinct cells used, want %d", len(counts), tess.Cells())
+	}
+}
+
+func TestCellOriginAndCenter(t *testing.T) {
+	t.Parallel()
+	g := MustNew(16)
+	tess := NewTessellation(g, 4)
+	for c := CellID(0); int(c) < tess.Cells(); c++ {
+		o := tess.CellOrigin(c)
+		if tess.CellOf(o) != c {
+			t.Errorf("origin of cell %d maps back to %d", c, tess.CellOf(o))
+		}
+		ctr := tess.CellCenter(c)
+		if tess.CellOf(ctr) != c {
+			t.Errorf("center of cell %d maps back to %d", c, tess.CellOf(ctr))
+		}
+		if !g.Contains(ctr) {
+			t.Errorf("center %v of cell %d off-grid", ctr, c)
+		}
+	}
+}
+
+func TestAdjacentCellsCounts(t *testing.T) {
+	t.Parallel()
+	g := MustNew(12)
+	tess := NewTessellation(g, 4) // 3x3 cells
+	wantCount := map[CellID]int{
+		0: 2, 2: 2, 6: 2, 8: 2, // corners
+		1: 3, 3: 3, 5: 3, 7: 3, // edges
+		4: 4, // middle
+	}
+	var buf []CellID
+	for c, want := range wantCount {
+		buf = tess.AdjacentCells(c, buf[:0])
+		if len(buf) != want {
+			t.Errorf("cell %d: %d adjacent, want %d", c, len(buf), want)
+		}
+		for _, a := range buf {
+			if a == c {
+				t.Errorf("cell %d adjacent to itself", c)
+			}
+		}
+	}
+}
+
+func TestAdjacencySymmetricProperty(t *testing.T) {
+	t.Parallel()
+	g := MustNew(20)
+	tess := NewTessellation(g, 3)
+	adj := func(a, b CellID) bool {
+		var buf []CellID
+		for _, v := range tess.AdjacentCells(a, buf) {
+			if v == b {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(raw uint16) bool {
+		c := CellID(int(raw) % tess.Cells())
+		var buf []CellID
+		for _, b := range tess.AdjacentCells(c, buf) {
+			if !adj(b, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceToCell(t *testing.T) {
+	t.Parallel()
+	g := MustNew(12)
+	tess := NewTessellation(g, 4)
+	// Point inside its own cell.
+	if d := tess.DistanceToCell(Point{1, 1}, tess.CellOf(Point{1, 1})); d != 0 {
+		t.Errorf("distance to own cell = %d, want 0", d)
+	}
+	// Point (0,0) to middle cell (origin (4,4)): distance 4+4.
+	mid := tess.CellOf(Point{5, 5})
+	if d := tess.DistanceToCell(Point{0, 0}, mid); d != 8 {
+		t.Errorf("distance (0,0)->mid = %d, want 8", d)
+	}
+	// One axis aligned: (5,0) to mid cell: only y gap of 4.
+	if d := tess.DistanceToCell(Point{5, 0}, mid); d != 4 {
+		t.Errorf("distance (5,0)->mid = %d, want 4", d)
+	}
+}
+
+func TestDistanceToCellBruteForce(t *testing.T) {
+	t.Parallel()
+	g := MustNew(10)
+	tess := NewTessellation(g, 3)
+	for y := int32(0); y < 10; y += 3 {
+		for x := int32(0); x < 10; x += 3 {
+			p := Point{x, y}
+			for c := CellID(0); int(c) < tess.Cells(); c++ {
+				want := 1 << 30
+				for yy := int32(0); yy < 10; yy++ {
+					for xx := int32(0); xx < 10; xx++ {
+						q := Point{xx, yy}
+						if tess.CellOf(q) == c {
+							if d := ManhattanPoints(p, q); d < want {
+								want = d
+							}
+						}
+					}
+				}
+				if got := tess.DistanceToCell(p, c); got != want {
+					t.Errorf("DistanceToCell(%v, %d) = %d, want %d", p, c, got, want)
+				}
+			}
+		}
+	}
+}

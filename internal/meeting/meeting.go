@@ -1,0 +1,153 @@
+// Package meeting estimates the two probabilistic primitives at the heart
+// of the paper's upper-bound proof:
+//
+//   - Lemma 1 (hitting): a walk started at v0 visits a node v at distance d
+//     within d^2 steps with probability at least c1/max{1, log d}.
+//   - Lemma 3 (meeting): two independent walks started at distance d meet,
+//     within d^2 steps, at a node of the lens D (the set of nodes within
+//     distance d of both starting points), with probability at least
+//     c3/max{1, log d}.
+//
+// Experiments E6 and E7 sweep d and verify that the measured probability
+// times log d stays bounded below by a positive constant.
+package meeting
+
+import (
+	"fmt"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/walk"
+)
+
+// Trial describes one meeting/hitting estimation setting.
+type Trial struct {
+	// Distance is the initial separation d >= 1 between the walks (or
+	// between walker and target).
+	Distance int
+	// Trials is the number of independent Monte-Carlo repetitions.
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+	// Horizon overrides the number of steps (default d^2 per the lemmas).
+	Horizon int
+}
+
+func (t *Trial) validate() error {
+	if t.Distance < 1 {
+		return fmt.Errorf("meeting: distance must be >= 1, got %d", t.Distance)
+	}
+	if t.Trials < 1 {
+		return fmt.Errorf("meeting: trials must be >= 1, got %d", t.Trials)
+	}
+	if t.Horizon < 0 {
+		return fmt.Errorf("meeting: negative horizon %d", t.Horizon)
+	}
+	return nil
+}
+
+func (t *Trial) horizon() int {
+	if t.Horizon > 0 {
+		return t.Horizon
+	}
+	return t.Distance * t.Distance
+}
+
+// arena builds a grid large enough that boundary reflection does not
+// dominate at scale d: side 6d, with the two start nodes centred and
+// horizontally separated by d.
+func arena(d int) (*grid.Grid, grid.Point, grid.Point) {
+	side := 6 * d
+	if side < 8 {
+		side = 8
+	}
+	g := grid.MustNew(side)
+	c := g.Center()
+	a := grid.Point{X: c.X - int32(d)/2, Y: c.Y}
+	b := grid.Point{X: a.X + int32(d), Y: c.Y}
+	return g, a, b
+}
+
+// MeetingProbability estimates P(∃ t <= T: a_t = b_t ∈ D) of Lemma 3 for
+// two walks with initial separation d and T = d^2 (or the configured
+// horizon). It returns the fraction of trials in which the walks met at a
+// node of the lens D within the horizon.
+func MeetingProbability(tr Trial) (float64, error) {
+	if err := tr.validate(); err != nil {
+		return 0, err
+	}
+	d := tr.Distance
+	g, a0, b0 := arena(d)
+	horizon := tr.horizon()
+	master := rng.New(tr.Seed)
+	hits := 0
+	for i := 0; i < tr.Trials; i++ {
+		src := master.Split()
+		a, b := a0, b0
+		// Walks are synchronized: both step once per time unit. The time-0
+		// configuration has them d > 0 apart, so no meeting at t=0.
+		for t := 1; t <= horizon; t++ {
+			a = walk.Step(g, a, src)
+			b = walk.Step(g, b, src)
+			if a == b && inLens(a, a0, b0, d) {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(tr.Trials), nil
+}
+
+// inLens reports whether p lies in D: within distance d of both starts.
+func inLens(p, a0, b0 grid.Point, d int) bool {
+	return grid.ManhattanPoints(p, a0) <= d && grid.ManhattanPoints(p, b0) <= d
+}
+
+// HittingProbability estimates Lemma 1's quantity: the probability that a
+// walk started at v0 visits a fixed target node at distance d within d^2
+// steps (or the configured horizon).
+func HittingProbability(tr Trial) (float64, error) {
+	if err := tr.validate(); err != nil {
+		return 0, err
+	}
+	d := tr.Distance
+	g, v0, target := arena(d)
+	horizon := tr.horizon()
+	master := rng.New(tr.Seed)
+	hits := 0
+	for i := 0; i < tr.Trials; i++ {
+		src := master.Split()
+		p := v0
+		for t := 1; t <= horizon; t++ {
+			p = walk.Step(g, p, src)
+			if p == target {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(tr.Trials), nil
+}
+
+// MeetingTime runs two synchronized walks from separation d until they
+// share a node anywhere on the grid (not restricted to the lens) and
+// returns the meeting time, capped at maxSteps (returns maxSteps and false
+// if they never met).
+func MeetingTime(d int, seed uint64, maxSteps int) (int, bool, error) {
+	if d < 1 {
+		return 0, false, fmt.Errorf("meeting: distance must be >= 1, got %d", d)
+	}
+	if maxSteps < 1 {
+		return 0, false, fmt.Errorf("meeting: maxSteps must be >= 1, got %d", maxSteps)
+	}
+	g, a, b := arena(d)
+	src := rng.New(seed)
+	for t := 1; t <= maxSteps; t++ {
+		a = walk.Step(g, a, src)
+		b = walk.Step(g, b, src)
+		if a == b {
+			return t, true, nil
+		}
+	}
+	return maxSteps, false, nil
+}

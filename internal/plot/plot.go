@@ -1,0 +1,244 @@
+// Package plot renders the experiment suite's figures without external
+// dependencies: an ASCII renderer for terminal output and an SVG renderer
+// for files. Both consume the same Figure description, so every figure in
+// EXPERIMENTS.md can be regenerated in either form.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line/point set of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure describes a 2-D scatter/line chart.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX and LogY request log10 axes (points with non-positive values on
+	// a log axis are dropped).
+	LogX, LogY bool
+	Series     []Series
+}
+
+// seriesGlyphs assigns stable glyphs to series in order.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+type xyPoint struct {
+	x, y float64
+	s    int // series index
+}
+
+// transform applies axis transforms and drops unusable points.
+func (f *Figure) transform() []xyPoint {
+	var pts []xyPoint
+	for si, s := range f.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if f.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if f.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			pts = append(pts, xyPoint{x, y, si})
+		}
+	}
+	return pts
+}
+
+// ASCII renders the figure as a text chart of the given size (columns x
+// rows for the plotting area; axes and legend add a few lines). Sizes are
+// clamped to sensible minimums.
+func (f *Figure) ASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	pts := f.transform()
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minX, maxX := pts[0].x, pts[0].x
+	minY, maxY := pts[0].y, pts[0].y
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+		minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	cells := make([][]byte, height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		cx := int(math.Round((p.x - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((p.y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		glyph := seriesGlyphs[p.s%len(seriesGlyphs)]
+		cells[row][cx] = glyph
+	}
+	ylo, yhi := minY, maxY
+	xlo, xhi := minX, maxX
+	fmtAxis := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	fmt.Fprintf(&b, "%s\n", f.YLabel)
+	fmt.Fprintf(&b, "%8s +%s\n", fmtAxis(yhi, f.LogY), strings.Repeat("-", width))
+	for _, row := range cells {
+		fmt.Fprintf(&b, "%8s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", fmtAxis(ylo, f.LogY), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", width-8, fmtAxis(xlo, f.LogX), fmtAxis(xhi, f.LogX))
+	if f.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s\n", "", f.XLabel)
+	}
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// svgPalette provides stroke colors for series.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f",
+}
+
+// SVG renders the figure as a standalone SVG document of the given pixel
+// size.
+func (f *Figure) SVG(width, height int) string {
+	if width < 100 {
+		width = 100
+	}
+	if height < 80 {
+		height = 80
+	}
+	const margin = 50
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if f.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+			width/2, escape(f.Title))
+	}
+
+	pts := f.transform()
+	if len(pts) > 0 {
+		minX, maxX := pts[0].x, pts[0].x
+		minY, maxY := pts[0].y, pts[0].y
+		for _, p := range pts {
+			minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+			minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+		}
+		if maxX == minX {
+			maxX = minX + 1
+		}
+		if maxY == minY {
+			maxY = minY + 1
+		}
+		toPx := func(p xyPoint) (float64, float64) {
+			x := margin + (p.x-minX)/(maxX-minX)*plotW
+			y := float64(height) - margin - (p.y-minY)/(maxY-minY)*plotH
+			return x, y
+		}
+		// Axes.
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="black"/>`+"\n",
+			margin, margin, plotW, plotH)
+		axisVal := func(v float64, log bool) string {
+			if log {
+				return fmt.Sprintf("%.3g", math.Pow(10, v))
+			}
+			return fmt.Sprintf("%.3g", v)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">%s</text>`+"\n",
+			margin, height-margin+14, axisVal(minX, f.LogX))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`+"\n",
+			width-margin, height-margin+14, axisVal(maxX, f.LogX))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`+"\n",
+			margin-4, height-margin, axisVal(minY, f.LogY))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`+"\n",
+			margin-4, margin+10, axisVal(maxY, f.LogY))
+		if f.XLabel != "" {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="middle" font-family="sans-serif">%s</text>`+"\n",
+				width/2, height-10, escape(f.XLabel))
+		}
+		if f.YLabel != "" {
+			fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)" font-family="sans-serif">%s</text>`+"\n",
+				height/2, height/2, escape(f.YLabel))
+		}
+
+		// Series polylines + points, sorted by x within each series.
+		bySeries := make(map[int][]xyPoint)
+		for _, p := range pts {
+			bySeries[p.s] = append(bySeries[p.s], p)
+		}
+		for si := range f.Series {
+			sp := bySeries[si]
+			if len(sp) == 0 {
+				continue
+			}
+			sort.Slice(sp, func(i, j int) bool { return sp[i].x < sp[j].x })
+			color := svgPalette[si%len(svgPalette)]
+			var poly strings.Builder
+			for _, p := range sp {
+				x, y := toPx(p)
+				fmt.Fprintf(&poly, "%.1f,%.1f ", x, y)
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x, y, color)
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.TrimSpace(poly.String()), color)
+			// Legend entry.
+			ly := margin + 16*si
+			fmt.Fprintf(&b, `<rect x="%.0f" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+				float64(width-margin)+6, ly, color)
+			fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="9" font-family="sans-serif">%s</text>`+"\n",
+				float64(width-margin)+18, ly+9, escape(f.Series[si].Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

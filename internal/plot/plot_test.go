@@ -1,0 +1,179 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		Title:  "T_B vs k",
+		XLabel: "k",
+		YLabel: "T_B",
+		LogX:   true,
+		LogY:   true,
+		Series: []Series{
+			{Name: "measured", X: []float64{8, 16, 32, 64}, Y: []float64{100, 70, 50, 35}},
+			{Name: "theory", X: []float64{8, 16, 32, 64}, Y: []float64{110, 78, 55, 39}},
+		},
+	}
+}
+
+func TestASCIIContainsStructure(t *testing.T) {
+	t.Parallel()
+	f := sampleFigure()
+	out := f.ASCII(40, 10)
+	if !strings.Contains(out, "T_B vs k") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "measured") || !strings.Contains(out, "theory") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series glyphs")
+	}
+	if !strings.Contains(out, "+----") {
+		t.Error("missing axis frame")
+	}
+}
+
+func TestASCIIEmptyFigure(t *testing.T) {
+	t.Parallel()
+	f := Figure{Title: "empty"}
+	out := f.ASCII(30, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty figure output: %q", out)
+	}
+}
+
+func TestASCIIDropsInvalidLogPoints(t *testing.T) {
+	t.Parallel()
+	f := Figure{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{-5, 0, 10}, Y: []float64{1, 2, 3}},
+		},
+	}
+	out := f.ASCII(30, 8)
+	// Only one valid point; should still render without panicking.
+	if !strings.Contains(out, "*") {
+		t.Errorf("valid point not rendered: %q", out)
+	}
+}
+
+func TestASCIIDropsNaNInf(t *testing.T) {
+	t.Parallel()
+	f := Figure{
+		Series: []Series{
+			{Name: "s", X: []float64{math.NaN(), math.Inf(1), 1, 2},
+				Y: []float64{1, 2, 3, 4}},
+		},
+	}
+	out := f.ASCII(30, 8)
+	if strings.Contains(out, "(no data)") {
+		t.Error("all points dropped despite two valid ones")
+	}
+}
+
+func TestASCIIClampsTinySizes(t *testing.T) {
+	t.Parallel()
+	f := sampleFigure()
+	out := f.ASCII(1, 1)
+	if len(out) == 0 {
+		t.Error("clamped render empty")
+	}
+}
+
+func TestASCIIMismatchedSeriesLengths(t *testing.T) {
+	t.Parallel()
+	f := Figure{
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{5}}},
+	}
+	out := f.ASCII(20, 6)
+	if strings.Contains(out, "(no data)") {
+		t.Error("should render the one aligned point")
+	}
+}
+
+func TestASCIISinglePoint(t *testing.T) {
+	t.Parallel()
+	f := Figure{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}}
+	out := f.ASCII(20, 6)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not rendered")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	t.Parallel()
+	f := sampleFigure()
+	out := f.SVG(400, 300)
+	for _, want := range []string{
+		"<svg", "</svg>", "<circle", "<polyline", "T_B vs k", "measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Balanced: one opening svg tag, one closing.
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	t.Parallel()
+	f := Figure{
+		Title:  `a<b & "c"`,
+		Series: []Series{{Name: "x>y", X: []float64{1}, Y: []float64{1}}},
+	}
+	out := f.SVG(200, 150)
+	if strings.Contains(out, `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("expected escaped title")
+	}
+	if !strings.Contains(out, "x&gt;y") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	t.Parallel()
+	f := Figure{Title: "nothing"}
+	out := f.SVG(200, 150)
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("empty SVG not well-formed")
+	}
+	if strings.Contains(out, "<circle") {
+		t.Error("circles present with no data")
+	}
+}
+
+func TestSVGClampsSize(t *testing.T) {
+	t.Parallel()
+	f := sampleFigure()
+	out := f.SVG(1, 1)
+	if !strings.Contains(out, `width="100"`) {
+		t.Error("width not clamped to minimum")
+	}
+}
+
+func TestGlyphCycling(t *testing.T) {
+	t.Parallel()
+	// More series than glyphs: rendering must not panic and reuses glyphs.
+	var f Figure
+	for i := 0; i < 12; i++ {
+		f.Series = append(f.Series, Series{
+			Name: "s", X: []float64{float64(i)}, Y: []float64{float64(i)},
+		})
+	}
+	if out := f.ASCII(30, 8); len(out) == 0 {
+		t.Error("empty output")
+	}
+	if out := f.SVG(300, 200); len(out) == 0 {
+		t.Error("empty SVG")
+	}
+}

@@ -1,0 +1,214 @@
+// Package predator implements the random predator-prey system from the
+// paper's Section 4: k predators and m preys all perform independent lazy
+// random walks on the grid; a prey is caught (and removed) whenever it
+// shares a node with — or comes within the capture radius of — a predator.
+// The extinction time is the first step with no surviving prey. The paper
+// derives the high-probability bound O((n log^2 n)/k), validated by
+// Experiment E13.
+package predator
+
+import (
+	"fmt"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/theory"
+	"mobilenet/internal/walk"
+)
+
+// Config parameterises a predator-prey run.
+type Config struct {
+	// Grid is the arena. Required.
+	Grid *grid.Grid
+	// Predators is the number of predators k. Required, positive.
+	Predators int
+	// Preys is the number of preys m. Required, positive.
+	Preys int
+	// Radius is the capture radius (Manhattan); 0 means same-node capture.
+	Radius int
+	// Seed drives placement and motion.
+	Seed uint64
+	// MaxSteps caps the run; 0 selects a default derived from the paper's
+	// O((n log^2 n)/k) extinction bound with generous headroom.
+	MaxSteps int
+}
+
+func (c *Config) validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("predator: config requires a grid")
+	}
+	if c.Predators <= 0 {
+		return fmt.Errorf("predator: need at least one predator, got %d", c.Predators)
+	}
+	if c.Preys <= 0 {
+		return fmt.Errorf("predator: need at least one prey, got %d", c.Preys)
+	}
+	if c.Radius < 0 {
+		return fmt.Errorf("predator: negative radius %d", c.Radius)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("predator: negative MaxSteps %d", c.MaxSteps)
+	}
+	return nil
+}
+
+func (c *Config) maxSteps() int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	v := int(256 * theory.ExtinctionBound(c.Grid.N(), c.Predators))
+	if v < 4096 {
+		v = 4096
+	}
+	return v
+}
+
+// System is a running predator-prey simulation.
+type System struct {
+	cfg       Config
+	g         *grid.Grid
+	src       *rng.Source
+	predators []grid.Point
+	preys     []grid.Point // surviving preys, compacted
+	alive     int
+	t         int
+
+	// occupied buckets predators by coarse cell for the capture check.
+	occupied map[uint64][]int32
+	pool     [][]int32
+	keys     []uint64
+}
+
+// New places predators and preys uniformly at random and performs the
+// time-0 capture pass.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	s := &System{
+		cfg:       cfg,
+		g:         cfg.Grid,
+		src:       src,
+		predators: make([]grid.Point, cfg.Predators),
+		preys:     make([]grid.Point, cfg.Preys),
+		alive:     cfg.Preys,
+		occupied:  make(map[uint64][]int32, cfg.Predators),
+	}
+	side := cfg.Grid.Side()
+	for i := range s.predators {
+		s.predators[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+	}
+	for i := range s.preys {
+		s.preys[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+	}
+	s.capture()
+	return s, nil
+}
+
+func bucketKey(bx, by int32) uint64 {
+	return uint64(uint32(bx))<<32 | uint64(uint32(by))
+}
+
+// capture removes every prey within the capture radius of some predator.
+func (s *System) capture() {
+	if s.alive == 0 {
+		return
+	}
+	r := s.cfg.Radius
+	cell := int32(r)
+	if cell < 1 {
+		cell = 1
+	}
+	// Rebuild the predator spatial hash.
+	for key, b := range s.occupied {
+		s.pool = append(s.pool, b[:0])
+		delete(s.occupied, key)
+	}
+	s.keys = s.keys[:0]
+	for i := range s.predators {
+		key := bucketKey(s.predators[i].X/cell, s.predators[i].Y/cell)
+		b, ok := s.occupied[key]
+		if !ok {
+			if n := len(s.pool); n > 0 {
+				b = s.pool[n-1]
+				s.pool = s.pool[:n-1]
+			}
+			s.keys = append(s.keys, key)
+		}
+		s.occupied[key] = append(b, int32(i))
+	}
+	// Check each surviving prey against predators in its 3x3 cell
+	// neighbourhood; compact survivors in place.
+	out := s.preys[:0]
+	for _, p := range s.preys[:s.alive] {
+		caught := false
+		bx, by := p.X/cell, p.Y/cell
+	scan:
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				for _, pi := range s.occupied[bucketKey(bx+dx, by+dy)] {
+					if grid.ManhattanPoints(p, s.predators[pi]) <= r {
+						caught = true
+						break scan
+					}
+				}
+			}
+		}
+		if !caught {
+			out = append(out, p)
+		}
+	}
+	s.alive = len(out)
+	s.preys = out
+}
+
+// Step advances one time unit: predators and surviving preys all move, then
+// captures are resolved.
+func (s *System) Step() {
+	for i := range s.predators {
+		s.predators[i] = walk.Step(s.g, s.predators[i], s.src)
+	}
+	for i := 0; i < s.alive; i++ {
+		s.preys[i] = walk.Step(s.g, s.preys[i], s.src)
+	}
+	s.t++
+	s.capture()
+}
+
+// Done reports whether all preys are extinct.
+func (s *System) Done() bool { return s.alive == 0 }
+
+// Time returns the simulation time.
+func (s *System) Time() int { return s.t }
+
+// Alive returns the number of surviving preys.
+func (s *System) Alive() int { return s.alive }
+
+// Result summarises a predator-prey run.
+type Result struct {
+	// Steps is the extinction time. Valid only when Completed.
+	Steps int
+	// Completed is false when MaxSteps was reached with preys surviving.
+	Completed bool
+	// Survivors is the number of preys alive at the end (0 when Completed).
+	Survivors int
+}
+
+// Run advances until extinction or the step cap.
+func (s *System) Run() Result {
+	stepCap := s.cfg.maxSteps()
+	for !s.Done() && s.t < stepCap {
+		s.Step()
+	}
+	return Result{Steps: s.t, Completed: s.Done(), Survivors: s.alive}
+}
+
+// RunExtinction is the one-shot convenience wrapper.
+func RunExtinction(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

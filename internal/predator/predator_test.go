@@ -1,0 +1,150 @@
+package predator
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+)
+
+func cfg(side, k, m, r int, seed uint64) Config {
+	return Config{Grid: grid.MustNew(side), Predators: k, Preys: m, Radius: r, Seed: seed}
+}
+
+func TestValidation(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(8)
+	bad := []Config{
+		{Predators: 1, Preys: 1},
+		{Grid: g, Predators: 0, Preys: 1},
+		{Grid: g, Predators: 1, Preys: 0},
+		{Grid: g, Predators: 1, Preys: 1, Radius: -1},
+		{Grid: g, Predators: 1, Preys: 1, MaxSteps: -1},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestExtinctionCompletes(t *testing.T) {
+	t.Parallel()
+	res, err := RunExtinction(cfg(8, 6, 4, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("extinction incomplete: %+v", res)
+	}
+	if res.Survivors != 0 {
+		t.Fatalf("completed with %d survivors", res.Survivors)
+	}
+}
+
+func TestAliveMonotone(t *testing.T) {
+	t.Parallel()
+	s, err := New(cfg(12, 4, 10, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Alive()
+	for step := 0; step < 2000 && !s.Done(); step++ {
+		s.Step()
+		if s.Alive() > prev {
+			t.Fatalf("prey count increased at t=%d", s.Time())
+		}
+		prev = s.Alive()
+	}
+}
+
+func TestGiantRadiusInstantExtinction(t *testing.T) {
+	t.Parallel()
+	res, err := RunExtinction(cfg(8, 1, 5, 14, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Steps != 0 {
+		t.Fatalf("grid-wide capture radius: %+v, want instant extinction", res)
+	}
+}
+
+func TestRadiusZeroRequiresCoLocation(t *testing.T) {
+	t.Parallel()
+	// One predator, one prey placed on distinct fixed nodes of a large
+	// grid: no capture at t=0.
+	s, err := New(cfg(32, 1, 1, 0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.predators[0] = grid.Point{X: 0, Y: 0}
+	if s.Done() {
+		t.Skip("prey captured at t=0 by random placement; geometry untestable")
+	}
+	if s.Alive() != 1 {
+		t.Fatalf("alive = %d", s.Alive())
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	t.Parallel()
+	r1, err := RunExtinction(cfg(10, 3, 3, 0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunExtinction(cfg(10, 3, 3, 0, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestMorePredatorsFasterOnAverage(t *testing.T) {
+	t.Parallel()
+	// Average extinction time over seeds must decrease substantially when
+	// predators increase 4 -> 32 on the same grid (1/k scaling predicts 8x).
+	mean := func(k int) float64 {
+		total := 0
+		const reps = 12
+		for seed := uint64(0); seed < reps; seed++ {
+			res, err := RunExtinction(cfg(24, k, 8, 0, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatal("incomplete extinction")
+			}
+			total += res.Steps
+		}
+		return float64(total) / reps
+	}
+	m4, m32 := mean(4), mean(32)
+	if m32 >= m4 {
+		t.Errorf("extinction time did not drop with more predators: k=4 %.1f, k=32 %.1f", m4, m32)
+	}
+}
+
+func TestMaxStepsCap(t *testing.T) {
+	t.Parallel()
+	c := cfg(64, 1, 1, 0, 13)
+	c.MaxSteps = 2
+	res, err := RunExtinction(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Skip("improbable instant capture")
+	}
+	if res.Steps != 2 || res.Survivors != 1 {
+		t.Errorf("capped run: %+v", res)
+	}
+}
+
+func BenchmarkExtinction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExtinction(cfg(24, 8, 8, 0, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The generator is xoshiro256** seeded through splitmix64, the combination
+// recommended by the xoshiro authors. It is deliberately not the standard
+// library generator: the simulator needs (a) cheap splittable streams so
+// that every agent can own an independent generator regardless of how many
+// other agents exist (this keeps runs reproducible when parameters change),
+// and (b) allocation-free bounded integers on the hot path of the random
+// walk.
+//
+// None of the types in this package are safe for concurrent use; callers
+// that fan out across goroutines must Split one stream per goroutine.
+package rng
+
+import "math/bits"
+
+// splitmix64 advances the given state and returns the next output of the
+// splitmix64 sequence. It is used for seeding and for stream derivation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. The zero value is NOT a valid
+// generator (its state would be all zero, a fixed point of xoshiro);
+// construct Sources with New or Split.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source deterministically derived from seed. Distinct seeds
+// give statistically independent streams; the same seed always yields the
+// same sequence.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the receiver to the stream derived from seed, as if it had
+// been freshly created by New(seed).
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// All-zero state is unreachable: splitmix64 outputs of a fixed walk
+	// are never simultaneously zero, but guard anyway for safety.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+
+	return result
+}
+
+// Split derives a new Source that is statistically independent of the
+// receiver and of any other stream previously split from it. The receiver's
+// own sequence advances by one.
+func (r *Source) Split() *Source {
+	seed := r.Uint64()
+	return New(seed ^ 0xd2b74407b1ce6e93)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. The implementation is Lemire's unbiased multiply-shift rejection
+// method, which avoids both modulo bias and division on the fast path.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n). It panics if
+// n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	// Lemire's method: multiply a 64-bit random by n and keep the high
+	// word; reject the small biased region of the low word.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1) with 53 bits of
+// precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped (p <= 0 never fires; p >= 1 always fires).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm fills out with a uniformly random permutation of [0, len(out)) using
+// the Fisher-Yates shuffle, and returns out. Passing a shared buffer keeps
+// hot loops allocation-free.
+func (r *Source) Perm(out []int) []int {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	t.Parallel()
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	t.Parallel()
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestReseedRestartsSequence(t *testing.T) {
+	t.Parallel()
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, step %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	t.Parallel()
+	parent := New(99)
+	child1 := parent.Split()
+	child2 := parent.Split()
+	// Children must differ from each other and from the parent stream.
+	c1, c2 := child1.Uint64(), child2.Uint64()
+	if c1 == c2 {
+		t.Fatalf("two Split children produced identical first outputs %d", c1)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	t.Parallel()
+	p1 := New(5)
+	p2 := New(5)
+	c1 := p1.Split()
+	c2 := p2.Split()
+	for i := 0; i < 100; i++ {
+		if got, want := c1.Uint64(), c2.Uint64(); got != want {
+			t.Fatalf("split streams from equal parents diverged at %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	t.Parallel()
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 5, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	t.Parallel()
+	const n = 10
+	const draws = 100000
+	r := New(123)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expect := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("bucket %d: count %d too far from expectation %.0f", v, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+	r := New(11)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	t.Parallel()
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) fired")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) did not fire")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) fired")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) did not fire")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	t.Parallel()
+	r := New(29)
+	const draws = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Errorf("Bernoulli(%.1f) empirical rate %.4f", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+	r := New(31)
+	buf := make([]int, 50)
+	for trial := 0; trial < 20; trial++ {
+		r.Perm(buf)
+		seen := make(map[int]bool, len(buf))
+		for _, v := range buf {
+			if v < 0 || v >= len(buf) || seen[v] {
+				t.Fatalf("Perm produced invalid permutation: %v", buf)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// Property: Intn stays within range for arbitrary seeds and sizes.
+func TestQuickIntnInRange(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 32; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal seeds produce equal 32-step prefixes (full determinism).
+func TestQuickDeterminism(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 32; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(5)
+	}
+	_ = sink
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"errors"
+
+	"mobilenet/internal/rng"
+)
+
+// BootstrapCI estimates a percentile bootstrap confidence interval for an
+// arbitrary statistic of a sample. statFn receives a resampled copy of the
+// data on every iteration; conf is the two-sided confidence level (e.g.
+// 0.95). The resampling stream is driven by src so results are reproducible.
+func BootstrapCI(xs []float64, statFn func([]float64) float64, iters int, conf float64, src *rng.Source) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	if iters < 2 {
+		return 0, 0, errors.New("stats: bootstrap needs >= 2 iterations")
+	}
+	if conf <= 0 || conf >= 1 {
+		return 0, 0, errors.New("stats: confidence level must be in (0,1)")
+	}
+	if src == nil {
+		src = rng.New(0x60075)
+	}
+	resample := make([]float64, len(xs))
+	vals := make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = xs[src.Intn(len(xs))]
+		}
+		vals[it] = statFn(resample)
+	}
+	alpha := (1 - conf) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha), nil
+}
+
+// BootstrapMedianCI is BootstrapCI specialised to the median, the statistic
+// the experiment tables report (medians are robust to the heavy upper tails
+// of broadcast-time distributions).
+func BootstrapMedianCI(xs []float64, iters int, conf float64, src *rng.Source) (lo, hi float64, err error) {
+	return BootstrapCI(xs, Median, iters, conf, src)
+}

@@ -1,0 +1,324 @@
+// Package stats provides the statistical machinery the experiment harness
+// uses to turn raw Monte-Carlo samples into the summaries reported in
+// EXPERIMENTS.md: streaming moments, quantiles, bootstrap confidence
+// intervals, least-squares power-law fits (log-log regression), and a
+// chi-square uniformity test.
+//
+// Everything here is exact or classical approximation — no external numeric
+// libraries are used.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by summaries of empty samples.
+var ErrNoData = errors.New("stats: no data")
+
+// Welford accumulates count, mean and variance in one streaming pass using
+// Welford's algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 for empty accumulators).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance; it is 0 for n < 2.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// Summary is a compact description of a sample.
+type Summary struct {
+	N             int
+	Mean, StdDev  float64
+	Min, Max      float64
+	Median        float64
+	Q25, Q75      float64
+	CILow, CIHigh float64 // normal-approximation 95% CI of the mean
+}
+
+// Summarize computes a Summary of xs. It returns ErrNoData for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	med := Quantile(xs, 0.5)
+	s := Summary{
+		N:      w.N(),
+		Mean:   w.Mean(),
+		StdDev: w.StdDev(),
+		Min:    w.Min(),
+		Max:    w.Max(),
+		Median: med,
+		Q25:    Quantile(xs, 0.25),
+		Q75:    Quantile(xs, 0.75),
+	}
+	half := 1.96 * w.StdErr()
+	s.CILow, s.CIHigh = s.Mean-half, s.Mean+half
+	return s, nil
+}
+
+// String renders the summary in a single line for logs and tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g±%.3g median=%.3g [%.3g,%.3g]",
+		s.N, s.Mean, s.Mean-s.CILow, s.Median, s.Min, s.Max)
+}
+
+// Quantile returns the q-th sample quantile of xs (0 <= q <= 1) using linear
+// interpolation between order statistics. The input is not modified. It
+// returns NaN for empty input and clamps q to [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// PowerFit is the result of fitting y = C * x^Alpha by least squares on
+// log-transformed data.
+type PowerFit struct {
+	Alpha    float64 // exponent (slope in log-log space)
+	LogC     float64 // intercept in log space
+	R2       float64 // coefficient of determination in log space
+	AlphaErr float64 // standard error of the slope
+	N        int
+}
+
+// C returns the multiplicative constant exp(LogC).
+func (p PowerFit) C() float64 { return math.Exp(p.LogC) }
+
+// String renders the fit compactly.
+func (p PowerFit) String() string {
+	return fmt.Sprintf("y = %.3g * x^%.3f (±%.3f, R²=%.3f, n=%d)",
+		p.C(), p.Alpha, p.AlphaErr, p.R2, p.N)
+}
+
+// FitPowerLaw fits y = C*x^alpha through (xs[i], ys[i]) pairs with xs, ys
+// strictly positive. It returns an error when fewer than two valid points
+// exist or when all xs coincide.
+func FitPowerLaw(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) {
+		return PowerFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	lin, err := FitLinear(lx, ly)
+	if err != nil {
+		return PowerFit{}, err
+	}
+	return PowerFit{
+		Alpha:    lin.Slope,
+		LogC:     lin.Intercept,
+		R2:       lin.R2,
+		AlphaErr: lin.SlopeErr,
+		N:        lin.N,
+	}, nil
+}
+
+// LinearFit is the result of ordinary least squares y = Intercept + Slope*x.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64
+	SlopeErr         float64
+	N                int
+}
+
+// FitLinear performs ordinary least squares. It needs at least two points
+// with distinct x values.
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, ErrNoData
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: all x values identical")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// Residual sum of squares and derived statistics.
+	var rss float64
+	for i := 0; i < n; i++ {
+		r := ys[i] - (intercept + slope*xs[i])
+		rss += r * r
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - rss/syy
+	}
+	var slopeErr float64
+	if n > 2 {
+		slopeErr = math.Sqrt(rss / float64(n-2) / sxx)
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, SlopeErr: slopeErr, N: n}, nil
+}
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against the uniform distribution over len(counts) buckets, and reports
+// whether uniformity is rejected at significance alpha using the normal
+// approximation to the chi-square distribution (valid for the large bucket
+// counts the simulator uses).
+func ChiSquareUniform(counts []int, alpha float64) (stat float64, rejected bool, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, false, errors.New("stats: need at least 2 buckets")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, false, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, false, ErrNoData
+	}
+	expect := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expect
+		stat += d * d / expect
+	}
+	// Wilson-Hilferty approximation of the chi-square quantile.
+	df := float64(k - 1)
+	z := normalQuantile(1 - alpha)
+	h := 2.0 / (9.0 * df)
+	crit := df * math.Pow(1-h+z*math.Sqrt(h), 3)
+	return stat, stat > crit, nil
+}
+
+// normalQuantile returns the p-th quantile of the standard normal
+// distribution using the Acklam rational approximation (|error| < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// NormalQuantile exposes the standard normal quantile function.
+func NormalQuantile(p float64) float64 { return normalQuantile(p) }

@@ -1,0 +1,350 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobilenet/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordAgainstClosedForm(t *testing.T) {
+	t.Parallel()
+	var w Welford
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	t.Parallel()
+	var w Welford
+	if w.Variance() != 0 || w.StdErr() != 0 || w.Mean() != 0 {
+		t.Error("empty Welford nonzero stats")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Errorf("single-point variance = %v", w.Variance())
+	}
+	if w.Mean() != 3 || w.Min() != 3 || w.Max() != 3 {
+		t.Error("single-point stats wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+		{-0.5, 1}, {1.5, 5}, // clamped
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	if got := Quantile([]float64{42}, 0.9); got != 42 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	t.Parallel()
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Fatalf("Summarize(nil) err = %v", err)
+	}
+	s, err := Summarize([]float64{1, 2, 3, 4, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.CILow >= s.Mean || s.CIHigh <= s.Mean {
+		t.Errorf("CI does not bracket mean: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	t.Parallel()
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9, 11}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.SlopeErr > 1e-9 {
+		t.Errorf("SlopeErr = %v for exact fit", fit.SlopeErr)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("identical x should fail")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	t.Parallel()
+	// y = 5 * x^-0.5 exactly.
+	xs := []float64{1, 4, 16, 64, 256}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, -0.5)
+	}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Alpha, -0.5, 1e-9) {
+		t.Errorf("Alpha = %v, want -0.5", fit.Alpha)
+	}
+	if !almostEqual(fit.C(), 5, 1e-9) {
+		t.Errorf("C = %v, want 5", fit.C())
+	}
+	if fit.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	t.Parallel()
+	xs := []float64{-1, 0, 1, 2, 4, 8}
+	ys := []float64{5, 5, 1, 2, 4, 8}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.N != 4 {
+		t.Errorf("N = %d, want 4 (non-positive filtered)", fit.N)
+	}
+	if !almostEqual(fit.Alpha, 1, 1e-9) {
+		t.Errorf("Alpha = %v, want 1", fit.Alpha)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	t.Parallel()
+	// Perfectly uniform counts: tiny statistic, not rejected.
+	uniform := []int{1000, 1000, 1000, 1000}
+	stat, rej, err := ChiSquareUniform(uniform, 0.01)
+	if err != nil || rej || stat != 0 {
+		t.Errorf("uniform: stat=%v rej=%v err=%v", stat, rej, err)
+	}
+	// Extremely skewed counts: rejected.
+	skewed := []int{4000, 0, 0, 0}
+	_, rej, err = ChiSquareUniform(skewed, 0.01)
+	if err != nil || !rej {
+		t.Errorf("skewed: rej=%v err=%v", rej, err)
+	}
+	// Error cases.
+	if _, _, err := ChiSquareUniform([]int{5}, 0.05); err == nil {
+		t.Error("single bucket should fail")
+	}
+	if _, _, err := ChiSquareUniform([]int{1, -1}, 0.05); err == nil {
+		t.Error("negative count should fail")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}, 0.05); err == nil {
+		t.Error("all-zero counts should fail")
+	}
+}
+
+func TestChiSquareSamplingBehavior(t *testing.T) {
+	t.Parallel()
+	// Random uniform assignment should rarely be rejected at alpha=0.001.
+	src := rng.New(7)
+	counts := make([]int, 20)
+	for i := 0; i < 20000; i++ {
+		counts[src.Intn(20)]++
+	}
+	_, rej, err := ChiSquareUniform(counts, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rej {
+		t.Error("uniform sample rejected at alpha=0.001")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ p, want, tol float64 }{
+		{0.5, 0, 1e-9},
+		{0.975, 1.959964, 1e-5},
+		{0.025, -1.959964, 1e-5},
+		{0.99, 2.326348, 1e-5},
+		{0.001, -3.090232, 1e-5},
+	}
+	for _, tc := range cases {
+		if got := NormalQuantile(tc.p); !almostEqual(got, tc.want, tc.tol) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles not infinite")
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	t.Parallel()
+	src := rng.New(42)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + 2*src.Float64()
+	}
+	lo, hi, err := BootstrapMedianCI(xs, 500, 0.95, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > hi {
+		t.Fatalf("CI inverted: [%v, %v]", lo, hi)
+	}
+	med := Median(xs)
+	if med < lo || med > hi {
+		t.Errorf("median %v outside CI [%v, %v]", med, lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("CI suspiciously wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, err := BootstrapMedianCI(nil, 100, 0.95, nil); err != ErrNoData {
+		t.Errorf("nil data err = %v", err)
+	}
+	xs := []float64{1, 2, 3}
+	if _, _, err := BootstrapMedianCI(xs, 1, 0.95, nil); err == nil {
+		t.Error("iters=1 should fail")
+	}
+	if _, _, err := BootstrapMedianCI(xs, 100, 0, nil); err == nil {
+		t.Error("conf=0 should fail")
+	}
+	if _, _, err := BootstrapMedianCI(xs, 100, 1, nil); err == nil {
+		t.Error("conf=1 should fail")
+	}
+	// nil source falls back to internal deterministic stream.
+	lo1, hi1, err := BootstrapMedianCI(xs, 100, 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapMedianCI(xs, 100, 0.9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("nil-source bootstrap not deterministic")
+	}
+}
+
+// Property: Welford mean/variance agree with two-pass formulas.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	t.Parallel()
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		if !almostEqual(w.Mean(), mean, 1e-9) {
+			return false
+		}
+		if len(xs) >= 2 {
+			var ss float64
+			for _, x := range xs {
+				ss += (x - mean) * (x - mean)
+			}
+			if !almostEqual(w.Variance(), ss/float64(len(xs)-1), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	t.Parallel()
+	f := func(raw []int8, q1Raw, q2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		if v1 > v2 {
+			return false
+		}
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		return v1 >= lo && v2 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

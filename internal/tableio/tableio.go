@@ -1,0 +1,183 @@
+// Package tableio renders the experiment result tables in the three forms
+// the repository emits: aligned plain text (terminal), Markdown
+// (EXPERIMENTS.md) and CSV (results/ directory, for external tooling).
+package tableio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple rectangular table with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable constructs a table with the given columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row, formatting each cell with %v. Rows shorter than the
+// header are padded with empty cells; longer rows are accepted as-is.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, formatFloat(v))
+		case float32:
+			row = append(row, formatFloat(float64(v)))
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	for len(row) < len(t.Columns) {
+		row = append(row, "")
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, other
+// values with four significant digits.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	n := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, c := range t.Columns {
+		if len(c) > w[i] {
+			w[i] = len(c)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// WriteText renders the table as aligned plain text.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(widths))
+	for i, width := range widths {
+		sep[i] = strings.Repeat("-", width)
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders the table as a string.
+func (t *Table) Text() string {
+	var b strings.Builder
+	_ = t.WriteText(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", `\|`) }
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cols, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders the table as a Markdown string.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	_ = t.WriteMarkdown(&b)
+	return b.String()
+}
+
+// WriteCSV renders the table as CSV (header row first; the title is not
+// included).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

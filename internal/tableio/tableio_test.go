@@ -1,0 +1,118 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Broadcast times", "k", "T_B", "note")
+	t.AddRow(8, 1234.5678, "below r_c")
+	t.AddRow(16, 900.0, "below r_c")
+	t.AddRow(32, 640, "pipe|char")
+	return t
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow(1.0, 2.5, "x")
+	if tb.Rows[0][0] != "1" {
+		t.Errorf("integral float rendered as %q, want 1", tb.Rows[0][0])
+	}
+	if tb.Rows[0][1] != "2.5" {
+		t.Errorf("float rendered as %q", tb.Rows[0][1])
+	}
+	// Short row padded.
+	tb.AddRow("only")
+	if len(tb.Rows[1]) != 3 {
+		t.Errorf("short row not padded: %v", tb.Rows[1])
+	}
+	// float32 path.
+	tb.AddRow(float32(1.25), 0, 0)
+	if tb.Rows[2][0] != "1.25" {
+		t.Errorf("float32 rendered as %q", tb.Rows[2][0])
+	}
+}
+
+func TestTextAligned(t *testing.T) {
+	t.Parallel()
+	out := sample().Text()
+	if !strings.Contains(out, "Broadcast times") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Separator dashes under each column.
+	if !strings.HasPrefix(lines[2], "--") {
+		t.Errorf("separator line: %q", lines[2])
+	}
+	// Header columns appear in order.
+	if !strings.Contains(lines[1], "k") || !strings.Contains(lines[1], "T_B") {
+		t.Errorf("header line: %q", lines[1])
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	t.Parallel()
+	out := sample().Markdown()
+	if !strings.Contains(out, `pipe\|char`) {
+		t.Error("pipe not escaped in markdown")
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Error("missing separator row")
+	}
+	if !strings.Contains(out, "**Broadcast times**") {
+		t.Error("missing bold title")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "k,T_B,note" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "pipe|char") {
+		t.Errorf("CSV row 3 = %q", lines[3])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "x")
+	if out := tb.Text(); !strings.Contains(out, "x") {
+		t.Errorf("empty table text: %q", out)
+	}
+	if out := tb.Markdown(); !strings.Contains(out, "| x |") {
+		t.Errorf("empty table markdown: %q", out)
+	}
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x\n" {
+		t.Errorf("empty table CSV: %q", b.String())
+	}
+}
+
+func TestRowsLongerThanHeader(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("t", "a")
+	tb.AddRow("1", "2", "3")
+	out := tb.Text()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cells dropped: %q", out)
+	}
+}

@@ -1,0 +1,196 @@
+// Package theory collects the closed-form quantities the paper derives, so
+// that experiments and tests can compare measurements against the predicted
+// envelopes in one place. Constants that the paper leaves unnamed (c1, c2,
+// c3) are exposed as parameters; where an experiment needs a concrete value
+// the calibrated defaults below are used.
+//
+// All formulas use natural logarithms, matching the paper's convention; the
+// tilde notation Õ(f) hides polylog factors which the finite-size envelopes
+// carry explicitly.
+package theory
+
+import "math"
+
+// Defaults for the paper's unnamed constants. They are calibrated by the
+// Lemma-validation experiments (E6-E8): c1 and c3 are lower-bound constants
+// for hitting/meeting probabilities, c2 a lower-bound constant for the walk
+// range. Only their existence matters for the theorems; these values make
+// the finite-size envelopes plot sensibly.
+const (
+	DefaultC1 = 0.04 // Lemma 1 hitting-probability constant
+	DefaultC2 = 0.55 // Lemma 2 range constant
+	DefaultC3 = 0.05 // Lemma 3 meeting-probability constant
+)
+
+// PercolationRadius returns r_c ~ sqrt(n/k), the critical transmission
+// radius of the visibility graph (paper, introduction and §3).
+func PercolationRadius(n, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(float64(n) / float64(k))
+}
+
+// IslandGamma returns gamma = sqrt(n/(4 e^6 k)), the island parameter of
+// Lemma 6: below this scale no component exceeds log n agents w.h.p.
+func IslandGamma(n, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(float64(n) / (4 * math.Exp(6) * float64(k)))
+}
+
+// LowerBoundRadius returns sqrt(n/(64 e^6 k)), the radius ceiling under
+// which Theorem 2's lower bound applies.
+func LowerBoundRadius(n, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(float64(n) / (64 * math.Exp(6) * float64(k)))
+}
+
+// BroadcastScale returns n/sqrt(k), the common scale of Theorems 1 and 2:
+// T_B = Θ̃(n/√k).
+func BroadcastScale(n, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / math.Sqrt(float64(k))
+}
+
+// BroadcastLowerEnvelope returns the explicit Theorem 2 lower bound
+// n / (1152 e^3 sqrt(k) log^2 n) — the T used in the proof.
+func BroadcastLowerEnvelope(n, k int) float64 {
+	if k <= 0 || n < 2 {
+		return 0
+	}
+	ln := math.Log(float64(n))
+	return float64(n) / (1152 * math.Exp(3) * math.Sqrt(float64(k)) * ln * ln)
+}
+
+// WangInfectionClaim returns Θ((n log n log k)/k), the infection-time claim
+// of Wang et al. [28] which the paper shows to be incorrect. Experiment E14
+// contrasts this 1/k decay against the measured 1/sqrt(k).
+func WangInfectionClaim(n, k int) float64 {
+	if k <= 1 || n < 2 {
+		return 0
+	}
+	return float64(n) * math.Log(float64(n)) * math.Log(float64(k)) / float64(k)
+}
+
+// CoverTimeBound returns O((n log^2 n)/k + n log n), the paper's §4 bound on
+// the cover time of k independent random walks (constant factor 1).
+func CoverTimeBound(n, k int) float64 {
+	if k <= 0 || n < 2 {
+		return 0
+	}
+	ln := math.Log(float64(n))
+	return float64(n)*ln*ln/float64(k) + float64(n)*ln
+}
+
+// ExtinctionBound returns O((n log^2 n)/k), the paper's §4 bound on the
+// extinction time of the predator-prey system (constant factor 1).
+func ExtinctionBound(n, k int) float64 {
+	if k <= 0 || n < 2 {
+		return 0
+	}
+	ln := math.Log(float64(n))
+	return float64(n) * ln * ln / float64(k)
+}
+
+// CellSide returns l = sqrt(14 n log^3 n / (c3 k)), the tessellation cell
+// side used in the proof of Theorem 1. The result is at least 1.
+func CellSide(n, k int, c3 float64) float64 {
+	if k <= 0 || n < 2 || c3 <= 0 {
+		return 1
+	}
+	ln := math.Log(float64(n))
+	l := math.Sqrt(14 * float64(n) * ln * ln * ln / (c3 * float64(k)))
+	if l < 1 {
+		return 1
+	}
+	return l
+}
+
+// HittingLowerBound returns c1 / max(1, log d): Lemma 1's lower bound on the
+// probability that a walk visits a node at distance d within d^2 steps.
+func HittingLowerBound(d int, c1 float64) float64 {
+	return c1 / logFloor1(d)
+}
+
+// MeetingLowerBound returns c3 / max(1, log d): Lemma 3's lower bound on the
+// probability that two walks starting at distance d meet within d^2 steps at
+// a node of the shared disc D.
+func MeetingLowerBound(d int, c3 float64) float64 {
+	return c3 / logFloor1(d)
+}
+
+// DisplacementTail returns 2 exp(-lambda^2/2): Lemma 2(1)'s bound on the
+// probability that a walk strays at least lambda*sqrt(l) from its origin
+// within l steps.
+func DisplacementTail(lambda float64) float64 {
+	return 2 * math.Exp(-lambda*lambda/2)
+}
+
+// RangeLowerBound returns c2 * l / log l: Lemma 2(2)'s bound on the number
+// of distinct nodes visited in l steps (with probability > 1/2).
+func RangeLowerBound(l int, c2 float64) float64 {
+	if l < 2 {
+		return float64(l)
+	}
+	return c2 * float64(l) / math.Log(float64(l))
+}
+
+// FrontierWindow returns gamma^2/(144 log n), the length of the time window
+// in Lemma 7 over which the informed frontier advances at most
+// FrontierAdvance.
+func FrontierWindow(n, k int) float64 {
+	if n < 2 {
+		return 1
+	}
+	g := IslandGamma(n, k)
+	w := g * g / (144 * math.Log(float64(n)))
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// FrontierAdvance returns (gamma log n)/2, Lemma 7's cap on frontier
+// movement per FrontierWindow steps.
+func FrontierAdvance(n, k int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return IslandGamma(n, k) * math.Log(float64(n)) / 2
+}
+
+// IslandSizeCap returns log n, Lemma 6's w.h.p. ceiling on the number of
+// agents in any island of parameter IslandGamma.
+func IslandSizeCap(n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	return math.Log(float64(n))
+}
+
+// FarAgentProbability returns 1 - 2^-(k-1), the probability (Theorem 2) that
+// some agent starts at distance at least sqrt(n)/2 from the rumor source.
+func FarAgentProbability(k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	return 1 - math.Pow(2, -float64(k-1))
+}
+
+// logFloor1 returns max(1, ln d) treating d <= 1 as 1.
+func logFloor1(d int) float64 {
+	if d <= 1 {
+		return 1
+	}
+	l := math.Log(float64(d))
+	if l < 1 {
+		return 1
+	}
+	return l
+}

@@ -1,0 +1,220 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercolationRadius(t *testing.T) {
+	t.Parallel()
+	if got := PercolationRadius(10000, 100); got != 10 {
+		t.Errorf("rc(10000,100) = %v, want 10", got)
+	}
+	if !math.IsInf(PercolationRadius(100, 0), 1) {
+		t.Error("rc with k=0 should be +Inf")
+	}
+}
+
+func TestRadiusOrdering(t *testing.T) {
+	t.Parallel()
+	// The paper's radii are strictly ordered:
+	// LowerBoundRadius < IslandGamma < PercolationRadius.
+	for _, tc := range []struct{ n, k int }{
+		{1 << 10, 4}, {1 << 14, 64}, {1 << 16, 512}, {100, 50},
+	} {
+		lb := LowerBoundRadius(tc.n, tc.k)
+		g := IslandGamma(tc.n, tc.k)
+		rc := PercolationRadius(tc.n, tc.k)
+		if !(lb < g && g < rc) {
+			t.Errorf("n=%d k=%d: ordering violated: %v < %v < %v", tc.n, tc.k, lb, g, rc)
+		}
+		// Exact relations: gamma = rc/(2 e^3); lb = gamma/4.
+		if math.Abs(g-rc/(2*math.Exp(3))) > 1e-9 {
+			t.Errorf("gamma != rc/(2e^3): %v vs %v", g, rc/(2*math.Exp(3)))
+		}
+		if math.Abs(lb-g/4) > 1e-9 {
+			t.Errorf("lb != gamma/4: %v vs %v", lb, g/4)
+		}
+	}
+}
+
+func TestBroadcastScale(t *testing.T) {
+	t.Parallel()
+	if got := BroadcastScale(100, 4); got != 50 {
+		t.Errorf("BroadcastScale(100,4) = %v, want 50", got)
+	}
+	// Doubling k shrinks the scale by sqrt(2).
+	a, b := BroadcastScale(1000, 10), BroadcastScale(1000, 20)
+	if math.Abs(a/b-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("scale ratio %v, want sqrt(2)", a/b)
+	}
+}
+
+func TestBroadcastLowerEnvelopeBelowScale(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ n, k int }{{1 << 12, 16}, {1 << 14, 64}} {
+		lo := BroadcastLowerEnvelope(tc.n, tc.k)
+		hi := BroadcastScale(tc.n, tc.k)
+		if lo <= 0 || lo >= hi {
+			t.Errorf("n=%d k=%d: envelope %v not in (0, %v)", tc.n, tc.k, lo, hi)
+		}
+	}
+	if BroadcastLowerEnvelope(1, 4) != 0 || BroadcastLowerEnvelope(100, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestWangClaimDecaysFasterThanTruth(t *testing.T) {
+	t.Parallel()
+	n := 1 << 14
+	// Ratio Wang/Θ̃(n/√k) must shrink as k grows: Wang ~ 1/k vs truth ~ 1/√k.
+	r16 := WangInfectionClaim(n, 16) / BroadcastScale(n, 16)
+	r256 := WangInfectionClaim(n, 256) / BroadcastScale(n, 256)
+	if r256 >= r16 {
+		t.Errorf("Wang ratio should decay with k: r16=%v r256=%v", r16, r256)
+	}
+	if WangInfectionClaim(100, 1) != 0 {
+		t.Error("k=1 Wang claim should be 0 (log k = 0 edge)")
+	}
+}
+
+func TestCoverTimeBoundShape(t *testing.T) {
+	t.Parallel()
+	n := 1 << 12
+	// More walkers never raises the bound; the n log n term dominates for huge k.
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8, 1 << 20} {
+		b := CoverTimeBound(n, k)
+		if b > prev {
+			t.Errorf("CoverTimeBound not monotone at k=%d", k)
+		}
+		prev = b
+	}
+	floor := float64(n) * math.Log(float64(n))
+	if CoverTimeBound(n, 1<<20) < floor {
+		t.Errorf("bound fell below the n log n floor")
+	}
+}
+
+func TestExtinctionBound(t *testing.T) {
+	t.Parallel()
+	n := 1 << 12
+	if ExtinctionBound(n, 16) <= ExtinctionBound(n, 64) {
+		t.Error("extinction bound should decrease in k")
+	}
+	ratio := ExtinctionBound(n, 16) / ExtinctionBound(n, 64)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("1/k scaling violated: ratio %v, want 4", ratio)
+	}
+}
+
+func TestCellSide(t *testing.T) {
+	t.Parallel()
+	n, k := 1<<14, 64
+	l := CellSide(n, k, DefaultC3)
+	if l < 1 {
+		t.Errorf("cell side %v < 1", l)
+	}
+	// Cell side grows with n (fixed k) and shrinks with k (fixed n).
+	if CellSide(1<<16, k, DefaultC3) <= l {
+		t.Error("cell side should grow with n")
+	}
+	if CellSide(n, 4*k, DefaultC3) >= l {
+		t.Error("cell side should shrink with k")
+	}
+	if CellSide(n, 0, DefaultC3) != 1 || CellSide(n, k, 0) != 1 {
+		t.Error("degenerate inputs should clamp to 1")
+	}
+}
+
+func TestLemmaBounds(t *testing.T) {
+	t.Parallel()
+	// Hitting/meeting bounds: equal to c at d<=e, decreasing beyond.
+	if got := HittingLowerBound(1, 0.2); got != 0.2 {
+		t.Errorf("HittingLowerBound(1) = %v, want 0.2", got)
+	}
+	if got := MeetingLowerBound(0, 0.15); got != 0.15 {
+		t.Errorf("MeetingLowerBound(0) = %v", got)
+	}
+	if HittingLowerBound(100, 0.2) >= HittingLowerBound(10, 0.2) {
+		t.Error("hitting bound should decrease with distance")
+	}
+	// Displacement tail: Gaussian decay, factor-of-e^2 checks.
+	if math.Abs(DisplacementTail(0)-2) > 1e-12 {
+		t.Errorf("DisplacementTail(0) = %v, want 2", DisplacementTail(0))
+	}
+	if DisplacementTail(3) >= DisplacementTail(2) {
+		t.Error("tail should decrease in lambda")
+	}
+	// Range bound: sublinear but increasing.
+	if RangeLowerBound(1, 0.5) != 1 {
+		t.Errorf("RangeLowerBound(1) = %v", RangeLowerBound(1, 0.5))
+	}
+	if RangeLowerBound(1000, 0.5) <= RangeLowerBound(100, 0.5) {
+		t.Error("range bound should increase in l")
+	}
+	if RangeLowerBound(1000, 0.5) >= 1000 {
+		t.Error("range bound should be sublinear")
+	}
+}
+
+func TestFrontierQuantities(t *testing.T) {
+	t.Parallel()
+	n, k := 1<<14, 64
+	w := FrontierWindow(n, k)
+	a := FrontierAdvance(n, k)
+	if w < 1 {
+		t.Errorf("window %v < 1", w)
+	}
+	if a <= 0 {
+		t.Errorf("advance %v <= 0", a)
+	}
+	// Implied speed stays below 1 node/step at these parameters, consistent
+	// with Lemma 7 bounding the frontier well below ballistic motion.
+	if a/w <= 0 {
+		t.Errorf("implied speed %v", a/w)
+	}
+	if FrontierWindow(1, 4) != 1 {
+		t.Error("degenerate window should clamp to 1")
+	}
+}
+
+func TestIslandSizeCap(t *testing.T) {
+	t.Parallel()
+	if IslandSizeCap(2) != 1 {
+		t.Errorf("IslandSizeCap(2) = %v", IslandSizeCap(2))
+	}
+	if got, want := IslandSizeCap(1<<14), math.Log(1<<14); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IslandSizeCap = %v, want %v", got, want)
+	}
+}
+
+func TestFarAgentProbability(t *testing.T) {
+	t.Parallel()
+	if FarAgentProbability(1) != 0 {
+		t.Error("k=1 should give probability 0")
+	}
+	if got := FarAgentProbability(2); got != 0.5 {
+		t.Errorf("FarAgentProbability(2) = %v, want 0.5", got)
+	}
+	if got := FarAgentProbability(11); math.Abs(got-(1-1.0/1024)) > 1e-12 {
+		t.Errorf("FarAgentProbability(11) = %v", got)
+	}
+}
+
+// Property: for all valid (n, k) the radius ordering and positivity hold.
+func TestQuickRadiusInvariants(t *testing.T) {
+	t.Parallel()
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw)%65000 + 4
+		k := int(kRaw)%(n/2) + 2 // sparse regime n >= 2k
+		lb := LowerBoundRadius(n, k)
+		g := IslandGamma(n, k)
+		rc := PercolationRadius(n, k)
+		return lb > 0 && lb < g && g < rc && BroadcastScale(n, k) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

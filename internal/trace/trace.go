@@ -1,0 +1,291 @@
+// Package trace records and replays agent trajectories. A Recorder
+// captures the full position history of a population (delta-encoded: lazy
+// walks move at most one step per tick, so each move fits in 3 bits); a
+// Replayer feeds a recorded history back step by step. Traces serve three
+// purposes: regression-testing determinism, debugging rare dissemination
+// events by re-running the exact trajectory with more instrumentation, and
+// exchanging workloads between tools via the compact binary encoding.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mobilenet/internal/grid"
+)
+
+// Move encodes one agent's displacement in one step.
+type Move uint8
+
+// Move values. Stay is the zero value.
+const (
+	Stay Move = iota
+	Left
+	Right
+	Up   // decreasing Y
+	Down // increasing Y
+	numMoves
+)
+
+// Apply returns the point reached by taking the move from p. It does not
+// clamp: recorded moves are valid by construction.
+func (m Move) Apply(p grid.Point) grid.Point {
+	switch m {
+	case Left:
+		p.X--
+	case Right:
+		p.X++
+	case Up:
+		p.Y--
+	case Down:
+		p.Y++
+	}
+	return p
+}
+
+// delta computes the move from a to b; ok is false when the displacement
+// is not a unit step or stay.
+func delta(a, b grid.Point) (Move, bool) {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	switch {
+	case dx == 0 && dy == 0:
+		return Stay, true
+	case dx == -1 && dy == 0:
+		return Left, true
+	case dx == 1 && dy == 0:
+		return Right, true
+	case dx == 0 && dy == -1:
+		return Up, true
+	case dx == 0 && dy == 1:
+		return Down, true
+	default:
+		return Stay, false
+	}
+}
+
+// Recorder accumulates a trajectory trace for k agents.
+type Recorder struct {
+	side  int
+	start []grid.Point
+	prev  []grid.Point
+	moves []Move // k moves per recorded step, concatenated
+	steps int
+}
+
+// NewRecorder starts a trace from the given initial positions on a grid of
+// the given side. The positions are copied.
+func NewRecorder(side int, initial []grid.Point) (*Recorder, error) {
+	if side <= 0 {
+		return nil, fmt.Errorf("trace: side must be positive, got %d", side)
+	}
+	if len(initial) == 0 {
+		return nil, errors.New("trace: no agents")
+	}
+	for i, p := range initial {
+		if p.X < 0 || p.Y < 0 || int(p.X) >= side || int(p.Y) >= side {
+			return nil, fmt.Errorf("trace: agent %d starts off-grid at %v", i, p)
+		}
+	}
+	start := make([]grid.Point, len(initial))
+	copy(start, initial)
+	prev := make([]grid.Point, len(initial))
+	copy(prev, initial)
+	return &Recorder{side: side, start: start, prev: prev}, nil
+}
+
+// K returns the number of agents.
+func (r *Recorder) K() int { return len(r.start) }
+
+// Steps returns the number of recorded steps.
+func (r *Recorder) Steps() int { return r.steps }
+
+// Record appends one synchronized step given the new positions of all
+// agents. It rejects position sets of the wrong size or with non-unit
+// displacements.
+func (r *Recorder) Record(pos []grid.Point) error {
+	if len(pos) != len(r.prev) {
+		return fmt.Errorf("trace: got %d positions, want %d", len(pos), len(r.prev))
+	}
+	base := len(r.moves)
+	r.moves = append(r.moves, make([]Move, len(pos))...)
+	for i, p := range pos {
+		m, ok := delta(r.prev[i], p)
+		if !ok {
+			r.moves = r.moves[:base]
+			return fmt.Errorf("trace: agent %d jumped %v -> %v", i, r.prev[i], p)
+		}
+		r.moves[base+i] = m
+	}
+	copy(r.prev, pos)
+	r.steps++
+	return nil
+}
+
+// Trace freezes the recording into an immutable, replayable trace.
+func (r *Recorder) Trace() *Trace {
+	moves := make([]Move, len(r.moves))
+	copy(moves, r.moves)
+	start := make([]grid.Point, len(r.start))
+	copy(start, r.start)
+	return &Trace{side: r.side, start: start, moves: moves, steps: r.steps}
+}
+
+// Trace is an immutable recorded trajectory set.
+type Trace struct {
+	side  int
+	start []grid.Point
+	moves []Move
+	steps int
+}
+
+// K returns the number of agents.
+func (t *Trace) K() int { return len(t.start) }
+
+// Steps returns the number of steps.
+func (t *Trace) Steps() int { return t.steps }
+
+// Side returns the grid side the trace was recorded on.
+func (t *Trace) Side() int { return t.side }
+
+// Replayer walks through a trace step by step.
+type Replayer struct {
+	t   *Trace
+	pos []grid.Point
+	at  int
+}
+
+// Replay starts a replay at time 0.
+func (t *Trace) Replay() *Replayer {
+	pos := make([]grid.Point, len(t.start))
+	copy(pos, t.start)
+	return &Replayer{t: t, pos: pos}
+}
+
+// Positions returns the current positions; the slice is owned by the
+// replayer and must not be modified.
+func (r *Replayer) Positions() []grid.Point { return r.pos }
+
+// Time returns the current replay time.
+func (r *Replayer) Time() int { return r.at }
+
+// Step advances the replay one step; it reports false at the end of the
+// trace.
+func (r *Replayer) Step() bool {
+	if r.at >= r.t.steps {
+		return false
+	}
+	base := r.at * len(r.pos)
+	for i := range r.pos {
+		r.pos[i] = r.t.moves[base+i].Apply(r.pos[i])
+	}
+	r.at++
+	return true
+}
+
+// Binary format:
+//
+//	magic "MTR1" | uint32 side | uint32 k | uint32 steps
+//	k * (uint32 x, uint32 y) start positions
+//	steps*k moves, 1 byte each (values 0..4)
+//
+// The byte-per-move layout favours simplicity over maximal density; traces
+// compress extremely well with any general-purpose compressor if needed.
+var magic = [4]byte{'M', 'T', 'R', '1'}
+
+// WriteTo serialises the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(magic[:])); err != nil {
+		return n, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.side))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.start)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.steps))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	var pt [8]byte
+	for _, p := range t.start {
+		binary.LittleEndian.PutUint32(pt[0:], uint32(p.X))
+		binary.LittleEndian.PutUint32(pt[4:], uint32(p.Y))
+		if err := count(bw.Write(pt[:])); err != nil {
+			return n, err
+		}
+	}
+	for _, m := range t.moves {
+		if err := bw.WriteByte(byte(m)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// Read deserialises a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	side := int(binary.LittleEndian.Uint32(hdr[0:]))
+	k := int(binary.LittleEndian.Uint32(hdr[4:]))
+	steps := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if side <= 0 || k <= 0 || steps < 0 {
+		return nil, fmt.Errorf("trace: invalid header side=%d k=%d steps=%d", side, k, steps)
+	}
+	const maxMoves = 1 << 30
+	if int64(k)*int64(steps) > maxMoves {
+		return nil, fmt.Errorf("trace: trace too large (%d moves)", int64(k)*int64(steps))
+	}
+	start := make([]grid.Point, k)
+	var pt [8]byte
+	for i := range start {
+		if _, err := io.ReadFull(br, pt[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading start positions: %w", err)
+		}
+		start[i] = grid.Point{
+			X: int32(binary.LittleEndian.Uint32(pt[0:])),
+			Y: int32(binary.LittleEndian.Uint32(pt[4:])),
+		}
+		if start[i].X < 0 || int(start[i].X) >= side || start[i].Y < 0 || int(start[i].Y) >= side {
+			return nil, fmt.Errorf("trace: start position %v off-grid (side %d)", start[i], side)
+		}
+	}
+	moves := make([]Move, k*steps)
+	buf := make([]byte, 4096)
+	for off := 0; off < len(moves); {
+		want := len(moves) - off
+		if want > len(buf) {
+			want = len(buf)
+		}
+		got, err := io.ReadFull(br, buf[:want])
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading moves: %w", err)
+		}
+		for i := 0; i < got; i++ {
+			if buf[i] >= byte(numMoves) {
+				return nil, fmt.Errorf("trace: invalid move byte %d", buf[i])
+			}
+			moves[off+i] = Move(buf[i])
+		}
+		off += got
+	}
+	return &Trace{side: side, start: start, moves: moves, steps: steps}, nil
+}

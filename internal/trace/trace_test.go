@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobilenet/internal/agent"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+)
+
+func pt(x, y int32) grid.Point { return grid.Point{X: x, Y: y} }
+
+func TestNewRecorderValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewRecorder(0, []grid.Point{pt(0, 0)}); err == nil {
+		t.Error("side=0 accepted")
+	}
+	if _, err := NewRecorder(4, nil); err == nil {
+		t.Error("no agents accepted")
+	}
+	if _, err := NewRecorder(4, []grid.Point{pt(4, 0)}); err == nil {
+		t.Error("off-grid start accepted")
+	}
+	if _, err := NewRecorder(4, []grid.Point{pt(-1, 0)}); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestMoveApply(t *testing.T) {
+	t.Parallel()
+	p := pt(5, 5)
+	cases := map[Move]grid.Point{
+		Stay:  pt(5, 5),
+		Left:  pt(4, 5),
+		Right: pt(6, 5),
+		Up:    pt(5, 4),
+		Down:  pt(5, 6),
+	}
+	for m, want := range cases {
+		if got := m.Apply(p); got != want {
+			t.Errorf("%d.Apply = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestRecordRejectsJumpsAndSizeMismatch(t *testing.T) {
+	t.Parallel()
+	r, err := NewRecorder(8, []grid.Point{pt(1, 1), pt(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record([]grid.Point{pt(1, 1)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := r.Record([]grid.Point{pt(3, 3), pt(2, 2)}); err == nil {
+		t.Error("diagonal jump accepted")
+	}
+	if r.Steps() != 0 {
+		t.Errorf("failed records advanced steps to %d", r.Steps())
+	}
+	// A rejected record must not corrupt subsequent recording.
+	if err := r.Record([]grid.Point{pt(1, 2), pt(2, 2)}); err != nil {
+		t.Fatalf("valid record rejected after failure: %v", err)
+	}
+	if r.Steps() != 1 {
+		t.Errorf("Steps = %d, want 1", r.Steps())
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	t.Parallel()
+	// Drive a real population, record every step, then replay and compare.
+	g := grid.MustNew(12)
+	pop, err := agent.New(g, 6, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(12, pop.Positions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := [][]grid.Point{clonePos(pop.Positions())}
+	const steps = 200
+	for s := 0; s < steps; s++ {
+		pop.Step()
+		if err := rec.Record(pop.Positions()); err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, clonePos(pop.Positions()))
+	}
+	tr := rec.Trace()
+	if tr.K() != 6 || tr.Steps() != steps || tr.Side() != 12 {
+		t.Fatalf("trace shape: k=%d steps=%d side=%d", tr.K(), tr.Steps(), tr.Side())
+	}
+	rp := tr.Replay()
+	for s := 0; s <= steps; s++ {
+		for i, want := range history[s] {
+			if got := rp.Positions()[i]; got != want {
+				t.Fatalf("replay t=%d agent %d: %v != %v", s, i, got, want)
+			}
+		}
+		advanced := rp.Step()
+		if s < steps && !advanced {
+			t.Fatalf("replay ended early at t=%d", s)
+		}
+		if s == steps && advanced {
+			t.Fatal("replay advanced past the end")
+		}
+	}
+}
+
+func TestTraceImmutableAfterRecorderReuse(t *testing.T) {
+	t.Parallel()
+	r, err := NewRecorder(8, []grid.Point{pt(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record([]grid.Point{pt(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	tr := r.Trace()
+	// Further recording must not affect the frozen trace.
+	if err := r.Record([]grid.Point{pt(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Steps() != 1 {
+		t.Errorf("frozen trace grew to %d steps", tr.Steps())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(10)
+	pop, err := agent.New(g, 4, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(10, pop.Positions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 50; s++ {
+		pop.Step()
+		if err := rec.Record(pop.Positions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := rec.Trace()
+
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != tr.K() || back.Steps() != tr.Steps() || back.Side() != tr.Side() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	// Replays must coincide exactly.
+	r1, r2 := tr.Replay(), back.Replay()
+	for {
+		for i := range r1.Positions() {
+			if r1.Positions()[i] != r2.Positions()[i] {
+				t.Fatalf("replay mismatch at t=%d agent %d", r1.Time(), i)
+			}
+		}
+		a1, a2 := r1.Step(), r2.Step()
+		if a1 != a2 {
+			t.Fatal("replay lengths differ")
+		}
+		if !a1 {
+			break
+		}
+	}
+}
+
+func TestReadRejectsCorruptInputs(t *testing.T) {
+	t.Parallel()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX0123456789012345"),
+		"truncated": append([]byte("MTR1"), 1, 0, 0),
+		"zero side": mustBytes(t, 0, 1, 1),
+		"zero k":    mustBytes(t, 4, 0, 1),
+	}
+	for name, data := range cases {
+		name, data := name, data
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Errorf("corrupt input %q accepted", name)
+			}
+		})
+	}
+}
+
+func TestReadRejectsBadMoveByte(t *testing.T) {
+	t.Parallel()
+	// Valid header, one agent at (0,0), one step with move byte 9.
+	var buf bytes.Buffer
+	buf.WriteString("MTR1")
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		buf.Write(b[:])
+	}
+	writeU32(4) // side
+	writeU32(1) // k
+	writeU32(1) // steps
+	writeU32(0) // x
+	writeU32(0) // y
+	buf.WriteByte(9)
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "invalid move") {
+		t.Errorf("bad move byte: err = %v", err)
+	}
+}
+
+func TestReadRejectsOffGridStart(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	buf.WriteString("MTR1")
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		b[0] = byte(v)
+		b[1] = byte(v >> 8)
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+		buf.Write(b[:])
+	}
+	writeU32(4) // side
+	writeU32(1) // k
+	writeU32(0) // steps
+	writeU32(7) // x off grid
+	writeU32(0) // y
+	if _, err := Read(&buf); err == nil {
+		t.Error("off-grid start accepted")
+	}
+}
+
+func mustBytes(t *testing.T, side, k, steps uint32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("MTR1")
+	for _, v := range []uint32{side, k, steps} {
+		buf.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	}
+	return buf.Bytes()
+}
+
+func clonePos(pos []grid.Point) []grid.Point {
+	out := make([]grid.Point, len(pos))
+	copy(out, pos)
+	return out
+}
+
+func BenchmarkRecord(b *testing.B) {
+	g := grid.MustNew(64)
+	pop, err := agent.New(g, 64, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := NewRecorder(64, pop.Positions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop.Step()
+		if err := rec.Record(pop.Positions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

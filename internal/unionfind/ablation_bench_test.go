@@ -1,0 +1,104 @@
+package unionfind
+
+// Ablation benchmarks for the DSU design choices (union by rank + path
+// halving) against a naive linked-parent forest, quantifying why the
+// per-step component rebuild can afford a full Reset+rebuild cycle.
+
+import (
+	"testing"
+
+	"mobilenet/internal/rng"
+)
+
+// naiveDSU has neither rank nor compression: worst-case linear chains.
+type naiveDSU struct {
+	parent []int32
+}
+
+func newNaive(n int) *naiveDSU {
+	d := &naiveDSU{parent: make([]int32, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+func (d *naiveDSU) find(x int) int {
+	for d.parent[x] != int32(x) {
+		x = int(d.parent[x])
+	}
+	return x
+}
+
+func (d *naiveDSU) union(x, y int) {
+	rx, ry := d.find(x), d.find(y)
+	if rx != ry {
+		d.parent[rx] = int32(ry)
+	}
+}
+
+// adversarialPairs builds a union workload with long chains plus random
+// queries, the shape a per-step component rebuild produces.
+func adversarialPairs(n, m int, seed uint64) [][2]int {
+	src := rng.New(seed)
+	pairs := make([][2]int, m)
+	for i := range pairs {
+		if i < n-1 {
+			pairs[i] = [2]int{i, i + 1} // chain
+		} else {
+			pairs[i] = [2]int{src.Intn(n), src.Intn(n)}
+		}
+	}
+	return pairs
+}
+
+func BenchmarkAblationRankHalving(b *testing.B) {
+	const n = 4096
+	pairs := adversarialPairs(n, 2*n, 7)
+	d := New(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Reset()
+		for _, pr := range pairs {
+			d.Union(pr[0], pr[1])
+		}
+		for j := 0; j < n; j++ {
+			d.Find(j)
+		}
+	}
+}
+
+func BenchmarkAblationNaiveForest(b *testing.B) {
+	const n = 4096
+	pairs := adversarialPairs(n, 2*n, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := newNaive(n)
+		for _, pr := range pairs {
+			d.union(pr[0], pr[1])
+		}
+		for j := 0; j < n; j++ {
+			d.find(j)
+		}
+	}
+}
+
+// The naive baseline must produce the same connectivity.
+func TestAblationNaiveAgrees(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	pairs := adversarialPairs(n, 2*n, 11)
+	fast := New(n)
+	slow := newNaive(n)
+	for _, pr := range pairs {
+		fast.Union(pr[0], pr[1])
+		slow.union(pr[0], pr[1])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if fast.Connected(i, j) != (slow.find(i) == slow.find(j)) {
+				t.Fatalf("connectivity differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package unionfind implements a disjoint-set union (DSU) structure with
+// union by rank and path halving. The simulator rebuilds the connected
+// components of the visibility graph G_t(r) at every time step, so the
+// structure is designed for cheap bulk Reset and zero allocation after
+// construction.
+package unionfind
+
+// DSU is a disjoint-set forest over elements [0, n). The zero value is an
+// empty forest; use New to create one with elements.
+type DSU struct {
+	parent []int32
+	rank   []uint8
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		rank:   make([]uint8, n),
+	}
+	d.Reset()
+	return d
+}
+
+// Reset restores every element to its own singleton set, retaining the
+// allocated capacity.
+func (d *DSU) Reset() {
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+	}
+	d.sets = len(d.parent)
+}
+
+// Len returns the number of elements in the universe.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set, applying path
+// halving as it walks.
+func (d *DSU) Find(x int) int {
+	p := d.parent
+	for p[x] != int32(x) {
+		p[x] = p[p[x]] // path halving
+		x = int(p[x])
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = int32(rx)
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (d *DSU) Connected(x, y int) bool {
+	return d.Find(x) == d.Find(y)
+}
+
+// ComponentSizes returns a map from canonical representative to set size.
+func (d *DSU) ComponentSizes() map[int]int {
+	sizes := make(map[int]int, d.sets)
+	for i := range d.parent {
+		sizes[d.Find(i)]++
+	}
+	return sizes
+}
+
+// Components groups the universe by set, returning one slice of members per
+// component. Member order within a component is ascending.
+func (d *DSU) Components() [][]int {
+	index := make(map[int]int, d.sets)
+	comps := make([][]int, 0, d.sets)
+	for i := range d.parent {
+		r := d.Find(i)
+		ci, ok := index[r]
+		if !ok {
+			ci = len(comps)
+			index[r] = ci
+			comps = append(comps, nil)
+		}
+		comps[ci] = append(comps[ci], i)
+	}
+	return comps
+}
+
+// Labels writes, for each element i, a small dense component label into out
+// (len(out) must be >= Len) and returns the number of components. Labels are
+// assigned in order of first appearance, so they are deterministic for a
+// given union history.
+func (d *DSU) Labels(out []int32) int {
+	next := int32(0)
+	seen := make(map[int]int32, d.sets)
+	for i := range d.parent {
+		r := d.Find(i)
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			seen[r] = l
+			next++
+		}
+		out[i] = l
+	}
+	return int(next)
+}

@@ -1,0 +1,244 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	t.Parallel()
+	d := New(5)
+	if d.Len() != 5 || d.Sets() != 5 {
+		t.Fatalf("Len=%d Sets=%d, want 5/5", d.Len(), d.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d before any union", i, d.Find(i))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if d.Connected(i, j) {
+				t.Errorf("%d and %d connected in fresh DSU", i, j)
+			}
+		}
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	t.Parallel()
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Error("first Union(0,1) reported no-op")
+	}
+	if d.Union(1, 0) {
+		t.Error("repeat Union(1,0) reported merge")
+	}
+	if !d.Connected(0, 1) {
+		t.Error("0,1 not connected after union")
+	}
+	if d.Sets() != 5 {
+		t.Errorf("Sets = %d, want 5", d.Sets())
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if !d.Connected(1, 2) {
+		t.Error("transitive connectivity broken")
+	}
+	if d.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", d.Sets())
+	}
+}
+
+func TestReset(t *testing.T) {
+	t.Parallel()
+	d := New(8)
+	d.Union(0, 7)
+	d.Union(3, 4)
+	d.Reset()
+	if d.Sets() != 8 {
+		t.Fatalf("Sets after Reset = %d", d.Sets())
+	}
+	if d.Connected(0, 7) || d.Connected(3, 4) {
+		t.Fatal("connections survived Reset")
+	}
+}
+
+func TestComponentSizes(t *testing.T) {
+	t.Parallel()
+	d := New(7)
+	d.Union(0, 1)
+	d.Union(1, 2)
+	d.Union(4, 5)
+	sizes := d.ComponentSizes()
+	var got []int
+	for _, s := range sizes {
+		got = append(got, s)
+	}
+	// Expect sizes {3, 2, 1, 1} in some order.
+	counts := map[int]int{}
+	for _, s := range got {
+		counts[s]++
+	}
+	if counts[3] != 1 || counts[2] != 1 || counts[1] != 2 || len(got) != 4 {
+		t.Fatalf("component sizes = %v", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	t.Parallel()
+	d := New(5)
+	d.Union(0, 2)
+	d.Union(2, 4)
+	comps := d.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+		for i := 1; i < len(c); i++ {
+			if c[i-1] >= c[i] {
+				t.Fatalf("component %v not ascending", c)
+			}
+			if !d.Connected(c[0], c[i]) {
+				t.Fatalf("component %v members not connected", c)
+			}
+		}
+	}
+	if total != 5 {
+		t.Fatalf("components cover %d elements, want 5", total)
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	t.Parallel()
+	d := New(6)
+	d.Union(1, 3)
+	d.Union(4, 5)
+	labels := make([]int32, 6)
+	n := d.Labels(labels)
+	if n != 4 {
+		t.Fatalf("Labels returned %d components, want 4", n)
+	}
+	// Labels are dense [0, n) and consistent with Connected.
+	seen := map[int32]bool{}
+	for i := 0; i < 6; i++ {
+		if labels[i] < 0 || int(labels[i]) >= n {
+			t.Fatalf("label[%d] = %d out of range", i, labels[i])
+		}
+		seen[labels[i]] = true
+		for j := 0; j < 6; j++ {
+			if (labels[i] == labels[j]) != d.Connected(i, j) {
+				t.Fatalf("labels disagree with Connected at (%d,%d)", i, j)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d distinct labels used, want %d", len(seen), n)
+	}
+}
+
+func TestZeroElements(t *testing.T) {
+	t.Parallel()
+	d := New(0)
+	if d.Len() != 0 || d.Sets() != 0 {
+		t.Fatalf("empty DSU Len=%d Sets=%d", d.Len(), d.Sets())
+	}
+	if got := d.Components(); len(got) != 0 {
+		t.Fatalf("empty DSU has components %v", got)
+	}
+}
+
+// Property: after an arbitrary sequence of unions, Sets() equals the number
+// of distinct components found by brute-force reachability, and Connected is
+// an equivalence relation.
+func TestQuickDSUMatchesBruteForce(t *testing.T) {
+	t.Parallel()
+	const n = 24
+	f := func(pairs []uint16) bool {
+		d := New(n)
+		// Reference: adjacency + transitive closure via repeated passes.
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		var refFind func(x int) int
+		refFind = func(x int) int {
+			for ref[x] != x {
+				x = ref[x]
+			}
+			return x
+		}
+		for _, pr := range pairs {
+			a := int(pr) % n
+			b := int(pr>>8) % n
+			merged := d.Union(a, b)
+			ra, rb := refFind(a), refFind(b)
+			if (ra != rb) != merged {
+				return false
+			}
+			if ra != rb {
+				ref[ra] = rb
+			}
+		}
+		distinct := map[int]bool{}
+		for i := 0; i < n; i++ {
+			distinct[refFind(i)] = true
+			for j := 0; j < n; j++ {
+				if d.Connected(i, j) != (refFind(i) == refFind(j)) {
+					return false
+				}
+			}
+		}
+		return d.Sets() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Find is stable (idempotent) and Union decreases Sets by exactly
+// 0 or 1.
+func TestQuickFindStableUnionCounts(t *testing.T) {
+	t.Parallel()
+	const n = 16
+	f := func(pairs []uint16) bool {
+		d := New(n)
+		for _, pr := range pairs {
+			a := int(pr) % n
+			b := int(pr>>8) % n
+			before := d.Sets()
+			merged := d.Union(a, b)
+			after := d.Sets()
+			if merged && before-after != 1 {
+				return false
+			}
+			if !merged && before != after {
+				return false
+			}
+			r := d.Find(a)
+			if d.Find(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionFindCycle(b *testing.B) {
+	d := New(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Reset()
+		for j := 0; j < 1023; j++ {
+			d.Union(j, j+1)
+		}
+		if d.Sets() != 1 {
+			b.Fatal("unexpected component count")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package visibility
+
+// Ablation benchmarks for the component-labelling design choice called out
+// in DESIGN.md: the spatial-hash labeller against the O(k²) all-pairs
+// brute force it replaced. Correctness equivalence is established by the
+// brute-force comparison tests in visibility_test.go; these benchmarks
+// quantify the performance gap at sparse-regime densities.
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/unionfind"
+)
+
+// bruteLabeller is the all-pairs baseline: check every agent pair.
+type bruteLabeller struct {
+	dsu    *unionfind.DSU
+	labels []int32
+}
+
+func newBruteLabeller(k int) *bruteLabeller {
+	return &bruteLabeller{dsu: unionfind.New(k), labels: make([]int32, k)}
+}
+
+func (b *bruteLabeller) components(pos []grid.Point, r int) ([]int32, int) {
+	k := len(pos)
+	b.dsu.Reset()
+	if r >= 0 {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if grid.ManhattanPoints(pos[i], pos[j]) <= r {
+					b.dsu.Union(i, j)
+				}
+			}
+		}
+	}
+	return b.labels[:k], b.dsu.Labels(b.labels[:k])
+}
+
+func benchPositions(k, side int) []grid.Point {
+	src := rng.New(99)
+	pos := make([]grid.Point, k)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+	}
+	return pos
+}
+
+func BenchmarkAblationSpatialHashK1024(b *testing.B) {
+	pos := benchPositions(1024, 256)
+	l := NewLabeller(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Components(pos, 8) // r = rc for n=65536, k=1024
+	}
+}
+
+func BenchmarkAblationBruteForceK1024(b *testing.B) {
+	pos := benchPositions(1024, 256)
+	l := newBruteLabeller(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.components(pos, 8)
+	}
+}
+
+func BenchmarkAblationSpatialHashK256(b *testing.B) {
+	pos := benchPositions(256, 128)
+	l := NewLabeller(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Components(pos, 8)
+	}
+}
+
+func BenchmarkAblationBruteForceK256(b *testing.B) {
+	pos := benchPositions(256, 128)
+	l := newBruteLabeller(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.components(pos, 8)
+	}
+}
+
+// The ablations must agree, at bench parameters too.
+func TestAblationBaselinesAgree(t *testing.T) {
+	t.Parallel()
+	pos := benchPositions(256, 128)
+	fast := NewLabeller(256)
+	slow := newBruteLabeller(256)
+	for _, r := range []int{0, 4, 8, 16} {
+		fl, fc := fast.Components(pos, r)
+		flCopy := make([]int32, len(fl))
+		copy(flCopy, fl)
+		sl, sc := slow.components(pos, r)
+		if fc != sc {
+			t.Fatalf("r=%d: counts differ %d vs %d", r, fc, sc)
+		}
+		for i := range flCopy {
+			for j := range flCopy {
+				if (flCopy[i] == flCopy[j]) != (sl[i] == sl[j]) {
+					t.Fatalf("r=%d: grouping differs at (%d,%d)", r, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package visibility computes the dynamic communication graph G_t(r) of the
+// paper: vertices are agents, and an edge joins two agents whose Manhattan
+// distance is at most the transmission radius r. The simulator rebuilds the
+// connected components of this graph at every time step, so the labeller is
+// built around a reusable spatial hash plus union-find and performs no
+// steady-state allocation.
+//
+// The same machinery computes the paper's "islands" (Definition 2): the
+// components of G_t(gamma) for the island parameter gamma of Lemma 6.
+package visibility
+
+import (
+	"math"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/unionfind"
+)
+
+// Labeller computes connected-component labels for agent position sets.
+// A zero Labeller is not usable; construct with NewLabeller. A Labeller is
+// reusable across steps but not safe for concurrent use.
+type Labeller struct {
+	dsu *unionfind.DSU
+
+	// Spatial hash: agent indices bucketed by coarse cell of side max(r, 1).
+	// Bucket slices are recycled through pool to avoid per-step allocation.
+	buckets map[uint64][]int32
+	keys    []uint64 // bucket keys in first-insertion order (deterministic)
+	pool    [][]int32
+
+	labels    []int32
+	rootLabel []int32
+}
+
+// NewLabeller returns a labeller sized for populations of k agents. It
+// transparently regrows if later called with more agents.
+func NewLabeller(k int) *Labeller {
+	return &Labeller{
+		dsu:       unionfind.New(k),
+		buckets:   make(map[uint64][]int32, k),
+		labels:    make([]int32, k),
+		rootLabel: make([]int32, k),
+	}
+}
+
+func (l *Labeller) ensure(k int) {
+	if l.dsu.Len() < k {
+		l.dsu = unionfind.New(k)
+		l.labels = make([]int32, k)
+		l.rootLabel = make([]int32, k)
+	}
+}
+
+func bucketKey(bx, by int32) uint64 {
+	return uint64(uint32(bx))<<32 | uint64(uint32(by))
+}
+
+// Components labels the connected components of G(r) over the given agent
+// positions. It returns a dense label per agent (labels[i] in [0, count))
+// and the number of components. Labels are assigned deterministically in
+// order of first appearance by agent index.
+//
+// The returned slice is owned by the Labeller and is valid only until the
+// next call; callers that need to retain it must copy.
+//
+// A negative radius yields all-singleton components.
+func (l *Labeller) Components(pos []grid.Point, r int) (labels []int32, count int) {
+	k := len(pos)
+	l.ensure(k)
+	d := l.dsu
+	d.Reset()
+
+	if r >= 0 && k > 1 {
+		cell := int32(r)
+		if cell < 1 {
+			cell = 1
+		}
+
+		// Recycle buckets from the previous call.
+		for key, b := range l.buckets {
+			l.pool = append(l.pool, b[:0])
+			delete(l.buckets, key)
+		}
+		l.keys = l.keys[:0]
+
+		// Fill the spatial hash.
+		for i := 0; i < k; i++ {
+			key := bucketKey(pos[i].X/cell, pos[i].Y/cell)
+			b, ok := l.buckets[key]
+			if !ok {
+				if n := len(l.pool); n > 0 {
+					b = l.pool[n-1]
+					l.pool = l.pool[:n-1]
+				}
+				l.keys = append(l.keys, key)
+			}
+			l.buckets[key] = append(b, int32(i))
+		}
+
+		if r == 0 {
+			// Fast path: components are exactly the co-located groups.
+			for _, key := range l.keys {
+				b := l.buckets[key]
+				for i := 1; i < len(b); i++ {
+					d.Union(int(b[0]), int(b[i]))
+				}
+			}
+		} else {
+			// Within-bucket pairs plus four forward neighbour buckets cover
+			// every candidate pair exactly once: any two points at Manhattan
+			// distance <= r differ by at most one cell per axis.
+			forward := [4][2]int32{{1, 0}, {0, 1}, {1, 1}, {-1, 1}}
+			for _, key := range l.keys {
+				b := l.buckets[key]
+				bx := int32(uint32(key >> 32))
+				by := int32(uint32(key))
+				for i := 0; i < len(b); i++ {
+					pi := pos[b[i]]
+					for j := i + 1; j < len(b); j++ {
+						if grid.ManhattanPoints(pi, pos[b[j]]) <= r {
+							d.Union(int(b[i]), int(b[j]))
+						}
+					}
+				}
+				for _, off := range forward {
+					nb, ok := l.buckets[bucketKey(bx+off[0], by+off[1])]
+					if !ok {
+						continue
+					}
+					for _, ai := range b {
+						pi := pos[ai]
+						for _, aj := range nb {
+							if grid.ManhattanPoints(pi, pos[aj]) <= r {
+								d.Union(int(ai), int(aj))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Dense deterministic labels without allocation.
+	rl := l.rootLabel[:k]
+	for i := range rl {
+		rl[i] = -1
+	}
+	out := l.labels[:k]
+	next := int32(0)
+	for i := 0; i < k; i++ {
+		root := d.Find(i)
+		if rl[root] < 0 {
+			rl[root] = next
+			next++
+		}
+		out[i] = rl[root]
+	}
+	return out, int(next)
+}
+
+// FloorRadius converts a real-valued radius (such as Lemma 6's island
+// parameter gamma) to the equivalent integer Manhattan radius: distances on
+// the grid are integers, so d <= gamma iff d <= floor(gamma).
+func FloorRadius(gamma float64) int {
+	if gamma < 0 || math.IsNaN(gamma) {
+		return -1
+	}
+	return int(math.Floor(gamma))
+}
+
+// Sizes computes component sizes from a labelling. It appends to buf (which
+// may be nil) and returns one size per label.
+func Sizes(labels []int32, count int, buf []int32) []int32 {
+	if cap(buf) < count {
+		buf = make([]int32, count)
+	}
+	buf = buf[:count]
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, lb := range labels {
+		buf[lb]++
+	}
+	return buf
+}
+
+// MaxSize returns the size of the largest component in a labelling, 0 for
+// empty input.
+func MaxSize(labels []int32, count int) int {
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int32, count)
+	for _, lb := range labels {
+		sizes[lb]++
+	}
+	var max int32
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return int(max)
+}

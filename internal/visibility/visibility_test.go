@@ -1,0 +1,308 @@
+package visibility
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+)
+
+// pt builds a grid.Point tersely for test fixtures.
+func pt(x, y int32) grid.Point { return grid.Point{X: x, Y: y} }
+
+// bruteComponents computes component labels by Floyd-Warshall-style
+// transitive closure, the obviously-correct reference.
+func bruteComponents(pos []grid.Point, r int) ([]int, int) {
+	k := len(pos)
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			x = parent[x]
+		}
+		return x
+	}
+	if r >= 0 {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if grid.ManhattanPoints(pos[i], pos[j]) <= r {
+					ri, rj := find(i), find(j)
+					if ri != rj {
+						parent[ri] = rj
+					}
+				}
+			}
+		}
+	}
+	labels := make([]int, k)
+	index := map[int]int{}
+	for i := 0; i < k; i++ {
+		root := find(i)
+		l, ok := index[root]
+		if !ok {
+			l = len(index)
+			index[root] = l
+		}
+		labels[i] = l
+	}
+	return labels, len(index)
+}
+
+func sameGrouping(a []int32, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a {
+			if (a[i] == a[j]) != (b[i] == b[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestComponentsAgainstBruteForce(t *testing.T) {
+	t.Parallel()
+	src := rng.New(1)
+	l := NewLabeller(40)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + src.Intn(40)
+		pos := make([]grid.Point, k)
+		for i := range pos {
+			pos[i] = grid.Point{X: int32(src.Intn(32)), Y: int32(src.Intn(32))}
+		}
+		for _, r := range []int{0, 1, 2, 3, 5, 8, 64} {
+			labels, count := l.Components(pos, r)
+			want, wantCount := bruteComponents(pos, r)
+			if count != wantCount {
+				t.Fatalf("trial %d r=%d: count %d, want %d", trial, r, count, wantCount)
+			}
+			if !sameGrouping(labels, want) {
+				t.Fatalf("trial %d r=%d: grouping mismatch\npos=%v\ngot=%v\nwant=%v",
+					trial, r, pos, labels, want)
+			}
+		}
+	}
+}
+
+func TestComponentsR0CoLocation(t *testing.T) {
+	t.Parallel()
+	pos := []grid.Point{pt(3, 3), pt(3, 3), pt(4, 3), pt(3, 3), pt(9, 9)}
+	l := NewLabeller(len(pos))
+	labels, count := l.Components(pos, 0)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[3] {
+		t.Error("co-located agents not grouped")
+	}
+	if labels[0] == labels[2] || labels[0] == labels[4] || labels[2] == labels[4] {
+		t.Error("distinct nodes grouped at r=0")
+	}
+}
+
+func TestComponentsNegativeRadius(t *testing.T) {
+	t.Parallel()
+	pos := []grid.Point{pt(1, 1), pt(1, 1), pt(1, 1)}
+	l := NewLabeller(3)
+	labels, count := l.Components(pos, -1)
+	if count != 3 {
+		t.Fatalf("negative radius: count = %d, want all singletons", count)
+	}
+	if labels[0] == labels[1] || labels[1] == labels[2] {
+		t.Error("negative radius connected agents")
+	}
+}
+
+func TestComponentsChainTransitivity(t *testing.T) {
+	t.Parallel()
+	// Chain of agents spaced exactly r apart: all one component even though
+	// the endpoints are far apart.
+	pos := []grid.Point{pt(0, 0), pt(2, 0), pt(4, 0), pt(6, 0), pt(8, 0)}
+	l := NewLabeller(len(pos))
+	_, count := l.Components(pos, 2)
+	if count != 1 {
+		t.Fatalf("chain with spacing=r: %d components, want 1", count)
+	}
+	// Spacing r+1 disconnects everything.
+	_, count = l.Components(pos, 1)
+	if count != len(pos) {
+		t.Fatalf("chain with spacing>r: %d components, want %d", count, len(pos))
+	}
+}
+
+func TestComponentsExactManhattanBoundary(t *testing.T) {
+	t.Parallel()
+	// Diagonal pair at Manhattan distance 2 (Chebyshev 1): connected at
+	// r=2, not at r=1. This distinguishes Manhattan from Chebyshev.
+	pos := []grid.Point{pt(5, 5), pt(6, 6)}
+	l := NewLabeller(2)
+	if _, count := l.Components(pos, 2); count != 1 {
+		t.Error("diagonal pair at L1 distance 2 not connected at r=2")
+	}
+	if _, count := l.Components(pos, 1); count != 2 {
+		t.Error("diagonal pair at L1 distance 2 connected at r=1")
+	}
+}
+
+func TestComponentsSingleAndEmpty(t *testing.T) {
+	t.Parallel()
+	l := NewLabeller(4)
+	labels, count := l.Components([]grid.Point{pt(0, 0)}, 5)
+	if count != 1 || labels[0] != 0 {
+		t.Errorf("single agent: labels=%v count=%d", labels, count)
+	}
+	labels, count = l.Components(nil, 3)
+	if count != 0 || len(labels) != 0 {
+		t.Errorf("empty: labels=%v count=%d", labels, count)
+	}
+}
+
+func TestLabellerRegrows(t *testing.T) {
+	t.Parallel()
+	l := NewLabeller(2)
+	pos := make([]grid.Point, 50)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(i), Y: 0}
+	}
+	labels, count := l.Components(pos, 1)
+	if count != 1 {
+		t.Fatalf("regrown labeller: count=%d, want 1", count)
+	}
+	if len(labels) != 50 {
+		t.Fatalf("labels length %d", len(labels))
+	}
+}
+
+func TestLabelsDeterministicOrder(t *testing.T) {
+	t.Parallel()
+	pos := []grid.Point{pt(9, 9), pt(0, 0), pt(9, 9), pt(1, 0)}
+	l := NewLabeller(len(pos))
+	labels, _ := l.Components(pos, 1)
+	// First appearance order: agent0 gets label 0, agent1 label 1, agent2
+	// joins agent0, agent3 joins agent1.
+	if labels[0] != 0 || labels[1] != 1 || labels[2] != 0 || labels[3] != 1 {
+		t.Errorf("labels = %v, want [0 1 0 1]", labels)
+	}
+}
+
+func TestReusedLabellerMatchesFresh(t *testing.T) {
+	t.Parallel()
+	src := rng.New(9)
+	reused := NewLabeller(30)
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + src.Intn(30)
+		pos := make([]grid.Point, k)
+		for i := range pos {
+			pos[i] = grid.Point{X: int32(src.Intn(16)), Y: int32(src.Intn(16))}
+		}
+		r := src.Intn(4)
+		fresh := NewLabeller(k)
+		gotL, gotC := reused.Components(pos, r)
+		gotCopy := make([]int32, len(gotL))
+		copy(gotCopy, gotL)
+		wantL, wantC := fresh.Components(pos, r)
+		if gotC != wantC {
+			t.Fatalf("trial %d: reused count %d != fresh %d", trial, gotC, wantC)
+		}
+		for i := range wantL {
+			if gotCopy[i] != wantL[i] {
+				t.Fatalf("trial %d: label[%d] %d != %d", trial, i, gotCopy[i], wantL[i])
+			}
+		}
+	}
+}
+
+func TestFloorRadius(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		in   float64
+		want int
+	}{
+		{0, 0}, {0.9, 0}, {1, 1}, {2.7, 2}, {15.999, 15}, {-0.5, -1},
+	}
+	for _, tc := range cases {
+		if got := FloorRadius(tc.in); got != tc.want {
+			t.Errorf("FloorRadius(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSizesAndMaxSize(t *testing.T) {
+	t.Parallel()
+	labels := []int32{0, 1, 0, 2, 0, 1}
+	sizes := Sizes(labels, 3, nil)
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	if got := MaxSize(labels, 3); got != 3 {
+		t.Errorf("MaxSize = %d, want 3", got)
+	}
+	if got := MaxSize(nil, 0); got != 0 {
+		t.Errorf("MaxSize(empty) = %d", got)
+	}
+	// Buffer reuse path.
+	buf := make([]int32, 0, 8)
+	sizes2 := Sizes(labels, 3, buf)
+	if len(sizes2) != 3 || sizes2[0] != 3 {
+		t.Errorf("Sizes with buffer = %v", sizes2)
+	}
+}
+
+// Property: labelling agrees with brute force on random configurations.
+func TestQuickComponentsCorrect(t *testing.T) {
+	t.Parallel()
+	l := NewLabeller(16)
+	f := func(raw []uint16, rRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		pos := make([]grid.Point, len(raw))
+		for i, v := range raw {
+			pos[i] = grid.Point{X: int32(v % 24), Y: int32((v >> 8) % 24)}
+		}
+		r := int(rRaw % 8)
+		labels, count := l.Components(pos, r)
+		want, wantCount := bruteComponents(pos, r)
+		return count == wantCount && sameGrouping(labels, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkComponentsSparse(b *testing.B) {
+	src := rng.New(1)
+	const k = 256
+	pos := make([]grid.Point, k)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(128)), Y: int32(src.Intn(128))}
+	}
+	l := NewLabeller(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Components(pos, 8) // r near percolation for n=16384, k=256
+	}
+}
+
+func BenchmarkComponentsR0(b *testing.B) {
+	src := rng.New(1)
+	const k = 256
+	pos := make([]grid.Point, k)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(128)), Y: int32(src.Intn(128))}
+	}
+	l := NewLabeller(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Components(pos, 0)
+	}
+}

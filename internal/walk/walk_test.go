@@ -1,0 +1,367 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/stats"
+	"mobilenet/internal/theory"
+)
+
+func TestStepStaysOnGrid(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(5)
+	src := rng.New(1)
+	p := grid.Point{X: 0, Y: 0}
+	for i := 0; i < 10000; i++ {
+		p = Step(g, p, src)
+		if !g.Contains(p) {
+			t.Fatalf("walk left the grid: %v", p)
+		}
+	}
+}
+
+func TestStepMovesByAtMostOne(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(9)
+	src := rng.New(2)
+	p := g.Center()
+	for i := 0; i < 10000; i++ {
+		q := Step(g, p, src)
+		if d := grid.ManhattanPoints(p, q); d > 1 {
+			t.Fatalf("step jumped distance %d: %v -> %v", d, p, q)
+		}
+		p = q
+	}
+}
+
+func TestStepKernelProbabilities(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(99)
+	src := rng.New(3)
+	const trials = 250000
+
+	checkKernel := func(t *testing.T, start grid.Point, nv int) {
+		t.Helper()
+		moves := make(map[grid.Point]int)
+		for i := 0; i < trials; i++ {
+			moves[Step(g, start, src)]++
+		}
+		stayWant := 1 - float64(nv)/5
+		tol := 4 * math.Sqrt(0.2*0.8/float64(trials)) // ~4 sigma
+		for q, c := range moves {
+			got := float64(c) / trials
+			want := 0.2
+			if q == start {
+				want = stayWant
+			}
+			if math.Abs(got-want) > tol {
+				t.Errorf("start %v -> %v: rate %.4f, want %.4f", start, q, got, want)
+			}
+		}
+		if len(moves) != nv+1 {
+			t.Errorf("start %v: %d outcomes, want %d", start, len(moves), nv+1)
+		}
+	}
+
+	t.Run("interior nv=4", func(t *testing.T) { checkKernel(t, g.Center(), 4) })
+	t.Run("edge nv=3", func(t *testing.T) { checkKernel(t, grid.Point{X: 0, Y: 50}, 3) })
+	t.Run("corner nv=2", func(t *testing.T) { checkKernel(t, grid.Point{X: 0, Y: 0}, 2) })
+}
+
+// The defining property of the lazy kernel: uniform stays uniform. March a
+// population forward and chi-square test node occupancy (coarse buckets).
+func TestStationarityPreserved(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(16) // 256 nodes
+	src := rng.New(77)
+	const agents = 6400
+	const steps = 50
+	pos := make([]grid.Point, agents)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(16)), Y: int32(src.Intn(16))}
+	}
+	for s := 0; s < steps; s++ {
+		for i := range pos {
+			pos[i] = Step(g, pos[i], src)
+		}
+	}
+	// Bucket into 4x4 super-cells to keep expected counts high.
+	counts := make([]int, 16)
+	for _, p := range pos {
+		counts[(p.Y/4)*4+p.X/4]++
+	}
+	stat, rejected, err := stats.ChiSquareUniform(counts, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected {
+		t.Errorf("occupancy rejected uniformity: chi2=%.1f counts=%v", stat, counts)
+	}
+}
+
+func TestSimpleStepAlwaysMoves(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(9)
+	src := rng.New(41)
+	p := g.Center()
+	for i := 0; i < 10000; i++ {
+		q := SimpleStep(g, p, src)
+		if q == p {
+			t.Fatalf("simple walk stayed put at %v", p)
+		}
+		if grid.ManhattanPoints(p, q) != 1 {
+			t.Fatalf("simple walk jumped: %v -> %v", p, q)
+		}
+		if !g.Contains(q) {
+			t.Fatalf("simple walk left grid: %v", q)
+		}
+		p = q
+	}
+}
+
+func TestSimpleStepPreservesParity(t *testing.T) {
+	t.Parallel()
+	// The defining flaw of the non-lazy kernel on the bipartite grid:
+	// (x+y) mod 2 alternates deterministically every step.
+	g := grid.MustNew(11)
+	src := rng.New(43)
+	p := grid.Point{X: 3, Y: 4}
+	parity := (p.X + p.Y) % 2
+	for i := 1; i <= 5000; i++ {
+		p = SimpleStep(g, p, src)
+		want := (parity + int32(i)) % 2
+		if (p.X+p.Y)%2 != want {
+			t.Fatalf("parity broken at step %d", i)
+		}
+	}
+}
+
+func TestSimpleStepDegenerateGrid(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(1)
+	src := rng.New(47)
+	p := grid.Point{X: 0, Y: 0}
+	if q := SimpleStep(g, p, src); q != p {
+		t.Fatalf("1x1 grid step moved to %v", q)
+	}
+}
+
+func TestTorusStepWraps(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(5)
+	src := rng.New(61)
+	p := grid.Point{X: 0, Y: 0}
+	wrapped := false
+	for i := 0; i < 5000; i++ {
+		q := TorusStep(g, p, src)
+		if !g.Contains(q) {
+			t.Fatalf("torus step left the grid: %v", q)
+		}
+		// Distance on the torus is at most 1 per axis with wraparound.
+		dx := q.X - p.X
+		dy := q.Y - p.Y
+		stepLike := (dx == 0 && dy == 0) ||
+			(abs32(dx) == 1 && dy == 0) || (dx == 0 && abs32(dy) == 1) ||
+			(abs32(dx) == 4 && dy == 0) || (dx == 0 && abs32(dy) == 4)
+		if !stepLike {
+			t.Fatalf("torus jump %v -> %v", p, q)
+		}
+		if abs32(dx) == 4 || abs32(dy) == 4 {
+			wrapped = true
+		}
+		p = q
+	}
+	if !wrapped {
+		t.Error("walk never wrapped around in 5000 steps")
+	}
+}
+
+func TestTorusStepUniformKernel(t *testing.T) {
+	t.Parallel()
+	// On the torus every node has the same kernel: stay probability exactly
+	// 1/5 even at the former "corner".
+	g := grid.MustNew(7)
+	src := rng.New(67)
+	const trials = 200000
+	stays := 0
+	start := grid.Point{X: 0, Y: 0}
+	for i := 0; i < trials; i++ {
+		if TorusStep(g, start, src) == start {
+			stays++
+		}
+	}
+	got := float64(stays) / trials
+	if math.Abs(got-0.2) > 0.005 {
+		t.Errorf("torus corner stay rate %.4f, want 0.2", got)
+	}
+}
+
+func TestTorusStepDegenerate(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(1)
+	src := rng.New(71)
+	if q := TorusStep(g, grid.Point{X: 0, Y: 0}, src); q != (grid.Point{X: 0, Y: 0}) {
+		t.Fatalf("1x1 torus moved to %v", q)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestLazyStepBreaksParity(t *testing.T) {
+	t.Parallel()
+	// In contrast to SimpleStep, the paper's lazy kernel must visit both
+	// parity classes from a fixed start.
+	g := grid.MustNew(11)
+	src := rng.New(53)
+	seenParity := map[int32]bool{}
+	p := g.Center()
+	for i := 0; i < 100; i++ {
+		p = Step(g, p, src)
+		seenParity[(p.X+p.Y)%2] = true
+	}
+	if len(seenParity) != 2 {
+		t.Fatal("lazy walk stuck on one parity class")
+	}
+}
+
+func TestWalkerBasics(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(11)
+	w := NewWalker(g, g.Center(), rng.New(5), true)
+	if w.Pos() != g.Center() || w.Origin() != g.Center() {
+		t.Fatal("initial position wrong")
+	}
+	if w.Range() != 1 {
+		t.Fatalf("initial range = %d, want 1", w.Range())
+	}
+	for i := 0; i < 100; i++ {
+		w.Step()
+	}
+	if w.Steps() != 100 {
+		t.Errorf("Steps = %d", w.Steps())
+	}
+	if w.Range() < 2 {
+		t.Errorf("range after 100 steps = %d, implausibly small", w.Range())
+	}
+	if w.Range() > 101 {
+		t.Errorf("range %d exceeds steps+1", w.Range())
+	}
+	if !w.Visited(g.Center()) {
+		t.Error("origin not marked visited")
+	}
+	if w.MaxDisplacement() < w.Displacement() {
+		t.Error("max displacement below current displacement")
+	}
+}
+
+func TestWalkerWithoutRangeTracking(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(8)
+	w := NewWalker(g, g.Center(), rng.New(6), false)
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	if w.Range() != 0 {
+		t.Errorf("Range = %d without tracking, want 0", w.Range())
+	}
+	if w.Visited(g.Center()) {
+		t.Error("Visited true without tracking")
+	}
+}
+
+func TestNewWalkerUniformOnGrid(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(7)
+	src := rng.New(8)
+	for i := 0; i < 100; i++ {
+		w := NewWalkerUniform(g, src, false)
+		if !g.Contains(w.Pos()) {
+			t.Fatalf("uniform walker off grid: %v", w.Pos())
+		}
+	}
+}
+
+func TestWalkerDeterministic(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(21)
+	w1 := NewWalker(g, g.Center(), rng.New(99), false)
+	w2 := NewWalker(g, g.Center(), rng.New(99), false)
+	for i := 0; i < 1000; i++ {
+		if w1.Step() != w2.Step() {
+			t.Fatalf("walks with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+// Lemma 2(1): Pr[displacement >= lambda*sqrt(l)] <= 2 exp(-lambda^2/2).
+func TestDisplacementTailBound(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(301)
+	src := rng.New(17)
+	const l = 400
+	const trials = 2000
+	lambdas := []float64{2, 3}
+	exceed := make([]int, len(lambdas))
+	for tr := 0; tr < trials; tr++ {
+		w := NewWalker(g, g.Center(), src.Split(), false)
+		for i := 0; i < l; i++ {
+			w.Step()
+		}
+		d := float64(w.MaxDisplacement())
+		for j, lam := range lambdas {
+			if d >= lam*math.Sqrt(l) {
+				exceed[j]++
+			}
+		}
+	}
+	for j, lam := range lambdas {
+		got := float64(exceed[j]) / trials
+		bound := theory.DisplacementTail(lam)
+		// Allow modest sampling slack above the theoretical bound.
+		if got > bound+0.03 {
+			t.Errorf("lambda=%v: tail %.4f exceeds bound %.4f", lam, got, bound)
+		}
+	}
+}
+
+// Lemma 2(2): with probability > 1/2 a walk visits >= c2*l/log(l) nodes.
+func TestRangeLowerBound(t *testing.T) {
+	t.Parallel()
+	g := grid.MustNew(201)
+	src := rng.New(23)
+	const l = 1024
+	const trials = 400
+	hits := 0
+	bound := theory.RangeLowerBound(l, theory.DefaultC2)
+	for tr := 0; tr < trials; tr++ {
+		w := NewWalker(g, g.Center(), src.Split(), true)
+		for i := 0; i < l; i++ {
+			w.Step()
+		}
+		if float64(w.Range()) >= bound {
+			hits++
+		}
+	}
+	if frac := float64(hits) / trials; frac <= 0.5 {
+		t.Errorf("range >= bound in only %.2f of runs, want > 0.5", frac)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	g := grid.MustNew(128)
+	src := rng.New(1)
+	p := g.Center()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = Step(g, p, src)
+	}
+	_ = p
+}

@@ -13,7 +13,12 @@ package mobilenet
 import (
 	"testing"
 
+	"mobilenet/internal/agent"
 	"mobilenet/internal/experiments"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/trace"
 )
 
 const (
@@ -117,6 +122,52 @@ func BenchmarkX07BoundaryAblation(b *testing.B) { benchExperiment(b, "X7") }
 // BenchmarkX08SynchronyAblation regenerates X8: lockstep vs random
 // sequential updates.
 func BenchmarkX08SynchronyAblation(b *testing.B) { benchExperiment(b, "X8") }
+
+// BenchmarkMobilityModels measures the raw cost of one synchronized
+// population step under each mobility model at fixed n and k — the
+// motion-layer baseline for future perf work (sharded populations, batched
+// stepping). Dissemination bookkeeping is deliberately excluded: this is
+// the price of motion alone.
+func BenchmarkMobilityModels(b *testing.B) {
+	const side, k = 128, 256
+	g := grid.MustNew(side)
+	models := []mobility.Model{
+		mobility.LazyWalk{},
+		mobility.RandomWaypoint{Pause: 2},
+		mobility.LevyFlight{},
+		mobility.Ballistic{},
+	}
+	// The trace model replays a short recorded lazy run, looping.
+	{
+		pop, err := agent.New(g, k, rng.New(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := trace.NewRecorder(side, pop.Positions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 512; s++ {
+			pop.Step()
+			if err := rec.Record(pop.Positions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		models = append(models, mobility.TraceReplay{Trace: rec.Trace(), Loop: true})
+	}
+	for _, m := range models {
+		b.Run(m.Name(), func(b *testing.B) {
+			pop, err := agent.NewWithModel(g, k, rng.New(1), m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop.Step()
+			}
+		})
+	}
+}
 
 // BenchmarkBroadcastThroughput measures raw simulation speed through the
 // public API: one full broadcast on a 64x64 grid with 32 agents.

@@ -4,8 +4,18 @@
 // Usage:
 //
 //	mobisim -n 16384 -k 64 -r 0 -seed 1 -model broadcast
+//	mobisim -n 16384 -k 64 -mobility levy:alpha=1.6,max=40
 //
 // Models: broadcast (default), gossip, frog, cover, extinction.
+//
+// Mobility (-mobility) selects the motion law, with model-specific
+// sub-options after a colon:
+//
+//	lazy                   the paper's lazy random walk (default)
+//	waypoint[:pause=N]     random waypoint with N-tick rest on arrival
+//	levy[:alpha=F,max=N]   Lévy flight, tail exponent F, truncation N
+//	ballistic[:turn=F]     straight lines, per-tick turn probability F
+//	trace:FILE[,loop]      replay a trajectory recorded with -trace
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"mobilenet"
 	"mobilenet/internal/core"
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/trace"
 )
 
@@ -34,6 +45,7 @@ func run(args []string) error {
 		r        = fs.Int("r", 0, "transmission radius (Manhattan)")
 		seed     = fs.Uint64("seed", 1, "randomness seed")
 		model    = fs.String("model", "broadcast", "model: broadcast|gossip|frog|cover|extinction")
+		mobSpec  = fs.String("mobility", "lazy", "mobility model: lazy|waypoint[:pause=N]|levy[:alpha=F,max=N]|ballistic[:turn=F]|trace:FILE[,loop]")
 		preys    = fs.Int("preys", 0, "prey count for -model extinction (default k)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve (broadcast only)")
 		traceOut = fs.String("trace", "", "record the full trajectory to this file (broadcast only)")
@@ -42,12 +54,20 @@ func run(args []string) error {
 		return err
 	}
 
-	net, err := mobilenet.New(*n, *k, mobilenet.WithRadius(*r), mobilenet.WithSeed(*seed))
+	// The spec is parsed once per representation, up front: the public
+	// Mobility for the Network, and (only when recording) the internal
+	// model for the core-level traced run.
+	mob, err := mobilenet.ParseMobility(*mobSpec)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("grid: %dx%d (n=%d)  agents: k=%d  radius: r=%d\n",
-		net.Side(), net.Side(), net.Nodes(), net.Agents(), net.Radius())
+	net, err := mobilenet.New(*n, *k,
+		mobilenet.WithRadius(*r), mobilenet.WithSeed(*seed), mobilenet.WithMobility(mob))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid: %dx%d (n=%d)  agents: k=%d  radius: r=%d  mobility: %s\n",
+		net.Side(), net.Side(), net.Nodes(), net.Agents(), net.Radius(), net.Mobility())
 	fmt.Printf("percolation radius r_c = %.2f  regime: %s\n",
 		net.PercolationRadius(), regime(net))
 	fmt.Printf("theoretical scale n/sqrt(k) = %.1f\n\n", net.ExpectedBroadcastScale())
@@ -55,7 +75,11 @@ func run(args []string) error {
 	switch *model {
 	case "broadcast":
 		if *traceOut != "" {
-			return tracedBroadcast(net, *seed, *r, *traceOut)
+			mobModel, err := mobility.Parse(*mobSpec)
+			if err != nil {
+				return err
+			}
+			return tracedBroadcast(net, *seed, *r, mobModel, *traceOut)
 		}
 		res, err := net.Broadcast()
 		if err != nil {
@@ -105,14 +129,16 @@ func run(args []string) error {
 }
 
 // tracedBroadcast runs a broadcast step by step, recording every position
-// into a trace file for later replay/debugging.
-func tracedBroadcast(net *mobilenet.Network, seed uint64, radius int, path string) error {
+// into a trace file for later replay/debugging. Recording requires a
+// unit-step mobility model (lazy or waypoint); torus-wrapping models
+// produce displacements the delta encoding rejects.
+func tracedBroadcast(net *mobilenet.Network, seed uint64, radius int, mob mobility.Model, path string) error {
 	g, err := grid.New(net.Side())
 	if err != nil {
 		return err
 	}
 	b, err := core.NewBroadcast(core.Config{
-		Grid: g, K: net.Agents(), Radius: radius, Seed: seed, Source: 0,
+		Grid: g, K: net.Agents(), Radius: radius, Seed: seed, Source: 0, Mobility: mob,
 	})
 	if err != nil {
 		return err

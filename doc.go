@@ -15,9 +15,9 @@
 //
 // The paper proves that below the percolation radius r_c ≈ sqrt(n/k) the
 // broadcast time is Θ̃(n/√k) for every transmission radius — surprisingly
-// independent of r — and this module's experiment suite (E1-E17, see
-// DESIGN.md and EXPERIMENTS.md) validates each theorem, lemma and
-// corollary empirically.
+// independent of r — and this module's experiment suite (E1-E17, described
+// in EXPERIMENTS.md, with the architecture in DESIGN.md) validates each
+// theorem, lemma and corollary empirically.
 //
 // # Quick start
 //
@@ -26,7 +26,35 @@
 //	res, err := net.Broadcast()
 //	fmt.Println("T_B =", res.Steps)
 //
+// # Mobility models
+//
+// The motion law is pluggable. The default is the paper's lazy walk, and
+// four alternatives ship with the module:
+//
+//   - LazyWalk: the paper's §2 kernel (default). The only model the
+//     Θ̃(n/√k) bounds are proved for; reproduces pre-subsystem results
+//     bit for bit under equal seeds.
+//   - RandomWaypoint: repeatedly walk toward a uniform destination node,
+//     resting on arrival. Occupancy is centre-biased (the classical
+//     waypoint pathology), not uniform.
+//   - LevyFlight: truncated power-law jumps with uniform headings, on the
+//     torus; uniform occupancy stays exactly stationary.
+//   - Ballistic: straight lattice lines with a per-tick turn-and-rest
+//     probability, on the torus; uniform occupancy stays stationary.
+//   - TraceReplay: replay a recorded trajectory (looping or truncating),
+//     the bridge to empirical mobility datasets.
+//
+// Select a model with WithMobility:
+//
+//	net, _ := mobilenet.New(128*128, 64, mobilenet.WithMobility(mobilenet.LevyFlight(1.6, 0)))
+//
+// Every simulation a Network runs — Broadcast, Gossip, FrogBroadcast,
+// CoverTime, Extinction — honours the configured model. ParseMobility
+// converts CLI-style specs such as "levy:alpha=1.6,max=40"; cmd/mobisim
+// exposes the same grammar as its -mobility flag.
+//
 // The examples/ directory contains runnable scenarios (MANET radius sweeps,
-// epidemic spreading, wildlife-tracking gossip, the Frog model), and the
-// cmd/ directory ships the simulation and experiment CLIs.
+// epidemic spreading, wildlife-tracking gossip, the Frog model, the
+// cross-model mobility contrast in examples/levy), and the cmd/ directory
+// ships the simulation and experiment CLIs.
 package mobilenet

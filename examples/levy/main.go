@@ -1,0 +1,98 @@
+// Mobility contrast: does HOW the agents move change how fast a rumor
+// spreads?
+//
+// The paper proves T_B = Θ̃(n/√k) for one motion law — the lazy random
+// walk — and related work suggests the answer depends strongly on the
+// mobility family: Lévy flights and ballistic motion "stir" the population
+// super-diffusively, while waypoint motion funnels agents through the grid
+// centre. With the mobility subsystem the comparison is a one-line change:
+// the same n, k, r, the same seeds, only WithMobility varies.
+//
+// Typical output shows the diffusive lazy walk is the slowest disseminator
+// (its broadcast time carries the full n/√k mobility bottleneck) while
+// every model with long directed legs — waypoint, ballistic and especially
+// Lévy flights — completes the broadcast in a fraction of the time. That
+// ordering is exactly the mobile-conductance prediction of Zhang et al.
+//
+// Run with:
+//
+//	go run ./examples/levy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilenet"
+)
+
+func main() {
+	const (
+		nodes  = 64 * 64 // n grid nodes
+		agents = 32      // k agents
+		radius = 0       // co-location contact only: pure mobility bottleneck
+		reps   = 5       // medians over a few seeds
+	)
+
+	probe, err := mobilenet.New(nodes, agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mobility contrast: n=%d, k=%d, r=%d (subcritical)\n", probe.Nodes(), agents, radius)
+	fmt.Printf("lazy-walk theory scale n/√k = %.0f\n\n", probe.ExpectedBroadcastScale())
+
+	models := []struct {
+		name string
+		mob  mobilenet.Mobility
+	}{
+		{"lazy walk (paper)", mobilenet.LazyWalk()},
+		{"waypoint, pause=2", mobilenet.RandomWaypoint(2)},
+		{"levy, alpha=2.4", mobilenet.LevyFlight(2.4, 0)},
+		{"levy, alpha=1.4", mobilenet.LevyFlight(1.4, 0)},
+		{"ballistic, turn=0.05", mobilenet.Ballistic(0.05)},
+	}
+
+	fmt.Printf("%-22s %-12s %s\n", "mobility", "median T_B", "vs lazy")
+	var lazy int
+	for _, m := range models {
+		times := make([]int, 0, reps)
+		for seed := uint64(1); seed <= reps; seed++ {
+			net, err := mobilenet.New(nodes, agents,
+				mobilenet.WithRadius(radius),
+				mobilenet.WithSeed(seed),
+				mobilenet.WithMobility(m.mob))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := net.Broadcast()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Completed {
+				log.Fatalf("%s seed=%d: broadcast did not complete in %d steps", m.name, seed, res.Steps)
+			}
+			times = append(times, res.Steps)
+		}
+		med := median(times)
+		if lazy == 0 {
+			lazy = med
+			fmt.Printf("%-22s %-12d %s\n", m.name, med, "1.00x (baseline)")
+			continue
+		}
+		fmt.Printf("%-22s %-12d %.2fx\n", m.name, med, float64(med)/float64(lazy))
+	}
+
+	fmt.Println("\nlesson: the Θ̃(n/√k) bound is a property of diffusive motion, not of")
+	fmt.Println("sparse networks per se — stronger stirring beats the mobility bottleneck.")
+}
+
+func median(xs []int) int {
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,3 @@
+module mobilenet
+
+go 1.24

@@ -1,15 +1,16 @@
-// Package agent manages populations of mobile agents: their uniform random
-// initial placement and their synchronized lazy-random-walk motion, exactly
-// as specified in the paper's §2 model. The population is the substrate all
-// dissemination processes (core, frog, predator) run on.
+// Package agent manages populations of mobile agents: their initial
+// placement and their synchronized motion. Motion is delegated to a
+// mobility.Model — the default is the paper's §2 lazy random walk — and the
+// population is the substrate all dissemination processes (core, frog,
+// predator) run on.
 package agent
 
 import (
 	"fmt"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/rng"
-	"mobilenet/internal/walk"
 )
 
 // Population is a set of k agents on a grid. Positions are exposed as a
@@ -17,19 +18,30 @@ import (
 // engines; treat it as read-only outside this package and use SetPosition
 // for mutations so invariants hold.
 type Population struct {
-	g   *grid.Grid
-	pos []grid.Point
-	src *rng.Source
-	t   int
+	g     *grid.Grid
+	pos   []grid.Point
+	t     int
+	model mobility.Model
+	mob   mobility.State
 }
 
-// New places k agents uniformly and independently at random on g, drawing
-// randomness from src. It returns an error for non-positive k or nil inputs.
+// New places k agents on g under the default lazy-walk model, drawing
+// randomness from src. It returns an error for non-positive k or nil
+// inputs. Placement is uniform and independent, the paper's initial
+// condition.
 //
 // The paper's sparse regime assumes n >= 2k; New does not enforce that —
 // denser populations are legal and used by the supercritical contrast
 // experiments — but callers can check Sparse().
 func New(g *grid.Grid, k int, src *rng.Source) (*Population, error) {
+	return NewWithModel(g, k, src, nil)
+}
+
+// NewWithModel places k agents on g moving under the given mobility model;
+// nil selects the default lazy walk. The model's state draws all its
+// randomness (placement included) from src, so a run remains reproducible
+// from one seed.
+func NewWithModel(g *grid.Grid, k int, src *rng.Source, m mobility.Model) (*Population, error) {
 	if g == nil {
 		return nil, fmt.Errorf("agent: nil grid")
 	}
@@ -39,15 +51,20 @@ func New(g *grid.Grid, k int, src *rng.Source) (*Population, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("agent: population size must be positive, got %d", k)
 	}
+	if m == nil {
+		m = mobility.Default()
+	}
+	st, err := m.Bind(g, k, src)
+	if err != nil {
+		return nil, err
+	}
 	p := &Population{
-		g:   g,
-		pos: make([]grid.Point, k),
-		src: src,
+		g:     g,
+		pos:   make([]grid.Point, k),
+		model: m,
+		mob:   st,
 	}
-	side := g.Side()
-	for i := range p.pos {
-		p.pos[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
-	}
+	st.Place(p.pos)
 	return p, nil
 }
 
@@ -56,6 +73,9 @@ func (p *Population) K() int { return len(p.pos) }
 
 // Grid returns the underlying grid.
 func (p *Population) Grid() *grid.Grid { return p.g }
+
+// Model returns the mobility model driving the population.
+func (p *Population) Model() mobility.Model { return p.model }
 
 // Time returns the number of synchronized steps taken so far.
 func (p *Population) Time() int { return p.t }
@@ -77,19 +97,16 @@ func (p *Population) SetPosition(i int, q grid.Point) {
 // it; it is exposed to keep per-step component computation allocation-free.
 func (p *Population) Positions() []grid.Point { return p.pos }
 
-// Step advances every agent one lazy-walk step, synchronously.
+// Step advances every agent one step of the mobility model, synchronously.
 func (p *Population) Step() {
-	g, src := p.g, p.src
-	for i := range p.pos {
-		p.pos[i] = walk.Step(g, p.pos[i], src)
-	}
+	p.mob.Step(p.pos)
 	p.t++
 }
 
 // StepAgent advances only agent i (used by the Frog model, where inactive
 // agents stay frozen).
 func (p *Population) StepAgent(i int) {
-	p.pos[i] = walk.Step(p.g, p.pos[i], p.src)
+	p.mob.StepAgent(p.pos, i)
 }
 
 // Tick records the passage of one global time step without moving anyone;

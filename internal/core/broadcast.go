@@ -43,7 +43,7 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 		return nil, err
 	}
 	src := rng.New(cfg.Seed)
-	pop, err := agent.New(cfg.Grid, cfg.K, src)
+	pop, err := agent.NewWithModel(cfg.Grid, cfg.K, src, cfg.Mobility)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/theory"
 )
 
@@ -35,6 +36,13 @@ type Config struct {
 	// 64 * (n/sqrt(k)) * (log2(n)+1) steps, far above the Õ(n/√k) bound.
 	MaxSteps int
 
+	// Mobility selects the motion model the population follows; nil selects
+	// the paper's lazy random walk (mobility.LazyWalk), which reproduces
+	// the pre-subsystem stepping path bit for bit under equal seeds. The
+	// theoretical bounds quoted elsewhere in this package are proved for
+	// the lazy walk only; other models are experimental contrasts.
+	Mobility mobility.Model
+
 	// TrackInformedArea enables the informed-area bitset I(t): the set of
 	// grid nodes visited by informed agents. Required for frontier and
 	// coverage measurements; costs one bitset write per informed agent step.
@@ -53,10 +61,13 @@ type Config struct {
 	// value.
 	CellSide int
 
-	// Placement, when non-nil, overrides the uniform random initial
+	// Placement, when non-nil, overrides the mobility model's initial
 	// placement with explicit agent positions (len == K, all on-grid).
 	// Deterministic placements support scenario construction and
 	// regression tests; the paper's model corresponds to leaving this nil.
+	// Models with per-agent motion state (waypoint destinations, trace
+	// clocks) keep the state they derived at placement time, so overriding
+	// composes best with the memoryless models (lazy, levy).
 	Placement []grid.Point
 }
 

@@ -47,7 +47,7 @@ func NewPartialGossip(cfg Config, rumors int) (*Gossip, error) {
 		rumors = cfg.K
 	}
 	src := rng.New(cfg.Seed)
-	pop, err := agent.New(cfg.Grid, cfg.K, src)
+	pop, err := agent.NewWithModel(cfg.Grid, cfg.K, src, cfg.Mobility)
 	if err != nil {
 		return nil, err
 	}

@@ -10,9 +10,9 @@ import (
 
 	"mobilenet/internal/bitset"
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
-	"mobilenet/internal/walk"
 )
 
 // Config parameterises a cover-time run.
@@ -28,6 +28,9 @@ type Config struct {
 	MaxSteps int
 	// RecordCurve enables recording of the covered-node count per step.
 	RecordCurve bool
+	// Mobility selects the walkers' motion model; nil selects the paper's
+	// lazy walk the §4 cover-time bound is proved for.
+	Mobility mobility.Model
 }
 
 func (c *Config) validate() error {
@@ -77,10 +80,18 @@ func Run(cfg Config) (Result, error) {
 	g := cfg.Grid
 	src := rng.New(cfg.Seed)
 	k := cfg.Walkers
+	model := cfg.Mobility
+	if model == nil {
+		model = mobility.Default()
+	}
+	mob, err := model.Bind(g, k, src)
+	if err != nil {
+		return Result{}, err
+	}
 	pos := make([]grid.Point, k)
+	mob.Place(pos)
 	visited := bitset.New(g.N())
 	for i := range pos {
-		pos[i] = grid.Point{X: int32(src.Intn(g.Side())), Y: int32(src.Intn(g.Side()))}
 		visited.Add(int(g.ID(pos[i])))
 	}
 	res := Result{}
@@ -90,8 +101,8 @@ func Run(cfg Config) (Result, error) {
 	stepCap := cfg.maxSteps()
 	t := 0
 	for visited.Len() < g.N() && t < stepCap {
+		mob.Step(pos)
 		for i := range pos {
-			pos[i] = walk.Step(g, pos[i], src)
 			visited.Add(int(g.ID(pos[i])))
 		}
 		t++

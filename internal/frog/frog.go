@@ -12,6 +12,7 @@ import (
 
 	"mobilenet/internal/agent"
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 	"mobilenet/internal/visibility"
@@ -33,6 +34,9 @@ type Config struct {
 	// MaxSteps caps the run; 0 selects the same generous default used by
 	// the dynamic model.
 	MaxSteps int
+	// Mobility selects the motion model active agents follow; nil selects
+	// the paper's lazy walk. Sleepers stay frozen regardless of model.
+	Mobility mobility.Model
 }
 
 func (c *Config) validate() error {
@@ -82,7 +86,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	src := rng.New(cfg.Seed)
-	pop, err := agent.New(cfg.Grid, cfg.K, src)
+	pop, err := agent.NewWithModel(cfg.Grid, cfg.K, src, cfg.Mobility)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,88 @@
+package mobility
+
+import (
+	"fmt"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+)
+
+// Ballistic moves each agent in a straight lattice line — one node per tick
+// along a persistent direction — with torus wraparound. With probability
+// TurnProb per tick the agent instead rests and resamples its direction.
+// It is the maximally stirring classical contrast to the diffusive lazy
+// walk: displacement grows linearly in time between turns instead of as √t.
+//
+// The rest-on-turn tick matters beyond realism: an agent that moved every
+// tick would flip its (x+y) parity deterministically, and two agents of
+// opposite parity could never co-occupy a node — the same r = 0 deadlock
+// walk.SimpleStep documents for the non-lazy walk. The occasional rest
+// breaks parity, exactly as the paper's 1/5 laziness does.
+//
+// The per-tick displacement depends only on the agent's own direction
+// state, never on its position, and every torus translation permutes the
+// node set, so uniform occupancy is exactly stationary.
+type Ballistic struct {
+	// TurnProb is the per-tick probability of resting to resample the
+	// direction uniformly among the four lattice directions, in (0, 1].
+	// Zero selects the default 0.05.
+	TurnProb float64
+}
+
+// Name implements Model.
+func (Ballistic) Name() string { return "ballistic" }
+
+// UniformStationary implements Model.
+func (Ballistic) UniformStationary() bool { return true }
+
+// Bind implements Model.
+func (m Ballistic) Bind(g *grid.Grid, k int, src *rng.Source) (State, error) {
+	if err := bindCheck(m.Name(), g, k, src); err != nil {
+		return nil, err
+	}
+	turn := m.TurnProb
+	if turn == 0 {
+		turn = 0.05
+	}
+	if turn < 0 || turn > 1 {
+		return nil, fmt.Errorf("mobility: ballistic: turn probability %v outside [0,1]", m.TurnProb)
+	}
+	return &ballisticState{g: g, src: src, turn: turn, dir: make([]uint8, k)}, nil
+}
+
+type ballisticState struct {
+	g    *grid.Grid
+	src  *rng.Source
+	turn float64
+	dir  []uint8 // 0: -x, 1: +x, 2: -y, 3: +y
+}
+
+func (s *ballisticState) Place(pos []grid.Point) {
+	place(s.g, pos, s.src)
+	for i := range s.dir {
+		s.dir[i] = uint8(s.src.Intn(4))
+	}
+}
+
+func (s *ballisticState) Step(pos []grid.Point) { stepAll(s, pos) }
+
+func (s *ballisticState) StepAgent(pos []grid.Point, i int) {
+	if s.src.Bernoulli(s.turn) {
+		// Rest this tick while re-aiming; see the parity note on Ballistic.
+		s.dir[i] = uint8(s.src.Intn(4))
+		return
+	}
+	side := int32(s.g.Side())
+	p := pos[i]
+	switch s.dir[i] {
+	case 0:
+		p.X = wrap(p.X-1, side)
+	case 1:
+		p.X = wrap(p.X+1, side)
+	case 2:
+		p.Y = wrap(p.Y-1, side)
+	default:
+		p.Y = wrap(p.Y+1, side)
+	}
+	pos[i] = p
+}

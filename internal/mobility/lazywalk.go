@@ -1,0 +1,48 @@
+package mobility
+
+import (
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/walk"
+)
+
+// LazyWalk is the paper's §2 mobility model: the 1/5-lazy simple random
+// walk on the bounded grid. It is the default model and the one every
+// theorem of the paper is proved for. The implementation delegates to
+// walk.Step, so a population driven by LazyWalk consumes randomness in
+// exactly the same order as the historical hardcoded stepping path:
+// equal seeds reproduce the seed implementation bit for bit.
+type LazyWalk struct{}
+
+// Name implements Model.
+func (LazyWalk) Name() string { return "lazy" }
+
+// UniformStationary implements Model. The 1/5 laziness is chosen precisely
+// so the uniform distribution is stationary (paper §2, Experiment E16).
+func (LazyWalk) UniformStationary() bool { return true }
+
+// Bind implements Model.
+func (m LazyWalk) Bind(g *grid.Grid, k int, src *rng.Source) (State, error) {
+	if err := bindCheck(m.Name(), g, k, src); err != nil {
+		return nil, err
+	}
+	return &lazyState{g: g, src: src}, nil
+}
+
+type lazyState struct {
+	g   *grid.Grid
+	src *rng.Source
+}
+
+func (s *lazyState) Place(pos []grid.Point) { place(s.g, pos, s.src) }
+
+func (s *lazyState) Step(pos []grid.Point) {
+	g, src := s.g, s.src
+	for i := range pos {
+		pos[i] = walk.Step(g, pos[i], src)
+	}
+}
+
+func (s *lazyState) StepAgent(pos []grid.Point, i int) {
+	pos[i] = walk.Step(s.g, pos[i], s.src)
+}

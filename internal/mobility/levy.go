@@ -1,0 +1,115 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+)
+
+// LevyFlight moves each agent one power-law-distributed jump per tick: a
+// heading uniform in [0, 2π) and a length drawn from the truncated Pareto
+// density p(l) ∝ l^(-Alpha) on [1, MaxJump], applied with torus wraparound.
+// Heavy-tailed flights are the standard super-diffusive contrast to the
+// paper's diffusive lazy walk (Zhang et al.'s mobile-conductance analysis
+// orders mobility models by exactly this kind of stirring strength).
+//
+// Because the jump distribution is position-independent and the torus makes
+// every displacement a bijection of the node set, the uniform occupancy
+// distribution remains exactly stationary — the same E16 property the lazy
+// walk has, so broadcast-time comparisons against it are apples to apples.
+type LevyFlight struct {
+	// Alpha is the power-law exponent (> 0). Small Alpha gives heavier
+	// tails; Alpha in (1, 3) is the classical Lévy regime. Zero selects
+	// the default 1.6.
+	Alpha float64
+	// MaxJump truncates the jump length (>= 1). Zero selects half the
+	// grid side.
+	MaxJump int
+}
+
+// Name implements Model.
+func (LevyFlight) Name() string { return "levy" }
+
+// UniformStationary implements Model.
+func (LevyFlight) UniformStationary() bool { return true }
+
+// Bind implements Model.
+func (m LevyFlight) Bind(g *grid.Grid, k int, src *rng.Source) (State, error) {
+	if err := bindCheck(m.Name(), g, k, src); err != nil {
+		return nil, err
+	}
+	alpha := m.Alpha
+	if alpha == 0 {
+		alpha = 1.6
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("mobility: levy: alpha must be positive and finite, got %v", m.Alpha)
+	}
+	maxJump := m.MaxJump
+	if maxJump == 0 {
+		maxJump = g.Side() / 2
+		if maxJump < 1 {
+			maxJump = 1
+		}
+	}
+	if maxJump < 1 {
+		return nil, fmt.Errorf("mobility: levy: MaxJump must be >= 1, got %d", m.MaxJump)
+	}
+	return &levyState{g: g, src: src, alpha: alpha, maxJump: maxJump}, nil
+}
+
+type levyState struct {
+	g       *grid.Grid
+	src     *rng.Source
+	alpha   float64
+	maxJump int
+}
+
+func (s *levyState) Place(pos []grid.Point) { place(s.g, pos, s.src) }
+
+func (s *levyState) Step(pos []grid.Point) { stepAll(s, pos) }
+
+func (s *levyState) StepAgent(pos []grid.Point, i int) {
+	l := s.jumpLength()
+	theta := 2 * math.Pi * s.src.Float64()
+	dx := int32(math.Round(l * math.Cos(theta)))
+	dy := int32(math.Round(l * math.Sin(theta)))
+	side := int32(s.g.Side())
+	pos[i] = grid.Point{
+		X: wrap(pos[i].X+dx, side),
+		Y: wrap(pos[i].Y+dy, side),
+	}
+}
+
+// jumpLength draws from the truncated Pareto density on [1, maxJump+1) by
+// inverse-CDF sampling and floors, yielding an integral length in
+// [1, maxJump]. The floor (rather than using the continuous draw directly)
+// is what makes MaxJump a hard bound on the displacement: round(l·cosθ)
+// with l ≤ maxJump cannot exceed maxJump.
+func (s *levyState) jumpLength() float64 {
+	u := s.src.Float64()
+	xmax := float64(s.maxJump) + 1
+	var l float64
+	if s.alpha == 1 {
+		l = math.Pow(xmax, u)
+	} else {
+		e := 1 - s.alpha
+		l = math.Pow(1+u*(math.Pow(xmax, e)-1), 1/e)
+	}
+	l = math.Floor(l)
+	if l > float64(s.maxJump) { // guard the u→1 numerical edge
+		l = float64(s.maxJump)
+	}
+	return l
+}
+
+// wrap reduces a coordinate onto the torus [0, side).
+func wrap(v, side int32) int32 {
+	v %= side
+	if v < 0 {
+		v += side
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package mobility
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mobilenet/internal/trace"
+)
+
+// Parse builds a Model from a CLI-style spec string. The grammar is
+//
+//	lazy
+//	waypoint[:pause=N]
+//	levy[:alpha=F][,max=N]
+//	ballistic[:turn=F]
+//	trace:FILE[,loop]
+//
+// with model-specific options after the first colon, comma-separated.
+// Unknown models and malformed options are errors; parameter-range errors
+// (e.g. a negative pause) surface later, at Bind time.
+func Parse(spec string) (Model, error) {
+	name, opts, _ := strings.Cut(spec, ":")
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "lazy", "lazywalk", "":
+		if opts != "" {
+			return nil, fmt.Errorf("mobility: lazy takes no options, got %q", opts)
+		}
+		return LazyWalk{}, nil
+	case "waypoint":
+		m := RandomWaypoint{}
+		err := parseOpts(opts, map[string]func(string) error{
+			"pause": func(v string) (err error) { m.Pause, err = strconv.Atoi(v); return },
+		})
+		return m, err
+	case "levy":
+		m := LevyFlight{}
+		err := parseOpts(opts, map[string]func(string) error{
+			"alpha": func(v string) (err error) { m.Alpha, err = strconv.ParseFloat(v, 64); return },
+			"max":   func(v string) (err error) { m.MaxJump, err = strconv.Atoi(v); return },
+		})
+		return m, err
+	case "ballistic":
+		m := Ballistic{}
+		err := parseOpts(opts, map[string]func(string) error{
+			"turn": func(v string) (err error) { m.TurnProb, err = strconv.ParseFloat(v, 64); return },
+		})
+		return m, err
+	case "trace":
+		path, rest, _ := strings.Cut(opts, ",")
+		if path == "" {
+			return nil, fmt.Errorf("mobility: trace requires a file, e.g. trace:run.mtr")
+		}
+		loop := false
+		switch rest {
+		case "":
+		case "loop":
+			loop = true
+		default:
+			return nil, fmt.Errorf("mobility: unknown trace option %q (only \"loop\")", rest)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: %w", err)
+		}
+		defer f.Close()
+		t, err := trace.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: reading %s: %w", path, err)
+		}
+		return TraceReplay{Trace: t, Loop: loop}, nil
+	default:
+		return nil, fmt.Errorf("mobility: unknown model %q (want lazy|waypoint|levy|ballistic|trace)", name)
+	}
+}
+
+// parseOpts applies "key=value" options, comma-separated, through the given
+// setters.
+func parseOpts(opts string, set map[string]func(string) error) error {
+	if opts == "" {
+		return nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("mobility: option %q is not key=value", kv)
+		}
+		f, known := set[key]
+		if !known {
+			return fmt.Errorf("mobility: unknown option %q", key)
+		}
+		if err := f(val); err != nil {
+			return fmt.Errorf("mobility: option %s: %w", key, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package mobility
+
+import (
+	"fmt"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/trace"
+)
+
+// TraceReplay drives agents along a recorded internal/trace trajectory
+// instead of a stochastic law: agent i replays the trace's agent i exactly,
+// move by move. Replay is the bridge to empirical mobility datasets (GPS or
+// contact traces converted to the grid) and to regression debugging —
+// re-running a recorded rare event under heavier instrumentation.
+//
+// Each agent carries its own trace clock, so engines that advance only a
+// subset of agents per tick (the Frog model, surviving preys) stay
+// well-defined: a frozen agent simply holds its trace position.
+type TraceReplay struct {
+	// Trace is the recorded trajectory. Required; its grid side must match
+	// the population's grid and it must cover at least Offset+k agents.
+	Trace *trace.Trace
+	// Loop restarts an agent at its recorded start position after it
+	// exhausts the trace (one teleport tick per lap). When false the agent
+	// freezes at its final recorded position instead (truncation).
+	Loop bool
+	// Offset maps population agent i to trace agent Offset+i, letting
+	// several populations replay disjoint slices of one recording (the
+	// predator engine gives preys the slice after the predators').
+	Offset int
+}
+
+// Name implements Model.
+func (TraceReplay) Name() string { return "trace" }
+
+// UniformStationary implements Model: a replay has whatever occupancy its
+// recording had, so no uniformity is promised.
+func (TraceReplay) UniformStationary() bool { return false }
+
+// Bind implements Model.
+func (m TraceReplay) Bind(g *grid.Grid, k int, src *rng.Source) (State, error) {
+	if err := bindCheck(m.Name(), g, k, src); err != nil {
+		return nil, err
+	}
+	if m.Trace == nil {
+		return nil, fmt.Errorf("mobility: trace: nil trace")
+	}
+	if m.Trace.Side() != g.Side() {
+		return nil, fmt.Errorf("mobility: trace: recorded on side %d, population grid has side %d",
+			m.Trace.Side(), g.Side())
+	}
+	if m.Offset < 0 {
+		return nil, fmt.Errorf("mobility: trace: negative offset %d", m.Offset)
+	}
+	if m.Trace.K() < m.Offset+k {
+		return nil, fmt.Errorf("mobility: trace: records %d agents, population needs %d (offset %d + %d)",
+			m.Trace.K(), m.Offset+k, m.Offset, k)
+	}
+	return &traceState{g: g, t: m.Trace, loop: m.Loop, off: m.Offset, at: make([]int, k)}, nil
+}
+
+type traceState struct {
+	g    *grid.Grid
+	t    *trace.Trace
+	loop bool
+	off  int
+	at   []int // per-agent trace clock
+}
+
+func (s *traceState) Place(pos []grid.Point) {
+	for i := range pos {
+		pos[i] = s.t.Start(s.off + i)
+	}
+}
+
+func (s *traceState) Step(pos []grid.Point) { stepAll(s, pos) }
+
+func (s *traceState) StepAgent(pos []grid.Point, i int) {
+	c := s.at[i]
+	if c < s.t.Steps() {
+		// Clamp guards against positions that were overridden after Place
+		// (core.Config.Placement): recorded moves are valid from their
+		// recorded positions, but an overridden agent could otherwise be
+		// walked off the grid.
+		pos[i] = s.g.Clamp(s.t.MoveAt(c, s.off+i).Apply(pos[i]))
+		s.at[i] = c + 1
+		return
+	}
+	if s.loop {
+		pos[i] = s.t.Start(s.off + i)
+		s.at[i] = 0
+	}
+}

@@ -1,0 +1,109 @@
+package mobility
+
+import (
+	"fmt"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/rng"
+)
+
+// RandomWaypoint is the classical random-waypoint model restricted to the
+// grid: each agent holds a uniformly random destination node, moves one
+// lattice step toward it per tick (choosing the axis in proportion to the
+// remaining displacement, so trajectories approximate the straight line),
+// optionally pauses on arrival, then picks a fresh destination.
+//
+// Random waypoint is the motion family Jacquet, Mans and Rodolakis analyse
+// for propagation speed; note that unlike the paper's lazy walk it does NOT
+// keep node occupancy uniform — the long-run distribution is biased toward
+// the grid centre, the well-known waypoint density pathology.
+type RandomWaypoint struct {
+	// Pause is the number of ticks an agent rests after reaching its
+	// destination before moving again. Zero means immediate departure.
+	Pause int
+}
+
+// Name implements Model.
+func (RandomWaypoint) Name() string { return "waypoint" }
+
+// UniformStationary implements Model. Waypoint occupancy is centre-biased.
+func (RandomWaypoint) UniformStationary() bool { return false }
+
+// Bind implements Model.
+func (m RandomWaypoint) Bind(g *grid.Grid, k int, src *rng.Source) (State, error) {
+	if err := bindCheck(m.Name(), g, k, src); err != nil {
+		return nil, err
+	}
+	if m.Pause < 0 {
+		return nil, fmt.Errorf("mobility: waypoint: negative pause %d", m.Pause)
+	}
+	return &waypointState{
+		g:     g,
+		src:   src,
+		pause: m.Pause,
+		dest:  make([]grid.Point, k),
+		wait:  make([]int, k),
+	}, nil
+}
+
+type waypointState struct {
+	g     *grid.Grid
+	src   *rng.Source
+	pause int
+	dest  []grid.Point
+	wait  []int
+}
+
+func (s *waypointState) Place(pos []grid.Point) {
+	place(s.g, pos, s.src)
+	side := s.g.Side()
+	for i := range s.dest {
+		s.dest[i] = grid.Point{X: int32(s.src.Intn(side)), Y: int32(s.src.Intn(side))}
+	}
+}
+
+func (s *waypointState) Step(pos []grid.Point) { stepAll(s, pos) }
+
+func (s *waypointState) StepAgent(pos []grid.Point, i int) {
+	if s.wait[i] > 0 {
+		s.wait[i]--
+		return
+	}
+	p := pos[i]
+	if p == s.dest[i] {
+		// Rest for the arrival tick (plus any configured pause) while
+		// picking the next destination. Beyond waypoint realism, the rest
+		// breaks the deterministic (x+y) parity flip of always-moving
+		// agents, which would deadlock r = 0 dissemination (see
+		// walk.SimpleStep and the Ballistic parity note).
+		side := s.g.Side()
+		s.dest[i] = grid.Point{X: int32(s.src.Intn(side)), Y: int32(s.src.Intn(side))}
+		s.wait[i] = s.pause
+		return
+	}
+	d := s.dest[i]
+	dx, dy := abs32(d.X-p.X), abs32(d.Y-p.Y)
+	// Move along x with probability dx/(dx+dy): the expected trajectory is
+	// the straight segment to the destination.
+	if dy == 0 || (dx > 0 && int32(s.src.Intn(int(dx+dy))) < dx) {
+		if d.X > p.X {
+			p.X++
+		} else {
+			p.X--
+		}
+	} else {
+		if d.Y > p.Y {
+			p.Y++
+		} else {
+			p.Y--
+		}
+	}
+	pos[i] = p
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

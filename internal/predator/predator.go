@@ -11,9 +11,9 @@ import (
 	"fmt"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
-	"mobilenet/internal/walk"
 )
 
 // Config parameterises a predator-prey run.
@@ -31,6 +31,9 @@ type Config struct {
 	// MaxSteps caps the run; 0 selects a default derived from the paper's
 	// O((n log^2 n)/k) extinction bound with generous headroom.
 	MaxSteps int
+	// Mobility selects the motion model both predators and preys follow
+	// (each species gets its own model state); nil selects the lazy walk.
+	Mobility mobility.Model
 }
 
 func (c *Config) validate() error {
@@ -69,9 +72,13 @@ type System struct {
 	g         *grid.Grid
 	src       *rng.Source
 	predators []grid.Point
-	preys     []grid.Point // surviving preys, compacted
+	preys     []grid.Point // all preys; caught ones stay in place, masked out
+	preyAlive []bool       // alive mask, index-stable so mobility state stays aligned
 	alive     int
 	t         int
+
+	predMob mobility.State
+	preyMob mobility.State
 
 	// occupied buckets predators by coarse cell for the capture check.
 	occupied map[uint64][]int32
@@ -79,28 +86,49 @@ type System struct {
 	keys     []uint64
 }
 
-// New places predators and preys uniformly at random and performs the
-// time-0 capture pass.
+// New places predators and preys (per the configured mobility model, by
+// default uniformly at random) and performs the time-0 capture pass.
 func New(cfg Config) (*System, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	src := rng.New(cfg.Seed)
+	model := cfg.Mobility
+	if model == nil {
+		model = mobility.Default()
+	}
+	predMob, err := model.Bind(cfg.Grid, cfg.Predators, src)
+	if err != nil {
+		return nil, err
+	}
+	preyModel := model
+	if tr, ok := model.(mobility.TraceReplay); ok {
+		// Both species share one recording; without an offset, prey i
+		// would replay the same trace agent as predator i and be captured
+		// at time 0. Preys take the agent slice after the predators'.
+		tr.Offset += cfg.Predators
+		preyModel = tr
+	}
+	preyMob, err := preyModel.Bind(cfg.Grid, cfg.Preys, src)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		cfg:       cfg,
 		g:         cfg.Grid,
 		src:       src,
 		predators: make([]grid.Point, cfg.Predators),
 		preys:     make([]grid.Point, cfg.Preys),
+		preyAlive: make([]bool, cfg.Preys),
 		alive:     cfg.Preys,
+		predMob:   predMob,
+		preyMob:   preyMob,
 		occupied:  make(map[uint64][]int32, cfg.Predators),
 	}
-	side := cfg.Grid.Side()
-	for i := range s.predators {
-		s.predators[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
-	}
-	for i := range s.preys {
-		s.preys[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+	predMob.Place(s.predators)
+	preyMob.Place(s.preys)
+	for i := range s.preyAlive {
+		s.preyAlive[i] = true
 	}
 	s.capture()
 	return s, nil
@@ -139,38 +167,39 @@ func (s *System) capture() {
 		s.occupied[key] = append(b, int32(i))
 	}
 	// Check each surviving prey against predators in its 3x3 cell
-	// neighbourhood; compact survivors in place.
-	out := s.preys[:0]
-	for _, p := range s.preys[:s.alive] {
-		caught := false
+	// neighbourhood. Caught preys are masked out rather than compacted so
+	// prey indices stay aligned with the mobility state's per-agent
+	// bookkeeping (waypoint destinations, trace clocks, ...).
+	for qi, p := range s.preys {
+		if !s.preyAlive[qi] {
+			continue
+		}
 		bx, by := p.X/cell, p.Y/cell
 	scan:
 		for dy := int32(-1); dy <= 1; dy++ {
 			for dx := int32(-1); dx <= 1; dx++ {
 				for _, pi := range s.occupied[bucketKey(bx+dx, by+dy)] {
 					if grid.ManhattanPoints(p, s.predators[pi]) <= r {
-						caught = true
+						s.preyAlive[qi] = false
+						s.alive--
 						break scan
 					}
 				}
 			}
 		}
-		if !caught {
-			out = append(out, p)
-		}
 	}
-	s.alive = len(out)
-	s.preys = out
 }
 
 // Step advances one time unit: predators and surviving preys all move, then
-// captures are resolved.
+// captures are resolved. Surviving preys step in index order, which matches
+// the relative order the pre-mask compacting implementation used, so
+// default-model runs consume randomness identically.
 func (s *System) Step() {
-	for i := range s.predators {
-		s.predators[i] = walk.Step(s.g, s.predators[i], s.src)
-	}
-	for i := 0; i < s.alive; i++ {
-		s.preys[i] = walk.Step(s.g, s.preys[i], s.src)
+	s.predMob.Step(s.predators)
+	for i := range s.preys {
+		if s.preyAlive[i] {
+			s.preyMob.StepAgent(s.preys, i)
+		}
 	}
 	s.t++
 	s.capture()

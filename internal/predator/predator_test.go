@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
+	"mobilenet/internal/trace"
 )
 
 func cfg(side, k, m, r int, seed uint64) Config {
@@ -146,5 +148,60 @@ func BenchmarkExtinction(b *testing.B) {
 		if _, err := RunExtinction(cfg(24, 8, 8, 0, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestTraceMobilitySplitsSpecies checks that under TraceReplay mobility the
+// preys replay the trace slice after the predators' — without the offset,
+// prey i would shadow predator i exactly and be captured at time 0.
+func TestTraceMobilitySplitsSpecies(t *testing.T) {
+	t.Parallel()
+	const side, preds, preys = 9, 3, 2
+
+	// A synthetic trace of preds+preys stationary agents on distinct nodes:
+	// predators on row 0, preys on row 8, far outside capture radius.
+	start := make([]grid.Point, preds+preys)
+	for i := 0; i < preds; i++ {
+		start[i] = grid.Point{X: int32(i), Y: 0}
+	}
+	for i := 0; i < preys; i++ {
+		start[preds+i] = grid.Point{X: int32(i), Y: side - 1}
+	}
+	rec, err := trace.NewRecorder(side, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		if err := rec.Record(start); err != nil { // everyone stays put
+			t.Fatal(err)
+		}
+	}
+	model := mobility.TraceReplay{Trace: rec.Trace(), Loop: true}
+
+	c := cfg(side, preds, preys, 1, 7)
+	c.Mobility = model
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive() != preys {
+		t.Fatalf("time-0 captures under disjoint trace slices: alive=%d, want %d", s.Alive(), preys)
+	}
+	for i := 0; i < 20; i++ {
+		s.Step()
+	}
+	if s.Alive() != preys {
+		t.Errorf("stationary far-apart species captured anyway: alive=%d", s.Alive())
+	}
+
+	// A trace too short for both species is rejected, not silently shared.
+	shortRec, err := trace.NewRecorder(side, start[:preds])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg(side, preds, preys, 1, 7)
+	c2.Mobility = mobility.TraceReplay{Trace: shortRec.Trace()}
+	if _, err := New(c2); err == nil {
+		t.Error("trace covering only the predators accepted")
 	}
 }

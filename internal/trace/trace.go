@@ -150,6 +150,15 @@ func (t *Trace) Steps() int { return t.steps }
 // Side returns the grid side the trace was recorded on.
 func (t *Trace) Side() int { return t.side }
 
+// Start returns the recorded initial position of agent i.
+func (t *Trace) Start(i int) grid.Point { return t.start[i] }
+
+// MoveAt returns agent i's recorded move at the given step (0-based). It
+// exists so trace-driven consumers (the mobility.TraceReplay model) can
+// advance agents on independent clocks, which a Replayer's single shared
+// clock cannot express.
+func (t *Trace) MoveAt(step, i int) Move { return t.moves[step*len(t.start)+i] }
+
 // Replayer walks through a trace step by step.
 type Replayer struct {
 	t   *Trace

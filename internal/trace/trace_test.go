@@ -5,9 +5,9 @@ import (
 	"strings"
 	"testing"
 
-	"mobilenet/internal/agent"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/rng"
+	"mobilenet/internal/walk"
 )
 
 func pt(x, y int32) grid.Point { return grid.Point{X: x, Y: y} }
@@ -73,10 +73,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	t.Parallel()
 	// Drive a real population, record every step, then replay and compare.
 	g := grid.MustNew(12)
-	pop, err := agent.New(g, 6, rng.New(5))
-	if err != nil {
-		t.Fatal(err)
-	}
+	pop := newWalkPop(g, 6, rng.New(5))
 	rec, err := NewRecorder(12, pop.Positions())
 	if err != nil {
 		t.Fatal(err)
@@ -133,10 +130,7 @@ func TestTraceImmutableAfterRecorderReuse(t *testing.T) {
 func TestSerializeRoundTrip(t *testing.T) {
 	t.Parallel()
 	g := grid.MustNew(10)
-	pop, err := agent.New(g, 4, rng.New(7))
-	if err != nil {
-		t.Fatal(err)
-	}
+	pop := newWalkPop(g, 4, rng.New(7))
 	rec, err := NewRecorder(10, pop.Positions())
 	if err != nil {
 		t.Fatal(err)
@@ -258,6 +252,31 @@ func mustBytes(t *testing.T, side, k, steps uint32) []byte {
 	return buf.Bytes()
 }
 
+// walkPop drives k independent lazy walkers — a stand-in for an
+// agent.Population, which these tests can no longer import: agent depends
+// on mobility, which depends on this package.
+type walkPop struct {
+	g   *grid.Grid
+	pos []grid.Point
+	src *rng.Source
+}
+
+func newWalkPop(g *grid.Grid, k int, src *rng.Source) *walkPop {
+	pos := make([]grid.Point, k)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(g.Side())), Y: int32(src.Intn(g.Side()))}
+	}
+	return &walkPop{g: g, pos: pos, src: src}
+}
+
+func (p *walkPop) Step() {
+	for i := range p.pos {
+		p.pos[i] = walk.Step(p.g, p.pos[i], p.src)
+	}
+}
+
+func (p *walkPop) Positions() []grid.Point { return p.pos }
+
 func clonePos(pos []grid.Point) []grid.Point {
 	out := make([]grid.Point, len(pos))
 	copy(out, pos)
@@ -266,10 +285,7 @@ func clonePos(pos []grid.Point) []grid.Point {
 
 func BenchmarkRecord(b *testing.B) {
 	g := grid.MustNew(64)
-	pop, err := agent.New(g, 64, rng.New(1))
-	if err != nil {
-		b.Fatal(err)
-	}
+	pop := newWalkPop(g, 64, rng.New(1))
 	rec, err := NewRecorder(64, pop.Positions())
 	if err != nil {
 		b.Fatal(err)

@@ -2,16 +2,19 @@ package mobilenet
 
 import (
 	"fmt"
+	"io"
 
 	"mobilenet/internal/barrier"
 	"mobilenet/internal/core"
 	"mobilenet/internal/coverage"
 	"mobilenet/internal/frog"
 	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
 	"mobilenet/internal/percolation"
 	"mobilenet/internal/predator"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
+	"mobilenet/internal/trace"
 	"mobilenet/internal/visibility"
 )
 
@@ -30,6 +33,7 @@ type options struct {
 	seed     uint64
 	source   int
 	maxSteps int
+	mobility mobility.Model
 }
 
 // Option customises a Network.
@@ -71,6 +75,83 @@ func WithSource(agentIdx int) Option {
 
 // RandomSource selects a uniformly random source agent (see WithSource).
 const RandomSource = core.SourceRandom
+
+// Mobility selects the motion model agents follow; build values with
+// LazyWalk, RandomWaypoint, LevyFlight, Ballistic, TraceReplay or
+// ParseMobility. The zero value selects the lazy walk.
+type Mobility struct {
+	model mobility.Model
+}
+
+// String returns the model's canonical spec name.
+func (m Mobility) String() string {
+	if m.model == nil {
+		return mobility.Default().Name()
+	}
+	return m.model.Name()
+}
+
+// LazyWalk selects the paper's §2 mobility model, the 1/5-lazy simple
+// random walk. It is the default; runs under it reproduce the historical
+// (pre-mobility-subsystem) results bit for bit under equal seeds, and it is
+// the only model the Θ̃(n/√k) bounds are proved for.
+func LazyWalk() Mobility { return Mobility{mobility.LazyWalk{}} }
+
+// RandomWaypoint selects waypoint motion: each agent repeatedly picks a
+// uniform destination node, walks toward it one lattice step per tick, and
+// rests pauseSteps ticks on arrival. Note the classical caveat: waypoint
+// occupancy is centre-biased, not uniform.
+func RandomWaypoint(pauseSteps int) Mobility {
+	return Mobility{mobility.RandomWaypoint{Pause: pauseSteps}}
+}
+
+// LevyFlight selects Lévy motion: one jump per tick with uniform heading
+// and truncated power-law length ∝ l^(-alpha) on [1, maxJump], wrapped on
+// the torus so uniform occupancy stays stationary. Zero alpha selects 1.6;
+// zero maxJump selects half the grid side.
+func LevyFlight(alpha float64, maxJump int) Mobility {
+	return Mobility{mobility.LevyFlight{Alpha: alpha, MaxJump: maxJump}}
+}
+
+// Ballistic selects straight-line motion on the torus with the given
+// per-tick probability of resampling the direction.
+func Ballistic(turnProb float64) Mobility {
+	return Mobility{mobility.Ballistic{TurnProb: turnProb}}
+}
+
+// TraceReplay selects trace-driven motion, replaying a trajectory in the
+// binary format written by the trace recorder (cmd/mobisim -trace). When
+// loop is true agents restart at their recorded origin after exhausting the
+// trace; otherwise they freeze at their final position.
+func TraceReplay(r io.Reader, loop bool) (Mobility, error) {
+	t, err := trace.Read(r)
+	if err != nil {
+		return Mobility{}, fmt.Errorf("mobilenet: %w", err)
+	}
+	return Mobility{mobility.TraceReplay{Trace: t, Loop: loop}}, nil
+}
+
+// ParseMobility builds a Mobility from a CLI-style spec string:
+//
+//	lazy | waypoint[:pause=N] | levy[:alpha=F,max=N] |
+//	ballistic[:turn=F] | trace:FILE[,loop]
+func ParseMobility(spec string) (Mobility, error) {
+	m, err := mobility.Parse(spec)
+	if err != nil {
+		return Mobility{}, fmt.Errorf("mobilenet: %w", err)
+	}
+	return Mobility{m}, nil
+}
+
+// WithMobility sets the motion model for every simulation the Network
+// runs (broadcast, gossip, frog, cover, extinction). The default is the
+// paper's lazy walk.
+func WithMobility(m Mobility) Option {
+	return func(o *options) error {
+		o.mobility = m.model
+		return nil
+	}
+}
 
 // WithMaxSteps caps simulation length. The default derives a generous cap
 // from the theoretical Õ(n/√k) bound.
@@ -118,6 +199,9 @@ func (nw *Network) Agents() int { return nw.k }
 // Radius returns the configured transmission radius.
 func (nw *Network) Radius() int { return nw.opt.radius }
 
+// Mobility returns the configured motion model.
+func (nw *Network) Mobility() Mobility { return Mobility{nw.opt.mobility} }
+
 // PercolationRadius returns r_c ≈ sqrt(n/k), the critical transmission
 // radius separating the sparse regime (this paper) from the supercritical
 // regime (Peres et al.).
@@ -146,6 +230,7 @@ func (nw *Network) coreConfig() core.Config {
 		Seed:     nw.opt.seed,
 		Source:   nw.opt.source,
 		MaxSteps: nw.opt.maxSteps,
+		Mobility: nw.opt.mobility,
 	}
 }
 
@@ -225,6 +310,7 @@ func (nw *Network) FrogBroadcast() (BroadcastResult, error) {
 		Seed:     nw.opt.seed,
 		Source:   src,
 		MaxSteps: nw.opt.maxSteps,
+		Mobility: nw.opt.mobility,
 	})
 	if err != nil {
 		return BroadcastResult{}, err
@@ -250,6 +336,7 @@ func (nw *Network) CoverTime() (CoverResult, error) {
 		Walkers:  nw.k,
 		Seed:     nw.opt.seed,
 		MaxSteps: nw.opt.maxSteps,
+		Mobility: nw.opt.mobility,
 	})
 	if err != nil {
 		return CoverResult{}, err
@@ -278,6 +365,7 @@ func (nw *Network) Extinction(preys int) (ExtinctionResult, error) {
 		Radius:    nw.opt.radius,
 		Seed:      nw.opt.seed,
 		MaxSteps:  nw.opt.maxSteps,
+		Mobility:  nw.opt.mobility,
 	})
 	if err != nil {
 		return ExtinctionResult{}, err

@@ -11,6 +11,7 @@ package mobilenet
 // that full-scale runs do not have.
 
 import (
+	"context"
 	"testing"
 
 	"mobilenet/internal/agent"
@@ -18,6 +19,8 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/rng"
+	"mobilenet/internal/scenario"
+	"mobilenet/internal/simserve"
 	"mobilenet/internal/trace"
 )
 
@@ -167,6 +170,59 @@ func BenchmarkMobilityModels(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScenarioThroughput measures scenarios/sec through the service
+// worker pool at GOMAXPROCS workers (the daemon's default sizing): "cold"
+// submits distinct scenarios that all have to run, "cached" replays one
+// scenario so every submission is answered from the LRU cache. The cold/
+// cached gap is the value of content-hash caching; BENCH_service.json
+// records the baseline so later PRs have a perf trajectory.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	spec := func(seed uint64) scenario.Spec {
+		return scenario.Spec{Engine: scenario.EngineBroadcast, Nodes: 1024, Agents: 16, Seed: seed}
+	}
+	b.Run("cold", func(b *testing.B) {
+		s := simserve.New(simserve.Config{
+			QueueDepth: b.N + 1, MaxJobs: b.N + 1, CacheEntries: b.N + 1,
+		})
+		defer s.Shutdown(context.Background())
+		ids := make([]string, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ticket, err := s.Submit(spec(uint64(i) + 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, ticket.JobID)
+		}
+		for _, id := range ids {
+			if _, err := s.Wait(context.Background(), id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		s := simserve.New(simserve.Config{})
+		defer s.Shutdown(context.Background())
+		ticket, err := s.Submit(spec(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), ticket.JobID); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ticket, err := s.Submit(spec(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ticket.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
 }
 
 // BenchmarkBroadcastThroughput measures raw simulation speed through the

@@ -1,0 +1,101 @@
+// Command mobiserved serves simulations over HTTP: POST a scenario spec,
+// poll the job, fetch the result by its content hash. Repeated submissions
+// of the same scenario are answered from an LRU cache; replicates run on a
+// bounded worker pool under position-derived seeds, so every result is a
+// deterministic function of the spec alone.
+//
+// Usage:
+//
+//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256
+//
+// Quickstart:
+//
+//	curl -s localhost:8080/v1/run -d '{"engine":"broadcast","nodes":16384,"agents":64,"seed":1}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/v1/results/<hash>
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain the queue and shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobilenet/internal/simserve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("mobiserved", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 0, "run-queue depth in replicate tasks (0 = 256)")
+		cache   = fs.Int("cache", 0, "result-cache entries (0 = 256)")
+		grace   = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers < 0 || *queue < 0 || *cache < 0 {
+		return fmt.Errorf("workers, queue and cache must be non-negative")
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, l, simserve.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache}, *grace, out)
+}
+
+// serve runs the service on the given listener until ctx is cancelled,
+// then shuts down gracefully: in-flight HTTP requests finish, the queue
+// drains, and the worker pool exits, all within the grace budget.
+func serve(ctx context.Context, l net.Listener, cfg simserve.Config, grace time.Duration, out *os.File) error {
+	svc := simserve.New(cfg)
+	httpSrv := &http.Server{
+		Handler: svc,
+		// The daemon faces untrusted clients: bound how long a connection
+		// may dribble its headers or sit idle, or slowloris-style clients
+		// exhaust goroutines and file descriptors.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(out, "mobiserved listening on %s\n", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "mobiserved shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutCtx)
+	if serr := svc.Shutdown(shutCtx); err == nil {
+		err = serr
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	return err
+}

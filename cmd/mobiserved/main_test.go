@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mobilenet/internal/simserve"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-workers", "-1"},
+		{"-queue", "-1"},
+		{"-cache", "-1"},
+		{"-definitely-not-a-flag"},
+		{"-addr", "not-an-address:-1:-1"},
+	} {
+		if err := run(context.Background(), args, os.Stdout); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, drives the whole
+// submit/poll/fetch cycle over real HTTP, and checks graceful shutdown.
+func TestServeEndToEnd(t *testing.T) {
+	t.Parallel()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, l, simserve.Config{Workers: 2}, 30*time.Second, os.Stdout)
+	}()
+
+	waitHealthy(t, base)
+
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"engine":"broadcast","nodes":256,"agents":8,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticket struct {
+		JobID string `json:"job_id"`
+		Hash  string `json:"hash"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ticket)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticket.JobID == "" || ticket.Hash == "" {
+		t.Fatalf("ticket %+v", ticket)
+	}
+
+	var result []byte
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(base + "/v1/results/" + ticket.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			result = body
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !bytes.Contains(result, []byte(`"engine":"broadcast"`)) {
+		t.Fatalf("result payload: %s", result)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v on graceful shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}

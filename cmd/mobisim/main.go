@@ -1,12 +1,17 @@
 // Command mobisim runs a single dissemination simulation and prints the
-// measured times alongside the paper's theoretical scales.
+// measured times alongside the paper's theoretical scales. Flags assemble a
+// scenario spec (the same declarative object cmd/mobiserved serves and
+// mobilenet.RunScenario executes), so one dispatch path drives every
+// engine; -spec skips the flag assembly and runs a JSON spec file.
 //
 // Usage:
 //
 //	mobisim -n 16384 -k 64 -r 0 -seed 1 -model broadcast
 //	mobisim -n 16384 -k 64 -mobility levy:alpha=1.6,max=40
+//	mobisim -spec scenario.json -reps 5
 //
-// Models: broadcast (default), gossip, frog, cover, extinction.
+// Models: broadcast (default), gossip, frog, coverage (alias: cover),
+// predator (alias: extinction).
 //
 // Mobility (-mobility) selects the motion law, with model-specific
 // sub-options after a colon:
@@ -16,12 +21,18 @@
 //	levy[:alpha=F,max=N]   Lévy flight, tail exponent F, truncation N
 //	ballistic[:turn=F]     straight lines, per-tick turn probability F
 //	trace:FILE[,loop]      replay a trajectory recorded with -trace
+//
+// Trace replay is the one motion law that cannot ride a scenario spec (the
+// trajectory bytes live outside the spec, so no content hash could address
+// the run); it executes through the library API directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mobilenet"
 	"mobilenet/internal/core"
@@ -44,88 +55,283 @@ func run(args []string) error {
 		k        = fs.Int("k", 64, "number of agents")
 		r        = fs.Int("r", 0, "transmission radius (Manhattan)")
 		seed     = fs.Uint64("seed", 1, "randomness seed")
-		model    = fs.String("model", "broadcast", "model: broadcast|gossip|frog|cover|extinction")
+		model    = fs.String("model", "broadcast", "engine: broadcast|gossip|frog|coverage|predator (aliases: cover, extinction)")
 		mobSpec  = fs.String("mobility", "lazy", "mobility model: lazy|waypoint[:pause=N]|levy[:alpha=F,max=N]|ballistic[:turn=F]|trace:FILE[,loop]")
-		preys    = fs.Int("preys", 0, "prey count for -model extinction (default k)")
+		preys    = fs.Int("preys", 0, "prey count for -model predator (default k)")
+		reps     = fs.Int("reps", 1, "replicates (position-derived seeds; prints the mean)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve (broadcast only)")
+		specPath = fs.String("spec", "", "run a scenario spec JSON file instead of assembling one from flags")
+		jsonOut  = fs.Bool("json", false, "print the full scenario result as JSON")
 		traceOut = fs.String("trace", "", "record the full trajectory to this file (broadcast only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine := canonicalEngine(strings.ToLower(strings.TrimSpace(*model)))
 
-	// The spec is parsed once per representation, up front: the public
-	// Mobility for the Network, and (only when recording) the internal
-	// model for the core-level traced run.
-	mob, err := mobilenet.ParseMobility(*mobSpec)
-	if err != nil {
-		return err
-	}
-	net, err := mobilenet.New(*n, *k,
-		mobilenet.WithRadius(*r), mobilenet.WithSeed(*seed), mobilenet.WithMobility(mob))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("grid: %dx%d (n=%d)  agents: k=%d  radius: r=%d  mobility: %s\n",
-		net.Side(), net.Side(), net.Nodes(), net.Agents(), net.Radius(), net.Mobility())
-	fmt.Printf("percolation radius r_c = %.2f  regime: %s\n",
-		net.PercolationRadius(), regime(net))
-	fmt.Printf("theoretical scale n/sqrt(k) = %.1f\n\n", net.ExpectedBroadcastScale())
-
-	switch *model {
-	case "broadcast":
-		if *traceOut != "" {
-			mobModel, err := mobility.Parse(*mobSpec)
-			if err != nil {
-				return err
-			}
-			return tracedBroadcast(net, *seed, *r, mobModel, *traceOut)
+	if *traceOut != "" {
+		// Recording drives the engine step by step through the library,
+		// outside the scenario pipeline; scenario-only conveniences fail
+		// loudly here too rather than being silently dropped.
+		if *jsonOut {
+			return fmt.Errorf("-json is not supported with -trace recording")
 		}
+		if *reps != 1 {
+			return fmt.Errorf("-reps is not supported with -trace recording")
+		}
+	}
+
+	if isTraceMobility(*mobSpec) {
+		// Trace runs are not scenario-addressable, so the scenario-only
+		// conveniences must fail loudly instead of being dropped.
+		if *jsonOut {
+			return fmt.Errorf("-json is not supported with trace mobility (trace runs are not scenario-addressable)")
+		}
+		if *specPath != "" {
+			return fmt.Errorf("-spec cannot be combined with trace mobility (trace runs are not scenario-addressable)")
+		}
+		if *reps != 1 {
+			return fmt.Errorf("-reps is not supported with trace mobility (the replicate schedule is a scenario feature)")
+		}
+		return runTraceMobility(engine, *n, *k, *r, *seed, *mobSpec, *preys, *curve, *traceOut)
+	}
+
+	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *curve)
+	if err != nil {
+		return err
+	}
+	sc, err = sc.Canonical()
+	if err != nil {
+		return err
+	}
+	net, err := mobilenet.New(sc.Nodes, sc.Agents, mobilenet.WithScenario(sc))
+	if err != nil {
+		return err
+	}
+	if !*jsonOut {
+		hash, err := sc.Hash()
+		if err != nil {
+			return err
+		}
+		printHeader(net, sc.Engine, hash[:12])
+	}
+
+	if *traceOut != "" {
+		if sc.Engine != "broadcast" {
+			return fmt.Errorf("-trace records broadcast runs only, engine is %s", sc.Engine)
+		}
+		// The early flag guard cannot see reps coming from a -spec file.
+		if sc.Reps != 1 {
+			return fmt.Errorf("-trace recording runs a single replicate; the scenario requests %d reps", sc.Reps)
+		}
+		mob, err := mobility.Parse(sc.Mobility)
+		if err != nil {
+			return err
+		}
+		return tracedBroadcast(net, sc.Seed, sc.Radius, mob, *traceOut)
+	}
+
+	res, err := mobilenet.RunScenario(sc)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	printEngineResult(net, sc.Engine, res.Reps[0], *curve)
+	if len(res.Reps) > 1 {
+		fmt.Printf("reps: %d  mean steps: %.1f  all completed: %v\n",
+			len(res.Reps), res.MeanSteps, res.AllCompleted)
+	}
+	return nil
+}
+
+// buildScenario assembles the scenario from -spec or from the individual
+// flags. Flags explicitly set alongside -spec override the file's fields.
+func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed uint64,
+	mobSpec string, preys, reps int, curve bool) (mobilenet.Scenario, error) {
+	sc := mobilenet.Scenario{
+		Engine:   engine,
+		Nodes:    n,
+		Agents:   k,
+		Radius:   r,
+		Seed:     seed,
+		Mobility: mobSpec,
+		Preys:    preys,
+		Reps:     reps,
+	}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return mobilenet.Scenario{}, err
+		}
+		fromFile, err := mobilenet.ParseScenario(data)
+		if err != nil {
+			return mobilenet.Scenario{}, err
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["model"] {
+			fromFile.Engine = engine
+		}
+		if set["n"] {
+			fromFile.Nodes = n
+		}
+		if set["k"] {
+			fromFile.Agents = k
+		}
+		if set["r"] {
+			fromFile.Radius = r
+		}
+		if set["seed"] {
+			fromFile.Seed = seed
+		}
+		if set["mobility"] {
+			fromFile.Mobility = mobSpec
+		}
+		if set["preys"] {
+			fromFile.Preys = preys
+		}
+		if set["reps"] {
+			fromFile.Reps = reps
+		}
+		sc = fromFile
+	}
+	if strings.EqualFold(strings.TrimSpace(sc.Engine), "broadcast") {
+		// Flag-assembled broadcasts keep the historical mobisim behaviour
+		// (always measure T_C; record the curve when asked). A -spec file
+		// is left exactly as written — it is the same declarative object
+		// mobiserved would serve, and silently injecting metrics would
+		// change its hash and payload — except that an explicit -curve
+		// flag still opts in. Case-insensitive: a spec file may spell the
+		// engine any way Validate accepts.
+		if specPath == "" {
+			sc.Metrics = append(sc.Metrics, "coverage")
+		}
+		if curve {
+			sc.Metrics = append(sc.Metrics, "curve")
+		}
+	}
+	return sc, nil
+}
+
+// canonicalEngine maps the historical -model aliases onto engine names.
+func canonicalEngine(model string) string {
+	switch model {
+	case "cover":
+		return "coverage"
+	case "extinction":
+		return "predator"
+	default:
+		return model
+	}
+}
+
+func isTraceMobility(spec string) bool {
+	name, _, _ := strings.Cut(spec, ":")
+	return strings.ToLower(strings.TrimSpace(name)) == "trace"
+}
+
+// runTraceMobility executes the one non-scenario path: trace-replay motion,
+// driven through the library API.
+func runTraceMobility(engine string, n, k, r int, seed uint64, mobSpec string, preys int, curve bool, traceOut string) error {
+	mob, err := mobilenet.ParseMobility(mobSpec)
+	if err != nil {
+		return err
+	}
+	net, err := mobilenet.New(n, k,
+		mobilenet.WithRadius(r), mobilenet.WithSeed(seed), mobilenet.WithMobility(mob))
+	if err != nil {
+		return err
+	}
+	printHeader(net, engine, "trace-driven (not addressable)")
+	if traceOut != "" {
+		if engine != "broadcast" {
+			return fmt.Errorf("-trace records broadcast runs only, engine is %s", engine)
+		}
+		m, err := mobility.Parse(mobSpec)
+		if err != nil {
+			return err
+		}
+		return tracedBroadcast(net, seed, r, m, traceOut)
+	}
+	var rep mobilenet.ScenarioRep
+	switch engine {
+	case "broadcast":
 		res, err := net.Broadcast()
 		if err != nil {
 			return err
 		}
-		report("broadcast time T_B", res.Steps, res.Completed)
-		if res.CoverageSteps >= 0 {
-			fmt.Printf("coverage time T_C = %d\n", res.CoverageSteps)
-		}
-		if *curve {
-			printCurve(res.InformedCurve)
-		}
+		rep = mobilenet.ScenarioRep{Steps: res.Steps, Completed: res.Completed,
+			Source: res.Source, CoverageSteps: res.CoverageSteps, Curve: res.InformedCurve}
 	case "gossip":
 		res, err := net.Gossip()
 		if err != nil {
 			return err
 		}
-		report("gossip time T_G", res.Steps, res.Completed)
+		rep = mobilenet.ScenarioRep{Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}
 	case "frog":
 		res, err := net.FrogBroadcast()
 		if err != nil {
 			return err
 		}
-		report("frog-model broadcast time", res.Steps, res.Completed)
-	case "cover":
+		rep = mobilenet.ScenarioRep{Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}
+	case "coverage":
 		res, err := net.CoverTime()
 		if err != nil {
 			return err
 		}
-		report("cover time", res.Steps, res.Completed)
-		fmt.Printf("nodes covered: %d/%d\n", res.Covered, net.Nodes())
-	case "extinction":
-		m := *preys
-		if m <= 0 {
-			m = *k
+		rep = mobilenet.ScenarioRep{Steps: res.Steps, Completed: res.Completed,
+			Covered: res.Covered, CoverageSteps: -1}
+	case "predator":
+		if preys <= 0 {
+			preys = k
 		}
-		res, err := net.Extinction(m)
+		res, err := net.Extinction(preys)
 		if err != nil {
 			return err
 		}
-		report("extinction time", res.Steps, res.Completed)
-		fmt.Printf("surviving preys: %d\n", res.Survivors)
+		rep = mobilenet.ScenarioRep{Steps: res.Steps, Completed: res.Completed,
+			Survivors: res.Survivors, CoverageSteps: -1}
 	default:
-		return fmt.Errorf("unknown model %q", *model)
+		return fmt.Errorf("unknown model %q", engine)
 	}
+	printEngineResult(net, engine, rep, curve)
 	return nil
+}
+
+func printHeader(net *mobilenet.Network, engine, scenarioID string) {
+	fmt.Printf("grid: %dx%d (n=%d)  agents: k=%d  radius: r=%d  mobility: %s\n",
+		net.Side(), net.Side(), net.Nodes(), net.Agents(), net.Radius(), net.Mobility())
+	fmt.Printf("engine: %s  scenario: %s\n", engine, scenarioID)
+	fmt.Printf("percolation radius r_c = %.2f  regime: %s\n",
+		net.PercolationRadius(), regime(net))
+	fmt.Printf("theoretical scale n/sqrt(k) = %.1f\n\n", net.ExpectedBroadcastScale())
+}
+
+func printEngineResult(net *mobilenet.Network, engine string, rep mobilenet.ScenarioRep, curve bool) {
+	switch engine {
+	case "broadcast":
+		report("broadcast time T_B", rep.Steps, rep.Completed)
+		if rep.CoverageSteps >= 0 {
+			fmt.Printf("coverage time T_C = %d\n", rep.CoverageSteps)
+		}
+		if curve {
+			printCurve(rep.Curve)
+		}
+	case "gossip":
+		report("gossip time T_G", rep.Steps, rep.Completed)
+	case "frog":
+		report("frog-model broadcast time", rep.Steps, rep.Completed)
+	case "coverage":
+		report("cover time", rep.Steps, rep.Completed)
+		fmt.Printf("nodes covered: %d/%d\n", rep.Covered, net.Nodes())
+	case "predator":
+		report("extinction time", rep.Steps, rep.Completed)
+		fmt.Printf("surviving preys: %d\n", rep.Survivors)
+	}
 }
 
 // tracedBroadcast runs a broadcast step by step, recording every position

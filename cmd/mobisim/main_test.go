@@ -16,8 +16,12 @@ func TestRunModels(t *testing.T) {
 		{"-n", "256", "-k", "8", "-model", "gossip"},
 		{"-n", "256", "-k", "8", "-model", "frog"},
 		{"-n", "256", "-k", "8", "-model", "cover"},
+		{"-n", "256", "-k", "8", "-model", "coverage"},
 		{"-n", "256", "-k", "8", "-model", "extinction"},
+		{"-n", "256", "-k", "8", "-model", "predator"},
 		{"-n", "256", "-k", "8", "-model", "extinction", "-preys", "3"},
+		{"-n", "256", "-k", "8", "-model", "gossip", "-reps", "3"},
+		{"-n", "256", "-k", "8", "-json"},
 	}
 	for _, args := range cases {
 		args := args
@@ -55,6 +59,54 @@ func TestRunWithTrace(t *testing.T) {
 	}
 	if tr.K() != 8 || tr.Side() != 16 {
 		t.Errorf("trace shape k=%d side=%d", tr.K(), tr.Side())
+	}
+}
+
+func TestRunFromSpecFile(t *testing.T) {
+	t.Parallel()
+	path := t.TempDir() + "/scenario.json"
+	spec := `{"engine":"gossip","nodes":256,"agents":8,"seed":3}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path}); err != nil {
+		t.Fatal(err)
+	}
+	// A flag set explicitly on the command line overrides the file.
+	if err := run([]string{"-spec", path, "-model", "frog"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", t.TempDir() + "/missing.json"}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestRunTraceReplayMobility(t *testing.T) {
+	t.Parallel()
+	path := t.TempDir() + "/run.mtrace"
+	if err := run([]string{"-n", "256", "-k", "8", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the recorded trajectory runs through the library fallback
+	// path (trace motion is not scenario-addressable).
+	if err := run([]string{"-n", "256", "-k", "8", "-mobility", "trace:" + path + ",loop"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "256", "-k", "8", "-model", "gossip", "-mobility", "trace:" + path + ",loop"}); err != nil {
+		t.Fatal(err)
+	}
+	// Scenario-only conveniences fail loudly on the trace path rather
+	// than being silently dropped.
+	for _, args := range [][]string{
+		{"-mobility", "trace:" + path, "-json"},
+		{"-mobility", "trace:" + path, "-spec", "whatever.json"},
+		{"-mobility", "trace:" + path, "-reps", "5"},
+		{"-trace", t.TempDir() + "/out.mtrace", "-json"},
+		{"-trace", t.TempDir() + "/out.mtrace", "-reps", "5"},
+	} {
+		if err := run(append([]string{"-n", "256", "-k", "8"}, args...)); err == nil {
+			t.Errorf("args %v accepted on the trace path", args)
+		}
 	}
 }
 

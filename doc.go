@@ -53,6 +53,21 @@
 // converts CLI-style specs such as "levy:alpha=1.6,max=40"; cmd/mobisim
 // exposes the same grammar as its -mobility flag.
 //
+// # Scenario specs
+//
+// A Scenario declares one simulation as plain data — engine (broadcast,
+// gossip, frog, coverage, predator), arena, population, radius, seed,
+// replicates, mobility and requested metrics — and runs through one shared
+// dispatch path:
+//
+//	sc, _ := mobilenet.ParseScenario([]byte(`{"engine":"broadcast","nodes":16384,"agents":64,"seed":1}`))
+//	res, _ := mobilenet.RunScenario(sc)
+//	fmt.Println("T_B =", res.Reps[0].Steps)
+//
+// Scenarios canonicalise to a content hash (Scenario.Hash) usable as a
+// cache key; cmd/mobiserved serves them over HTTP with hash-keyed result
+// caching, returning payloads byte-identical to a local RunScenario call.
+//
 // The examples/ directory contains runnable scenarios (MANET radius sweeps,
 // epidemic spreading, wildlife-tracking gossip, the Frog model, the
 // cross-model mobility contrast in examples/levy), and the cmd/ directory

@@ -1,8 +1,9 @@
 // Quickstart: the smallest useful program against the public API.
 //
-// It builds a sparse mobile network (64x64 grid, 32 agents, radius 0),
-// broadcasts one rumor and reports the measured broadcast time next to the
-// paper's Θ̃(n/√k) scale.
+// A scenario spec — the same JSON object cmd/mobiserved serves over HTTP —
+// declares a sparse mobile network (64x64 grid, 32 agents, radius 0) and a
+// broadcast on it; RunScenario executes it and reports the measured
+// broadcast time next to the paper's Θ̃(n/√k) scale.
 //
 // Run with:
 //
@@ -17,45 +18,56 @@ import (
 )
 
 func main() {
-	const (
-		nodes  = 64 * 64
-		agents = 32
-	)
-	net, err := mobilenet.New(nodes, agents,
-		mobilenet.WithSeed(2011), // PODC 2011 — any seed works
-		mobilenet.WithRadius(0),  // exchange on co-location only
-		mobilenet.WithSource(0),  // agent 0 has the rumor at t=0
-	)
+	spec := []byte(`{
+		"engine":  "broadcast",
+		"nodes":   4096,
+		"agents":  32,
+		"radius":  0,
+		"seed":    2011,
+		"metrics": ["curve", "coverage"]
+	}`)
+	sc, err := mobilenet.ParseScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := sc.Hash()
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// The Network view gives the theory-side quantities for the same spec.
+	net, err := mobilenet.New(sc.Nodes, sc.Agents, mobilenet.WithScenario(sc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %s\n", hash[:12])
 	fmt.Printf("n=%d nodes, k=%d agents, r=%d\n", net.Nodes(), net.Agents(), net.Radius())
 	fmt.Printf("percolation radius r_c = %.1f — subcritical: %v\n",
 		net.PercolationRadius(), net.Subcritical())
 
-	res, err := net.Broadcast()
+	res, err := mobilenet.RunScenario(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Completed {
-		log.Fatalf("broadcast did not finish within the step cap (%d steps)", res.Steps)
+	rep := res.Reps[0]
+	if !rep.Completed {
+		log.Fatalf("broadcast did not finish within the step cap (%d steps)", rep.Steps)
 	}
 
-	fmt.Printf("\nbroadcast time T_B = %d steps\n", res.Steps)
-	fmt.Printf("coverage  time T_C = %d steps\n", res.CoverageSteps)
+	fmt.Printf("\nbroadcast time T_B = %d steps\n", rep.Steps)
+	fmt.Printf("coverage  time T_C = %d steps\n", rep.CoverageSteps)
 	fmt.Printf("theory scale n/√k  = %.0f  (T_B/scale = %.2f)\n",
-		net.ExpectedBroadcastScale(), float64(res.Steps)/net.ExpectedBroadcastScale())
+		net.ExpectedBroadcastScale(), float64(rep.Steps)/net.ExpectedBroadcastScale())
 
 	// The informed-count curve shows the typical S-shape: slow seeding,
 	// exponential middle, long tail chasing the last stragglers.
 	fmt.Println("\ninformed agents over time:")
-	stride := len(res.InformedCurve)/10 + 1
-	for t := 0; t < len(res.InformedCurve); t += stride {
+	stride := len(rep.Curve)/10 + 1
+	for t := 0; t < len(rep.Curve); t += stride {
 		bar := ""
-		for i := 0; i < res.InformedCurve[t]; i++ {
+		for i := 0; i < rep.Curve[t]; i++ {
 			bar += "#"
 		}
-		fmt.Printf("  t=%6d %s %d\n", t, bar, res.InformedCurve[t])
+		fmt.Printf("  t=%6d %s %d\n", t, bar, rep.Curve[t])
 	}
 }

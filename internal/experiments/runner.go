@@ -4,24 +4,26 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"mobilenet/internal/rng"
 )
 
 // repSeed derives the seed for replicate rep of a sweep point from the
 // master seed. The derivation is position-based (not draw-based) so results
-// are independent of scheduling and of how many other points run.
+// are independent of scheduling and of how many other points run; it is
+// shared with the simulation service via rng.DeriveSeed.
 func repSeed(master uint64, point, rep int) uint64 {
-	x := master ^ (uint64(point)+1)*0x9e3779b97f4a7c15 ^ (uint64(rep)+1)*0xbf58476d1ce4e5b9
-	// One splitmix64 finalisation round to decorrelate nearby inputs.
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return rng.DeriveSeed(master, point, rep)
 }
 
 // runReps evaluates fn for reps replicates (passing each its deterministic
 // seed) with bounded parallelism and returns the per-replicate values in
-// replicate order. The first error aborts the collection.
+// replicate order. The first error aborts the collection: on the serial
+// path it returns immediately, and on the parallel path a done signal stops
+// the dispatch of further replicates and idles the workers (replicates
+// already inside fn finish their call; fn takes no cancellation handle).
+// When several replicates fail, the error of the lowest-numbered failed
+// replicate is returned, matching the serial path's choice.
 func runReps(master uint64, point, reps int, fn func(seed uint64) (float64, error)) ([]float64, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("experiments: reps must be positive, got %d", reps)
@@ -42,19 +44,33 @@ func runReps(master uint64, point, reps int, fn func(seed uint64) (float64, erro
 		}
 		return out, nil
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		done = make(chan struct{})
+		once sync.Once
+	)
+	fail := func() { once.Do(func() { close(done) }) }
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for rep := range next {
 				out[rep], errs[rep] = fn(repSeed(master, point, rep))
+				if errs[rep] != nil {
+					fail()
+					return
+				}
 			}
 		}()
 	}
+dispatch:
 	for rep := 0; rep < reps; rep++ {
-		next <- rep
+		select {
+		case next <- rep:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"mobilenet/internal/rng"
+)
+
+func TestRepSeedMatchesSharedDerivation(t *testing.T) {
+	t.Parallel()
+	// The experiment runner and the simulation service must agree on the
+	// derivation, or cached service results would diverge from sweeps.
+	for point := 0; point < 4; point++ {
+		for rep := 0; rep < 4; rep++ {
+			if got, want := repSeed(42, point, rep), rng.DeriveSeed(42, point, rep); got != want {
+				t.Fatalf("repSeed(42,%d,%d) = %d, DeriveSeed = %d", point, rep, got, want)
+			}
+		}
+	}
+}
+
+func TestRunRepsOrderAndDeterminism(t *testing.T) {
+	t.Parallel()
+	const reps = 32
+	fn := func(seed uint64) (float64, error) { return float64(seed % 1000), nil }
+	a, err := runReps(7, 3, reps, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runReps(7, 3, reps, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < reps; rep++ {
+		want := float64(repSeed(7, 3, rep) % 1000)
+		if a[rep] != want || b[rep] != want {
+			t.Fatalf("rep %d: got %v/%v, want %v", rep, a[rep], b[rep], want)
+		}
+	}
+}
+
+// TestRunRepsAbortsOnFirstError pins the documented cancellation contract:
+// once a replicate fails, dispatch stops, so nowhere near all replicates
+// run. Each worker can observe at most one failing call before exiting, so
+// the number of calls is bounded by the worker count, not by reps.
+func TestRunRepsAbortsOnFirstError(t *testing.T) {
+	t.Parallel()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		t.Skip("needs a parallel runner")
+	}
+	reps := workers * 16
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := runReps(1, 0, reps, func(seed uint64) (float64, error) {
+		calls.Add(1)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := calls.Load(); n > int64(workers) {
+		t.Errorf("%d replicates ran after the first error (workers: %d)", n, workers)
+	}
+}
+
+// TestRunRepsReturnsLowestFailedReplicate checks the deterministic error
+// choice when several replicates fail.
+func TestRunRepsReturnsLowestFailedReplicate(t *testing.T) {
+	t.Parallel()
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs a parallel runner")
+	}
+	seedToRep := map[uint64]int{}
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		seedToRep[repSeed(5, 0, rep)] = rep
+	}
+	_, err := runReps(5, 0, reps, func(seed uint64) (float64, error) {
+		if rep := seedToRep[seed]; rep >= 2 {
+			return 0, fmt.Errorf("rep %d failed", rep)
+		}
+		return 1, nil
+	})
+	if err == nil {
+		t.Fatal("no error surfaced")
+	}
+	// Replicates 2..7 all fail; the reported error must be replicate 2's
+	// whenever replicate 2 ran at all (it always runs: dispatch is in
+	// order and only stops after a failure is observed).
+	if got := err.Error(); got != "rep 2 failed" {
+		t.Errorf("err = %q, want rep 2's error", got)
+	}
+}
+
+func TestRunRepsRejectsNonPositiveReps(t *testing.T) {
+	t.Parallel()
+	if _, err := runReps(1, 0, 0, func(uint64) (float64, error) { return 0, nil }); err == nil {
+		t.Error("reps=0 accepted")
+	}
+}

@@ -75,6 +75,47 @@ func Parse(spec string) (Model, error) {
 	}
 }
 
+// CanonicalSpec renders a Model back into the spec string Parse accepts,
+// with options in a fixed order and grid-independent bind-time defaults
+// resolved (a zero levy alpha renders as the 1.6 it runs under; a zero
+// ballistic turn probability as 0.05). Two spec strings that parse to the
+// same motion law render identically, which makes the rendering usable as
+// a canonical form (scenario hashing relies on this). The one exception is
+// levy's MaxJump, whose default depends on the grid and so stays omitted
+// when zero: "levy" and an explicit "levy:max=<side/2>" hash as different
+// scenarios even though they run identically — a conservative split, never
+// a wrong cache hit. TraceReplay renders as a bare "trace": the trajectory
+// lives in memory, not in the string, so the rendering does not round-trip.
+func CanonicalSpec(m Model) string {
+	switch m := m.(type) {
+	case LazyWalk:
+		return "lazy"
+	case RandomWaypoint:
+		if m.Pause != 0 {
+			return fmt.Sprintf("waypoint:pause=%d", m.Pause)
+		}
+		return "waypoint"
+	case LevyFlight:
+		alpha := m.Alpha
+		if alpha == 0 {
+			alpha = 1.6 // Bind's default
+		}
+		opts := []string{"alpha=" + strconv.FormatFloat(alpha, 'g', -1, 64)}
+		if m.MaxJump != 0 {
+			opts = append(opts, "max="+strconv.Itoa(m.MaxJump))
+		}
+		return "levy:" + strings.Join(opts, ",")
+	case Ballistic:
+		turn := m.TurnProb
+		if turn == 0 {
+			turn = 0.05 // Bind's default
+		}
+		return "ballistic:turn=" + strconv.FormatFloat(turn, 'g', -1, 64)
+	default:
+		return m.Name()
+	}
+}
+
 // parseOpts applies "key=value" options, comma-separated, through the given
 // setters.
 func parseOpts(opts string, set map[string]func(string) error) error {

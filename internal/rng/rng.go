@@ -25,6 +25,22 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// DeriveSeed returns the seed for replicate rep of sweep point from the
+// master seed. The derivation is position-based (not draw-based): the seed
+// of a replicate depends only on (master, point, rep), never on how many
+// other replicates ran or in what order, so parallel collections are
+// scheduling-independent. The experiment runner and the simulation service
+// share this derivation.
+func DeriveSeed(master uint64, point, rep int) uint64 {
+	x := master ^ (uint64(point)+1)*0x9e3779b97f4a7c15 ^ (uint64(rep)+1)*0xbf58476d1ce4e5b9
+	// One splitmix64 finalisation round to decorrelate nearby inputs.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Source is a xoshiro256** generator. The zero value is NOT a valid
 // generator (its state would be all zero, a fixed point of xoshiro);
 // construct Sources with New or Split.

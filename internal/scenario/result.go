@@ -1,0 +1,74 @@
+package scenario
+
+import "fmt"
+
+// Rep is the outcome of one replicate. Fields an engine does not produce
+// hold their zero value (CoverageSteps uses -1 for "not measured", matching
+// the engines' convention).
+type Rep struct {
+	// Seed is the seed this replicate ran under (see RepSeed).
+	Seed uint64 `json:"seed"`
+	// Steps is the engine's primary time measurement: T_B, T_G, the frog
+	// broadcast time, the cover time, or the extinction time. Valid when
+	// Completed; otherwise it equals the step cap that was hit.
+	Steps int `json:"steps"`
+	// Completed is false when the step cap ended the run first.
+	Completed bool `json:"completed"`
+	// Source is the realised source agent (broadcast and frog).
+	Source int `json:"source"`
+	// CoverageSteps is the broadcast coverage time T_C under the
+	// "coverage" metric; -1 when not measured or not reached.
+	CoverageSteps int `json:"coverage_steps"`
+	// Covered is the covered-node count (coverage engine).
+	Covered int `json:"covered"`
+	// Survivors is the surviving-prey count (predator engine).
+	Survivors int `json:"survivors"`
+	// Curve is the per-step progress curve under the "curve" metric.
+	Curve []int `json:"curve,omitempty"`
+}
+
+// Result is the uniform outcome of running a Spec: the canonical identity
+// of the simulation plus every replicate in replicate order. Results are
+// deterministic functions of the canonical spec — the library path
+// (scenario.Run) and the service path (simserve) produce byte-identical
+// encodings — which is what makes hash-keyed caching sound.
+type Result struct {
+	// Engine is the canonical engine name.
+	Engine string `json:"engine"`
+	// Hash is the canonical content hash of the spec that produced this.
+	Hash string `json:"hash"`
+	// Reps holds every replicate outcome, in replicate order.
+	Reps []Rep `json:"reps"`
+	// MeanSteps is the mean of Steps over all replicates (capped runs
+	// contribute the cap they hit).
+	MeanSteps float64 `json:"mean_steps"`
+	// AllCompleted reports whether every replicate finished under the cap.
+	AllCompleted bool `json:"all_completed"`
+}
+
+// Assemble builds the Result for a canonical spec from its per-replicate
+// outcomes, which must be in replicate order and complete; hash is the
+// spec's precomputed content hash (callers always have it in hand, and
+// recomputing it would re-validate the whole spec). Both execution paths
+// (serial library, pooled service) funnel through this so their results
+// are structurally identical.
+func Assemble(canonical Spec, hash string, reps []Rep) (*Result, error) {
+	if len(reps) != canonical.Reps {
+		return nil, fmt.Errorf("scenario: %d replicate outcomes for %d requested reps", len(reps), canonical.Reps)
+	}
+	res := &Result{
+		Engine:       canonical.Engine,
+		Hash:         hash,
+		Reps:         reps,
+		AllCompleted: true,
+	}
+	var sum float64
+	for _, r := range reps {
+		sum += float64(r.Steps)
+		if !r.Completed {
+			res.AllCompleted = false
+		}
+	}
+	res.MeanSteps = sum / float64(len(reps))
+	return res, nil
+}

@@ -1,0 +1,277 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobilenet/internal/core"
+	"mobilenet/internal/coverage"
+	"mobilenet/internal/frog"
+	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
+	"mobilenet/internal/predator"
+)
+
+// Runner adapts one engine to the uniform Spec contract. RunRep executes a
+// single replicate of a canonical spec under an explicit seed (callers
+// derive it with RepSeed), which is the unit of work the simulation
+// service's pool schedules. Runners are stateless and safe for concurrent
+// use: every RunRep builds its own grid and engine state.
+type Runner interface {
+	// Engine returns the canonical engine name the runner serves.
+	Engine() string
+	// RunRep runs one replicate of the spec under the given seed.
+	RunRep(spec Spec, seed uint64) (Rep, error)
+}
+
+// runners is the engine registry. It is populated at init time and
+// read-only afterwards, so Lookup needs no locking.
+var runners = map[string]Runner{}
+
+// register adds a runner to the registry; duplicate engines are programmer
+// error.
+func register(r Runner) {
+	if _, dup := runners[r.Engine()]; dup {
+		panic(fmt.Sprintf("scenario: duplicate runner for engine %q", r.Engine()))
+	}
+	runners[r.Engine()] = r
+}
+
+func init() {
+	register(broadcastRunner{})
+	register(gossipRunner{})
+	register(frogRunner{})
+	register(coverageRunner{})
+	register(predatorRunner{})
+}
+
+// Lookup resolves an engine name (case-insensitive) to its Runner.
+func Lookup(engine string) (Runner, bool) {
+	r, ok := runners[strings.ToLower(strings.TrimSpace(engine))]
+	return r, ok
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	out := make([]string, 0, len(runners))
+	for name := range runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run canonicalises the spec and executes all its replicates serially in
+// replicate order. This is the library execution path; internal/simserve
+// produces the identical Result by fanning the same replicates across a
+// worker pool.
+func Run(spec Spec) (*Result, error) {
+	c, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := HashCanonical(c)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := Lookup(c.Engine)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown engine %q", c.Engine)
+	}
+	reps := make([]Rep, c.Reps)
+	for i := range reps {
+		rep, err := r.RunRep(c, RepSeed(c.Seed, i))
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = rep
+	}
+	return Assemble(c, hash, reps)
+}
+
+// buildGrid realises the spec's arena.
+func buildGrid(spec Spec) (*grid.Grid, error) {
+	g, err := grid.FromNodes(spec.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return g, nil
+}
+
+// buildMobility parses the spec's mobility model; validation has already
+// vetted the string, so errors here are defensive.
+func buildMobility(spec Spec) (mobility.Model, error) {
+	if spec.Mobility == "" {
+		return mobility.Default(), nil
+	}
+	m, err := mobility.Parse(spec.Mobility)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return m, nil
+}
+
+type broadcastRunner struct{}
+
+func (broadcastRunner) Engine() string { return EngineBroadcast }
+
+func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	m, err := buildMobility(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	res, err := core.RunBroadcast(core.Config{
+		Grid:              g,
+		K:                 spec.Agents,
+		Radius:            spec.Radius,
+		Seed:              seed,
+		Source:            spec.Source,
+		MaxSteps:          spec.MaxSteps,
+		Mobility:          m,
+		RecordCurve:       spec.HasMetric(MetricCurve),
+		TrackInformedArea: spec.HasMetric(MetricCoverage),
+	})
+	if err != nil {
+		return Rep{}, err
+	}
+	return Rep{
+		Seed:          seed,
+		Steps:         res.Steps,
+		Completed:     res.Completed,
+		Source:        res.Source,
+		CoverageSteps: res.CoverageSteps,
+		Curve:         res.InformedCurve,
+	}, nil
+}
+
+type gossipRunner struct{}
+
+func (gossipRunner) Engine() string { return EngineGossip }
+
+func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	m, err := buildMobility(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	cfg := core.Config{
+		Grid:     g,
+		K:        spec.Agents,
+		Radius:   spec.Radius,
+		Seed:     seed,
+		MaxSteps: spec.MaxSteps,
+		Mobility: m,
+	}
+	var res core.GossipResult
+	if spec.Rumors == 0 {
+		res, err = core.RunGossip(cfg)
+	} else {
+		res, err = core.RunPartialGossip(cfg, spec.Rumors)
+	}
+	if err != nil {
+		return Rep{}, err
+	}
+	return Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}, nil
+}
+
+type frogRunner struct{}
+
+func (frogRunner) Engine() string { return EngineFrog }
+
+func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	m, err := buildMobility(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	res, err := frog.RunFrog(frog.Config{
+		Grid:     g,
+		K:        spec.Agents,
+		Radius:   spec.Radius,
+		Seed:     seed,
+		Source:   spec.Source,
+		MaxSteps: spec.MaxSteps,
+		Mobility: m,
+	})
+	if err != nil {
+		return Rep{}, err
+	}
+	return Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Source: spec.Source, CoverageSteps: -1}, nil
+}
+
+type coverageRunner struct{}
+
+func (coverageRunner) Engine() string { return EngineCoverage }
+
+func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	m, err := buildMobility(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	res, err := coverage.Run(coverage.Config{
+		Grid:        g,
+		Walkers:     spec.Agents,
+		Seed:        seed,
+		MaxSteps:    spec.MaxSteps,
+		Mobility:    m,
+		RecordCurve: spec.HasMetric(MetricCurve),
+	})
+	if err != nil {
+		return Rep{}, err
+	}
+	return Rep{
+		Seed:          seed,
+		Steps:         res.Steps,
+		Completed:     res.Completed,
+		Covered:       res.Covered,
+		CoverageSteps: -1,
+		Curve:         res.Curve,
+	}, nil
+}
+
+type predatorRunner struct{}
+
+func (predatorRunner) Engine() string { return EnginePredator }
+
+func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+	g, err := buildGrid(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	m, err := buildMobility(spec)
+	if err != nil {
+		return Rep{}, err
+	}
+	preys := spec.Preys
+	if preys == 0 {
+		preys = spec.Agents
+	}
+	res, err := predator.RunExtinction(predator.Config{
+		Grid:      g,
+		Predators: spec.Agents,
+		Preys:     preys,
+		Radius:    spec.Radius,
+		Seed:      seed,
+		MaxSteps:  spec.MaxSteps,
+		Mobility:  m,
+	})
+	if err != nil {
+		return Rep{}, err
+	}
+	return Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Survivors: res.Survivors, CoverageSteps: -1}, nil
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mobilenet/internal/core"
+	"mobilenet/internal/grid"
+)
+
+func TestEnginesRegistry(t *testing.T) {
+	t.Parallel()
+	want := []string{EngineBroadcast, EngineCoverage, EngineFrog, EngineGossip, EnginePredator}
+	got := Engines()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Engines() = %v, want %v", got, want)
+	}
+	for _, e := range want {
+		r, ok := Lookup(e)
+		if !ok {
+			t.Fatalf("engine %s not registered", e)
+		}
+		if r.Engine() != e {
+			t.Errorf("runner for %s reports engine %s", e, r.Engine())
+		}
+	}
+	if _, ok := Lookup("  BROADCAST "); !ok {
+		t.Error("Lookup is not case/space insensitive")
+	}
+}
+
+// TestAllEnginesRunThroughDispatch drives every registered engine through
+// the one shared dispatch path on a small fixed-seed spec.
+func TestAllEnginesRunThroughDispatch(t *testing.T) {
+	t.Parallel()
+	for _, engine := range Engines() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Spec{Engine: engine, Nodes: 256, Agents: 8, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Engine != engine {
+				t.Errorf("result engine = %s", res.Engine)
+			}
+			if len(res.Reps) != 1 {
+				t.Fatalf("got %d reps, want 1", len(res.Reps))
+			}
+			if !res.Reps[0].Completed {
+				t.Errorf("%s did not complete at this small size", engine)
+			}
+			if res.Reps[0].Steps <= 0 {
+				t.Errorf("%s reported %d steps", engine, res.Reps[0].Steps)
+			}
+		})
+	}
+}
+
+// TestBroadcastMatchesCoreEngine pins the dispatch path to the engines'
+// PR-1 behaviour: a 1-rep broadcast scenario must reproduce a direct
+// core.RunBroadcast with the same parameters and seed exactly.
+func TestBroadcastMatchesCoreEngine(t *testing.T) {
+	t.Parallel()
+	const seed = 2011
+	res, err := Run(Spec{Engine: EngineBroadcast, Nodes: 1024, Agents: 16, Radius: 1,
+		Seed: seed, Metrics: []string{MetricCurve, MetricCoverage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.FromNodes(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.RunBroadcast(core.Config{Grid: g, K: 16, Radius: 1, Seed: seed,
+		RecordCurve: true, TrackInformedArea: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Reps[0]
+	if rep.Steps != direct.Steps || rep.Completed != direct.Completed ||
+		rep.Source != direct.Source || rep.CoverageSteps != direct.CoverageSteps {
+		t.Errorf("scenario rep %+v diverges from core result %+v", rep, direct)
+	}
+	if !reflect.DeepEqual(rep.Curve, direct.InformedCurve) {
+		t.Error("scenario curve diverges from core curve")
+	}
+}
+
+// TestRunIsDeterministic checks the whole pipeline is a pure function of
+// the spec: equal specs yield byte-identical encoded results.
+func TestRunIsDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Engine: EnginePredator, Nodes: 256, Agents: 8, Seed: 5, Reps: 3}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("same spec, different results:\n%s\n%s", aj, bj)
+	}
+}
+
+// TestRepZeroMatchesSingleRun checks the seed schedule: replicate 0 of a
+// multi-rep scenario is the same simulation as the 1-rep scenario.
+func TestRepZeroMatchesSingleRun(t *testing.T) {
+	t.Parallel()
+	multi, err := Run(Spec{Engine: EngineGossip, Nodes: 256, Agents: 8, Seed: 9, Reps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(Spec{Engine: EngineGossip, Nodes: 256, Agents: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Reps) != 4 {
+		t.Fatalf("got %d reps", len(multi.Reps))
+	}
+	if !reflect.DeepEqual(multi.Reps[0], single.Reps[0]) {
+		t.Errorf("rep 0 %+v diverges from single run %+v", multi.Reps[0], single.Reps[0])
+	}
+	if reflect.DeepEqual(multi.Reps[1], multi.Reps[0]) {
+		t.Error("distinct reps produced identical outcomes (seed schedule broken?)")
+	}
+}
+
+func TestResultHashMatchesSpecHash(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Engine: EngineCoverage, Nodes: 256, Agents: 8, Seed: 3}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != h {
+		t.Errorf("result hash %s != spec hash %s", res.Hash, h)
+	}
+}

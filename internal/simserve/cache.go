@@ -1,0 +1,69 @@
+package simserve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded least-recently-used cache from scenario hash to
+// encoded result payload. Values are the exact bytes served to clients, so
+// a hit returns a payload byte-identical to the one computed originally.
+type lru struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recent
+	entries  map[string]*list.Element // hash -> element holding *lruEntry
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached payload and promotes the entry to most recent.
+func (c *lru) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).payload, true
+}
+
+// Put stores (or refreshes) a payload, evicting the least recently used
+// entry when over capacity.
+func (c *lru) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).payload = payload
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, payload: payload})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,76 @@
+package simserve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictsOldest(t *testing.T) {
+	t.Parallel()
+	c := newLRU(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	// Touch a so b becomes the eviction candidate.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Error("a evicted or corrupted")
+	}
+	if v, ok := c.Get("c"); !ok || !bytes.Equal(v, []byte("C")) {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRURefreshKeepsSingleEntry(t *testing.T) {
+	t.Parallel()
+	c := newLRU(4)
+	c.Put("a", []byte("A1"))
+	c.Put("a", []byte("A2"))
+	if c.Len() != 1 {
+		t.Errorf("len = %d after double put, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("A2")) {
+		t.Errorf("got %q, want refreshed value", v)
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	t.Parallel()
+	c := newLRU(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); !ok {
+		t.Error("zero-capacity cache clamped wrong")
+	}
+}
+
+// TestLRUConcurrent exercises the cache from many goroutines; meaningful
+// under -race.
+func TestLRUConcurrent(t *testing.T) {
+	t.Parallel()
+	c := newLRU(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				c.Put(key, []byte(key))
+				if v, ok := c.Get(key); ok && !bytes.Equal(v, []byte(key)) {
+					t.Errorf("key %s holds %q", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

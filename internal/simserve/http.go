@@ -1,0 +1,139 @@
+package simserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mobilenet/internal/scenario"
+)
+
+// maxSpecBytes bounds a submitted scenario body; specs are small, so one
+// megabyte is already generous.
+const maxSpecBytes = 1 << 20
+
+// ServeHTTP exposes the service API:
+//
+//	POST /v1/run            submit a scenario spec (JSON body)
+//	GET  /v1/jobs/{id}      poll a job
+//	GET  /v1/results/{hash} fetch a cached result payload
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus-style service metrics
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func newMux(s *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, err := scenario.Parse(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ticket, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, errShutdown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if ticket.Cached {
+		writeJSON(w, http.StatusOK, ticket)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ticket)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	payload, ok := s.Result(r.PathValue("hash"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached result for this hash")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the service gauges and counters in the Prometheus
+// text exposition format (hand-rolled: the repo takes no dependencies).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits := s.cacheHits.Load()
+	misses := s.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP mobiserved_queue_depth Replicate tasks waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_queue_depth gauge\n")
+	fmt.Fprintf(w, "mobiserved_queue_depth %d\n", s.QueueDepth())
+	fmt.Fprintf(w, "# HELP mobiserved_workers Size of the worker pool.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_workers gauge\n")
+	fmt.Fprintf(w, "mobiserved_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "# HELP mobiserved_jobs_served_total Jobs completed successfully.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_jobs_served_total counter\n")
+	fmt.Fprintf(w, "mobiserved_jobs_served_total %d\n", s.jobsServed.Load())
+	fmt.Fprintf(w, "# HELP mobiserved_jobs_failed_total Jobs that ended in an error.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_jobs_failed_total counter\n")
+	fmt.Fprintf(w, "mobiserved_jobs_failed_total %d\n", s.jobsFailed.Load())
+	fmt.Fprintf(w, "# HELP mobiserved_cache_hits_total Submissions answered from the result cache.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_cache_hits_total counter\n")
+	fmt.Fprintf(w, "mobiserved_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP mobiserved_cache_misses_total Submissions that had to run.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_cache_misses_total counter\n")
+	fmt.Fprintf(w, "mobiserved_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP mobiserved_cache_hit_rate Fraction of submissions answered from cache.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "mobiserved_cache_hit_rate %g\n", hitRate)
+	fmt.Fprintf(w, "# HELP mobiserved_cache_entries Results currently cached.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_cache_entries gauge\n")
+	fmt.Fprintf(w, "mobiserved_cache_entries %d\n", s.cache.Len())
+}

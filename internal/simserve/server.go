@@ -1,0 +1,425 @@
+// Package simserve turns the scenario layer into a concurrent simulation
+// service: a bounded worker pool executes scenario replicates (each under
+// its position-derived seed, so results never depend on scheduling), an
+// LRU cache keyed by the scenario's canonical content hash answers repeated
+// submissions with byte-identical payloads, and an HTTP JSON API exposes
+// submit/poll/fetch plus health and metrics endpoints. cmd/mobiserved wraps
+// the package into a daemon.
+package simserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mobilenet/internal/scenario"
+	"mobilenet/internal/theory"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of replicate tasks waiting for a
+	// worker; 0 selects 256. A submission whose replicates do not all fit
+	// is rejected with ErrQueueFull rather than partially enqueued.
+	QueueDepth int
+	// CacheEntries bounds the result cache; 0 selects 256.
+	CacheEntries int
+	// MaxJobs bounds retained finished-job records; 0 selects 1024. The
+	// oldest finished records are dropped first (their results stay
+	// fetchable through the cache until evicted there).
+	MaxJobs int
+	// MaxNodes, MaxAgents and MaxSteps bound the size of a single
+	// accepted scenario; specs arrive from untrusted HTTP clients, and an
+	// unbounded nodes count is an allocation the size of the grid while
+	// an unbounded step cap is unbounded worker CPU. MaxSteps bounds the
+	// EFFECTIVE cap: the explicit max_steps when given, otherwise a
+	// conservative over-estimate of the engine's theory-derived default
+	// (so a huge grid cannot smuggle in an astronomically large default —
+	// such specs must state an explicit, in-bounds max_steps). Zero
+	// selects 1<<24 nodes (a 4096x4096 grid), 1<<20 agents and
+	// math.MaxInt32 steps. Oversized specs are rejected as permanently
+	// unservable (HTTP 400), not retry-later.
+	MaxNodes  int
+	MaxAgents int
+	MaxSteps  int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 24
+	}
+	if c.MaxAgents <= 0 {
+		c.MaxAgents = 1 << 20
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = math.MaxInt32
+	}
+	return c
+}
+
+// stepBoundExceeds reports whether the step cap a canonical spec will run
+// under — the explicit max_steps when set, otherwise a ceiling over every
+// engine's theory-derived default (256x the §4 cover-time bound dominates
+// the broadcast, gossip, frog, coverage and predator defaults) — exceeds
+// the server's limit. The comparison happens in float space so an
+// astronomically large derived cap cannot clamp down onto the limit and
+// slip past it.
+func stepBoundExceeds(c scenario.Spec, limit int) bool {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps > limit
+	}
+	return 256*theory.CoverTimeBound(c.Nodes, c.Agents) > float64(limit)
+}
+
+// Job states reported by Ticket.Status and JobView.Status.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// ErrQueueFull reports that the run queue cannot hold the submission's
+// replicates; clients should retry later (HTTP 503).
+var ErrQueueFull = errors.New("simserve: run queue full")
+
+// errShutdown reports a submission after Shutdown began.
+var errShutdown = errors.New("simserve: server is shutting down")
+
+// job is the internal record of one submitted scenario. All mutable fields
+// are guarded by Server.mu.
+type job struct {
+	id      string
+	hash    string
+	spec    scenario.Spec // canonical
+	status  string
+	errMsg  string
+	reps    []scenario.Rep
+	pending int
+	payload []byte        // encoded Result, set when status == done
+	done    chan struct{} // closed on done or failed
+}
+
+// task is the pool's unit of work: one replicate of one job.
+type task struct {
+	job *job
+	rep int
+}
+
+// Ticket is the service's answer to a submission.
+type Ticket struct {
+	// JobID identifies the job to poll; empty when Cached.
+	JobID string `json:"job_id,omitempty"`
+	// Hash is the scenario's canonical content hash (the result key).
+	Hash string `json:"hash"`
+	// Status is the job state at submission time; "done" when Cached.
+	Status string `json:"status"`
+	// Cached reports that the result was served from the cache without
+	// running anything.
+	Cached bool `json:"cached"`
+}
+
+// JobView is the externally visible state of a job.
+type JobView struct {
+	JobID  string `json:"job_id"`
+	Hash   string `json:"hash"`
+	Status string `json:"status"`
+	// Error holds the failure message when Status is "failed".
+	Error string `json:"error,omitempty"`
+	// Result holds the encoded scenario result when Status is "done". It
+	// is byte-identical to the /v1/results/{hash} payload.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Server is the simulation service. Construct with New; it is an
+// http.Handler (see routes in newMux) and also usable programmatically via
+// Submit/Job/Result/Wait.
+type Server struct {
+	cfg   Config
+	cache *lru
+
+	mu       sync.Mutex
+	closed   bool
+	queued   int // tasks currently in the tasks channel
+	jobs     map[string]*job
+	inflight map[string]*job // hash -> unfinished job, for coalescing
+	finished []string        // finished job ids, oldest first, for eviction
+	nextID   uint64
+
+	tasks chan task
+	wg    sync.WaitGroup
+
+	jobsServed  atomic.Uint64
+	jobsFailed  atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	mux *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newLRU(cfg.CacheEntries),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		tasks:    make(chan task, cfg.QueueDepth),
+	}
+	s.mux = newMux(s)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and canonicalises the spec, then answers from the cache,
+// coalesces onto an identical in-flight job, or enqueues a new job whose
+// replicates the pool executes under position-derived seeds.
+func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
+	c, err := spec.Canonical()
+	if err != nil {
+		return Ticket{}, err
+	}
+	// Library callers may run any size they like; a service must bound
+	// what one untrusted submission can allocate or occupy.
+	switch {
+	case c.Nodes > s.cfg.MaxNodes:
+		return Ticket{}, fmt.Errorf("simserve: %d nodes exceed this server's limit of %d", c.Nodes, s.cfg.MaxNodes)
+	case c.Agents > s.cfg.MaxAgents:
+		return Ticket{}, fmt.Errorf("simserve: %d agents exceed this server's limit of %d", c.Agents, s.cfg.MaxAgents)
+	case c.Preys > s.cfg.MaxAgents:
+		return Ticket{}, fmt.Errorf("simserve: %d preys exceed this server's limit of %d", c.Preys, s.cfg.MaxAgents)
+	case stepBoundExceeds(c, s.cfg.MaxSteps):
+		return Ticket{}, fmt.Errorf("simserve: the effective step cap exceeds this server's limit of %d (set an explicit, smaller max_steps)", s.cfg.MaxSteps)
+	}
+	hash, err := scenario.HashCanonical(c)
+	if err != nil {
+		return Ticket{}, err
+	}
+	if payload, ok := s.cache.Get(hash); ok && payload != nil {
+		s.cacheHits.Add(1)
+		return Ticket{Hash: hash, Status: StatusDone, Cached: true}, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Ticket{}, errShutdown
+	}
+	if j, ok := s.inflight[hash]; ok {
+		// Coalesced onto an identical in-flight job: neither a cache hit
+		// nor a miss — no new work was created.
+		return Ticket{JobID: j.id, Hash: hash, Status: j.status}, nil
+	}
+	// Re-probe the cache under the lock: an identical job may have
+	// finished between the unlocked probe above and acquiring s.mu, and
+	// re-running a result that is already cached would waste a full
+	// simulation.
+	if payload, ok := s.cache.Get(hash); ok && payload != nil {
+		s.cacheHits.Add(1)
+		return Ticket{Hash: hash, Status: StatusDone, Cached: true}, nil
+	}
+	if c.Reps > s.cfg.QueueDepth {
+		// Structurally unservable at this queue size — not a transient
+		// condition, so deliberately NOT ErrQueueFull (no point retrying).
+		return Ticket{}, fmt.Errorf("simserve: %d replicates exceed the queue depth %d; lower reps or raise the server's -queue", c.Reps, s.cfg.QueueDepth)
+	}
+	if s.queued+c.Reps > s.cfg.QueueDepth {
+		return Ticket{}, ErrQueueFull
+	}
+	// Counted only once work is actually created: rejected submissions are
+	// neither hits nor misses ("misses" = submissions that had to run).
+	s.cacheMisses.Add(1)
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		hash:    hash,
+		spec:    c,
+		status:  StatusQueued,
+		reps:    make([]scenario.Rep, c.Reps),
+		pending: c.Reps,
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.inflight[hash] = j
+	// Capacity was reserved above, so these sends cannot block.
+	s.queued += c.Reps
+	for rep := 0; rep < c.Reps; rep++ {
+		s.tasks <- task{job: j, rep: rep}
+	}
+	return Ticket{JobID: j.id, Hash: hash, Status: j.status}, nil
+}
+
+// worker executes replicate tasks until the task channel closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.tasks {
+		s.mu.Lock()
+		s.queued--
+		if t.job.status == StatusQueued {
+			t.job.status = StatusRunning
+		}
+		s.mu.Unlock()
+
+		seed := scenario.RepSeed(t.job.spec.Seed, t.rep)
+		r, ok := scenario.Lookup(t.job.spec.Engine)
+		var (
+			rep scenario.Rep
+			err error
+		)
+		if !ok {
+			err = fmt.Errorf("simserve: unknown engine %q", t.job.spec.Engine)
+		} else {
+			rep, err = r.RunRep(t.job.spec, seed)
+		}
+		s.completeRep(t.job, t.rep, rep, err)
+	}
+}
+
+// completeRep records one replicate outcome and finalises the job when it
+// was the last one. Replicate outcomes land at their replicate index, so
+// the assembled result is independent of worker scheduling.
+func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
+	s.mu.Lock()
+	if err != nil && j.errMsg == "" {
+		j.errMsg = err.Error()
+	}
+	j.reps[rep] = out
+	j.pending--
+	if j.pending > 0 {
+		s.mu.Unlock()
+		return
+	}
+	errMsg := j.errMsg
+	s.mu.Unlock()
+
+	// Last replicate: no other worker touches this job's reps anymore, so
+	// assemble and encode outside the lock — a large result (many reps
+	// with curves) must not stall every Submit/Job/metrics call while it
+	// marshals.
+	var payload []byte
+	if errMsg == "" {
+		res, aerr := scenario.Assemble(j.spec, j.hash, j.reps)
+		if aerr == nil {
+			payload, aerr = json.Marshal(res)
+		}
+		if aerr != nil {
+			errMsg = aerr.Error()
+		}
+	}
+
+	s.mu.Lock()
+	j.errMsg = errMsg
+	if errMsg == "" {
+		j.status = StatusDone
+		j.payload = payload
+		s.cache.Put(j.hash, payload)
+		s.jobsServed.Add(1)
+	} else {
+		j.status = StatusFailed
+		j.payload = nil
+		s.jobsFailed.Add(1)
+	}
+	delete(s.inflight, j.hash)
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Job returns the visible state of a job.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	v := JobView{JobID: j.id, Hash: j.hash, Status: j.status, Error: j.errMsg}
+	if j.status == StatusDone {
+		v.Result = j.payload
+	}
+	return v, true
+}
+
+// Result returns the cached payload for a scenario hash.
+func (s *Server) Result(hash string) ([]byte, bool) {
+	return s.cache.Get(hash)
+}
+
+// Wait blocks until the job finishes (or ctx expires) and returns its
+// payload. Failed jobs return an error carrying the job's failure message.
+func (s *Server) Wait(ctx context.Context, id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simserve: unknown job %q", id)
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.status != StatusDone {
+		return nil, fmt.Errorf("simserve: job %s failed: %s", j.id, j.errMsg)
+	}
+	return j.payload, nil
+}
+
+// QueueDepth returns the number of replicate tasks waiting for a worker.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Shutdown stops accepting submissions, drains queued work and waits for
+// the pool to exit, or returns ctx's error if it expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.tasks)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-drained:
+		return nil
+	}
+}

@@ -153,6 +153,31 @@ func WithMobility(m Mobility) Option {
 	}
 }
 
+// WithScenario applies a scenario spec's simulation options — radius,
+// seed, source, step cap and mobility — to the Network. The arena and
+// population still come from New's arguments, and the engine is chosen by
+// the simulation method called (or use RunScenario to let the spec drive
+// everything, including n, k and the engine).
+func WithScenario(s Scenario) Option {
+	return func(o *options) error {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		o.radius = s.Radius
+		o.seed = s.Seed
+		o.source = s.Source
+		o.maxSteps = s.MaxSteps
+		if s.Mobility != "" {
+			m, err := mobility.Parse(s.Mobility)
+			if err != nil {
+				return fmt.Errorf("mobilenet: %w", err)
+			}
+			o.mobility = m
+		}
+		return nil
+	}
+}
+
 // WithMaxSteps caps simulation length. The default derives a generous cap
 // from the theoretical Õ(n/√k) bound.
 func WithMaxSteps(steps int) Option {

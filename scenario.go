@@ -1,0 +1,182 @@
+package mobilenet
+
+import (
+	"mobilenet/internal/scenario"
+)
+
+// Scenario declares one simulation as plain data: the engine, the arena,
+// the population, the dissemination parameters and the requested metrics.
+// It is the single source of truth for "what is a simulation" — the same
+// spec drives RunScenario here, cmd/mobisim, and the mobiserved HTTP
+// service, and canonicalises to a content hash usable as a cache key.
+// Zero-valued optional fields select engine defaults; the minimal useful
+// spec is just Engine, Nodes and Agents.
+type Scenario struct {
+	// Label is an optional human-readable name, ignored by hashing.
+	Label string `json:"label,omitempty"`
+	// Engine is one of "broadcast", "gossip", "frog", "coverage",
+	// "predator" (see ScenarioEngines).
+	Engine string `json:"engine"`
+	// Nodes is the grid size n, rounded up to the next perfect square.
+	Nodes int `json:"nodes"`
+	// Agents is the population size k.
+	Agents int `json:"agents"`
+	// Radius is the transmission (or capture) radius in Manhattan distance.
+	Radius int `json:"radius"`
+	// Seed drives all randomness; replicate r runs under a seed derived
+	// from it by position (replicate 0 runs under Seed itself).
+	Seed uint64 `json:"seed"`
+	// Source is the initially informed/active agent for broadcast and
+	// frog; RandomSource picks uniformly.
+	Source int `json:"source,omitempty"`
+	// MaxSteps caps the run; 0 selects the engine's theory-derived default.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Reps is the replicate count; 0 selects 1.
+	Reps int `json:"reps,omitempty"`
+	// Preys is the prey count for the predator engine; 0 selects Agents.
+	Preys int `json:"preys,omitempty"`
+	// Rumors is the distinct-rumor count for gossip; 0 selects the
+	// classical all-to-all.
+	Rumors int `json:"rumors,omitempty"`
+	// Mobility is a ParseMobility spec string; empty selects the lazy walk.
+	Mobility string `json:"mobility,omitempty"`
+	// Metrics requests extra measurements: "curve" (per-step progress) and
+	// "coverage" (broadcast coverage time T_C).
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// spec converts the public Scenario to the internal spec, field for field.
+func (s Scenario) spec() scenario.Spec {
+	return scenario.Spec{
+		Label:    s.Label,
+		Engine:   s.Engine,
+		Nodes:    s.Nodes,
+		Agents:   s.Agents,
+		Radius:   s.Radius,
+		Seed:     s.Seed,
+		Source:   s.Source,
+		MaxSteps: s.MaxSteps,
+		Reps:     s.Reps,
+		Preys:    s.Preys,
+		Rumors:   s.Rumors,
+		Mobility: s.Mobility,
+		Metrics:  s.Metrics,
+	}
+}
+
+func fromSpec(sp scenario.Spec) Scenario {
+	return Scenario{
+		Label:    sp.Label,
+		Engine:   sp.Engine,
+		Nodes:    sp.Nodes,
+		Agents:   sp.Agents,
+		Radius:   sp.Radius,
+		Seed:     sp.Seed,
+		Source:   sp.Source,
+		MaxSteps: sp.MaxSteps,
+		Reps:     sp.Reps,
+		Preys:    sp.Preys,
+		Rumors:   sp.Rumors,
+		Mobility: sp.Mobility,
+		Metrics:  sp.Metrics,
+	}
+}
+
+// ParseScenario decodes a Scenario from JSON, rejecting unknown fields.
+func ParseScenario(data []byte) (Scenario, error) {
+	sp, err := scenario.Parse(data)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return fromSpec(sp), nil
+}
+
+// ScenarioEngines returns the available engine names, sorted.
+func ScenarioEngines() []string { return scenario.Engines() }
+
+// Validate checks the scenario without running it.
+func (s Scenario) Validate() error { return s.spec().Validate() }
+
+// Canonical returns the scenario's canonical form: defaults resolved,
+// engine-irrelevant fields zeroed, metrics normalised. Two scenarios that
+// describe the same simulation canonicalise identically.
+func (s Scenario) Canonical() (Scenario, error) {
+	c, err := s.spec().Canonical()
+	if err != nil {
+		return Scenario{}, err
+	}
+	return fromSpec(c), nil
+}
+
+// Hash returns the scenario's canonical content hash — the key mobiserved
+// caches results under. Equal hashes mean equal simulations.
+func (s Scenario) Hash() (string, error) { return s.spec().Hash() }
+
+// ScenarioRep is the outcome of one scenario replicate. Fields an engine
+// does not produce hold their zero value (CoverageSteps is -1 when not
+// measured).
+type ScenarioRep struct {
+	// Seed is the seed this replicate ran under.
+	Seed uint64 `json:"seed"`
+	// Steps is the engine's primary time measurement (T_B, T_G, the frog
+	// broadcast time, the cover time or the extinction time).
+	Steps int `json:"steps"`
+	// Completed is false when the step cap ended the run first.
+	Completed bool `json:"completed"`
+	// Source is the realised source agent (broadcast, frog).
+	Source int `json:"source"`
+	// CoverageSteps is T_C under the "coverage" metric, else -1.
+	CoverageSteps int `json:"coverage_steps"`
+	// Covered is the covered-node count (coverage engine).
+	Covered int `json:"covered"`
+	// Survivors is the surviving-prey count (predator engine).
+	Survivors int `json:"survivors"`
+	// Curve is the per-step progress curve under the "curve" metric.
+	Curve []int `json:"curve,omitempty"`
+}
+
+// ScenarioResult is the uniform outcome of a scenario run: every replicate
+// in replicate order plus summary statistics. It is a deterministic
+// function of the canonical scenario.
+type ScenarioResult struct {
+	// Engine is the canonical engine name.
+	Engine string `json:"engine"`
+	// Hash is the canonical content hash of the scenario.
+	Hash string `json:"hash"`
+	// Reps holds the replicate outcomes in replicate order.
+	Reps []ScenarioRep `json:"reps"`
+	// MeanSteps is the mean of Steps over all replicates.
+	MeanSteps float64 `json:"mean_steps"`
+	// AllCompleted reports whether every replicate finished under the cap.
+	AllCompleted bool `json:"all_completed"`
+}
+
+// RunScenario validates, canonicalises and executes a scenario through the
+// shared engine dispatch — the same path cmd/mobisim and the mobiserved
+// service use, so a library run reproduces a service run bit for bit.
+func RunScenario(s Scenario) (*ScenarioResult, error) {
+	res, err := scenario.Run(s.spec())
+	if err != nil {
+		return nil, err
+	}
+	out := &ScenarioResult{
+		Engine:       res.Engine,
+		Hash:         res.Hash,
+		Reps:         make([]ScenarioRep, len(res.Reps)),
+		MeanSteps:    res.MeanSteps,
+		AllCompleted: res.AllCompleted,
+	}
+	for i, r := range res.Reps {
+		out.Reps[i] = ScenarioRep{
+			Seed:          r.Seed,
+			Steps:         r.Steps,
+			Completed:     r.Completed,
+			Source:        r.Source,
+			CoverageSteps: r.CoverageSteps,
+			Covered:       r.Covered,
+			Survivors:     r.Survivors,
+			Curve:         r.Curve,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package mobilenet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunScenarioMatchesNetworkBroadcast pins the scenario dispatch to the
+// established public API: a 1-rep broadcast scenario reproduces
+// Network.Broadcast with the same parameters and seed exactly.
+func TestRunScenarioMatchesNetworkBroadcast(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{Engine: "broadcast", Nodes: 1024, Agents: 16, Radius: 1, Seed: 2011,
+		Metrics: []string{"curve", "coverage"}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(1024, 16, WithRadius(1), WithSeed(2011))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := net.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Reps[0]
+	if rep.Steps != direct.Steps || rep.Completed != direct.Completed ||
+		rep.Source != direct.Source || rep.CoverageSteps != direct.CoverageSteps {
+		t.Errorf("scenario rep %+v diverges from Network.Broadcast %+v", rep, direct)
+	}
+	if !reflect.DeepEqual(rep.Curve, direct.InformedCurve) {
+		t.Error("scenario curve diverges from Network.Broadcast curve")
+	}
+}
+
+func TestRunScenarioAllEngines(t *testing.T) {
+	t.Parallel()
+	for _, engine := range ScenarioEngines() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(Scenario{Engine: engine, Nodes: 256, Agents: 8, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllCompleted {
+				t.Errorf("%s did not complete", engine)
+			}
+		})
+	}
+}
+
+func TestWithScenarioAppliesOptions(t *testing.T) {
+	t.Parallel()
+	sc := Scenario{Engine: "broadcast", Nodes: 1024, Agents: 16, Radius: 2, Seed: 99,
+		MaxSteps: 12345, Mobility: "ballistic:turn=0.1"}
+	net, err := New(1024, 16, WithScenario(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Radius() != 2 {
+		t.Errorf("radius = %d", net.Radius())
+	}
+	if got := net.Mobility().String(); got != "ballistic" {
+		t.Errorf("mobility = %s", got)
+	}
+	// The applied seed makes the run identical to WithSeed(99).
+	a, err := net.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, err := New(1024, 16, WithRadius(2), WithSeed(99), WithMaxSteps(12345),
+		WithMobility(Ballistic(0.1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net2.Broadcast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Source != b.Source {
+		t.Errorf("WithScenario run %+v diverges from explicit options %+v", a, b)
+	}
+	if _, err := New(1024, 16, WithScenario(Scenario{Engine: "teleport", Nodes: 1024, Agents: 16})); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}
+
+func TestParseScenarioAndHash(t *testing.T) {
+	t.Parallel()
+	sc, err := ParseScenario([]byte(`{"engine":"gossip","nodes":256,"agents":8,"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Engine != "gossip" || sc.Seed != 3 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	if _, err := ParseScenario([]byte(`{"engine":"gossip","nodez":256}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	h1, err := sc.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sc.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || h1 == "" {
+		t.Errorf("hash unstable under canonicalisation: %q vs %q", h1, h2)
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != h1 {
+		t.Errorf("result hash %s != scenario hash %s", res.Hash, h1)
+	}
+}

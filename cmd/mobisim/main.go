@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mobilenet"
@@ -63,10 +65,18 @@ func run(args []string) error {
 		specPath = fs.String("spec", "", "run a scenario spec JSON file instead of assembling one from flags")
 		jsonOut  = fs.Bool("json", false, "print the full scenario result as JSON")
 		traceOut = fs.String("trace", "", "record the full trajectory to this file (broadcast only)")
+		par      = fs.Int("par", 0, "component-labeller workers: 0 = automatic, 1 = sequential (results identical)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	engine := canonicalEngine(strings.ToLower(strings.TrimSpace(*model)))
 
 	if *traceOut != "" {
@@ -96,7 +106,7 @@ func run(args []string) error {
 		return runTraceMobility(engine, *n, *k, *r, *seed, *mobSpec, *preys, *curve, *traceOut)
 	}
 
-	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *curve)
+	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *par, *curve)
 	if err != nil {
 		return err
 	}
@@ -151,16 +161,17 @@ func run(args []string) error {
 // buildScenario assembles the scenario from -spec or from the individual
 // flags. Flags explicitly set alongside -spec override the file's fields.
 func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed uint64,
-	mobSpec string, preys, reps int, curve bool) (mobilenet.Scenario, error) {
+	mobSpec string, preys, reps, par int, curve bool) (mobilenet.Scenario, error) {
 	sc := mobilenet.Scenario{
-		Engine:   engine,
-		Nodes:    n,
-		Agents:   k,
-		Radius:   r,
-		Seed:     seed,
-		Mobility: mobSpec,
-		Preys:    preys,
-		Reps:     reps,
+		Engine:      engine,
+		Nodes:       n,
+		Agents:      k,
+		Radius:      r,
+		Seed:        seed,
+		Mobility:    mobSpec,
+		Preys:       preys,
+		Reps:        reps,
+		Parallelism: par,
 	}
 	if specPath != "" {
 		data, err := os.ReadFile(specPath)
@@ -197,6 +208,9 @@ func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed 
 		if set["reps"] {
 			fromFile.Reps = reps
 		}
+		if set["par"] {
+			fromFile.Parallelism = par
+		}
 		sc = fromFile
 	}
 	if strings.EqualFold(strings.TrimSpace(sc.Engine), "broadcast") {
@@ -215,6 +229,48 @@ func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed 
 		}
 	}
 	return sc, nil
+}
+
+// startProfiles arms the requested pprof outputs and returns the teardown
+// to defer: it stops the CPU profile and snapshots the heap (after a final
+// GC, so the profile shows retained memory rather than garbage). Either
+// path may be empty. This is the first-class profiling entry point for
+// perf work on the simulation hot paths; see EXPERIMENTS.md.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mobisim: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mobisim: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mobisim: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mobisim: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // canonicalEngine maps the historical -model aliases onto engine names.

@@ -22,6 +22,8 @@ func TestRunModels(t *testing.T) {
 		{"-n", "256", "-k", "8", "-model", "extinction", "-preys", "3"},
 		{"-n", "256", "-k", "8", "-model", "gossip", "-reps", "3"},
 		{"-n", "256", "-k", "8", "-json"},
+		{"-n", "256", "-k", "8", "-model", "broadcast", "-par", "2"},
+		{"-n", "256", "-k", "8", "-model", "frog", "-par", "1"},
 	}
 	for _, args := range cases {
 		args := args
@@ -106,6 +108,27 @@ func TestRunTraceReplayMobility(t *testing.T) {
 	} {
 		if err := run(append([]string{"-n", "256", "-k", "8"}, args...)); err == nil {
 			t.Errorf("args %v accepted on the trace path", args)
+		}
+	}
+}
+
+// TestRunWritesProfiles checks the pprof entry point: both profile files
+// must exist and be non-empty after a run.
+func TestRunWritesProfiles(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	args := []string{"-n", "256", "-k", "8", "-cpuprofile", cpu, "-memprofile", mem}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
 		}
 	}
 }

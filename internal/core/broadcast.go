@@ -53,7 +53,7 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 	b := &Broadcast{
 		cfg:          cfg,
 		pop:          pop,
-		lab:          visibility.NewLabeller(cfg.K),
+		lab:          cfg.newLabeller(),
 		informed:     make([]bool, cfg.K),
 		coverageStep: -1,
 		frontierX:    -1,

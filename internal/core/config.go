@@ -14,6 +14,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/theory"
+	"mobilenet/internal/visibility"
 )
 
 // SourceRandom selects a uniformly random source agent in Config.Source.
@@ -42,6 +43,13 @@ type Config struct {
 	// theoretical bounds quoted elsewhere in this package are proved for
 	// the lazy walk only; other models are experimental contrasts.
 	Mobility mobility.Model
+
+	// Parallelism sets the component labeller's worker count: 0 selects
+	// the automatic policy (parallel union phase above an internal
+	// population threshold), 1 forces the sequential path, larger values
+	// request up to that many workers. Results are bit-for-bit identical
+	// at every setting; this is purely an execution knob.
+	Parallelism int
 
 	// TrackInformedArea enables the informed-area bitset I(t): the set of
 	// grid nodes visited by informed agents. Required for frontier and
@@ -87,6 +95,9 @@ func (c *Config) validate() error {
 	if c.CellSide < 0 {
 		return fmt.Errorf("core: negative CellSide %d", c.CellSide)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative Parallelism %d", c.Parallelism)
+	}
 	if c.Placement != nil {
 		if len(c.Placement) != c.K {
 			return fmt.Errorf("core: placement has %d positions for %d agents", len(c.Placement), c.K)
@@ -98,6 +109,14 @@ func (c *Config) validate() error {
 		}
 	}
 	return nil
+}
+
+// newLabeller builds the engine's component labeller with the configured
+// parallelism applied.
+func (c *Config) newLabeller() *visibility.Labeller {
+	l := visibility.NewLabeller(c.K)
+	l.SetParallelism(c.Parallelism)
+	return l
 }
 
 // maxSteps resolves the step cap, applying the default when unset.

@@ -57,7 +57,7 @@ func NewPartialGossip(cfg Config, rumors int) (*Gossip, error) {
 	g := &Gossip{
 		cfg:     cfg,
 		pop:     pop,
-		lab:     visibility.NewLabeller(cfg.K),
+		lab:     cfg.newLabeller(),
 		total:   rumors,
 		rumors:  make([]*bitset.Set, cfg.K),
 		scratch: bitset.New(rumors),

@@ -37,6 +37,9 @@ type Config struct {
 	// Mobility selects the motion model active agents follow; nil selects
 	// the paper's lazy walk. Sleepers stay frozen regardless of model.
 	Mobility mobility.Model
+	// Parallelism sets the component labeller's worker count (0 = automatic,
+	// 1 = sequential); results are identical at every setting.
+	Parallelism int
 }
 
 func (c *Config) validate() error {
@@ -52,6 +55,9 @@ func (c *Config) validate() error {
 	if c.MaxSteps < 0 {
 		return fmt.Errorf("frog: negative MaxSteps %d", c.MaxSteps)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("frog: negative Parallelism %d", c.Parallelism)
+	}
 	return nil
 }
 
@@ -66,6 +72,13 @@ func (c *Config) maxSteps() int {
 		v = 4096
 	}
 	return v
+}
+
+// newLabeller builds the wake-up labeller with the configured parallelism.
+func newLabeller(cfg *Config) *visibility.Labeller {
+	l := visibility.NewLabeller(cfg.K)
+	l.SetParallelism(cfg.Parallelism)
+	return l
 }
 
 // System is a running Frog-model simulation.
@@ -93,7 +106,7 @@ func New(cfg Config) (*System, error) {
 	s := &System{
 		cfg:    cfg,
 		pop:    pop,
-		lab:    visibility.NewLabeller(cfg.K),
+		lab:    newLabeller(&cfg),
 		active: make([]bool, cfg.K),
 	}
 	source := cfg.Source

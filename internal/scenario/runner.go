@@ -79,6 +79,10 @@ func Run(spec Spec) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown engine %q", c.Engine)
 	}
+	// Parallelism is an execution-only knob: canonicalisation zeroed it so
+	// it cannot split the content hash, but the caller's setting still
+	// governs how these replicates execute.
+	c.Parallelism = spec.Parallelism
 	reps := make([]Rep, c.Reps)
 	for i := range reps {
 		rep, err := r.RunRep(c, RepSeed(c.Seed, i))
@@ -133,6 +137,7 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Source:            spec.Source,
 		MaxSteps:          spec.MaxSteps,
 		Mobility:          m,
+		Parallelism:       spec.Parallelism,
 		RecordCurve:       spec.HasMetric(MetricCurve),
 		TrackInformedArea: spec.HasMetric(MetricCoverage),
 	})
@@ -163,12 +168,13 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		return Rep{}, err
 	}
 	cfg := core.Config{
-		Grid:     g,
-		K:        spec.Agents,
-		Radius:   spec.Radius,
-		Seed:     seed,
-		MaxSteps: spec.MaxSteps,
-		Mobility: m,
+		Grid:        g,
+		K:           spec.Agents,
+		Radius:      spec.Radius,
+		Seed:        seed,
+		MaxSteps:    spec.MaxSteps,
+		Mobility:    m,
+		Parallelism: spec.Parallelism,
 	}
 	var res core.GossipResult
 	if spec.Rumors == 0 {
@@ -196,13 +202,14 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		return Rep{}, err
 	}
 	res, err := frog.RunFrog(frog.Config{
-		Grid:     g,
-		K:        spec.Agents,
-		Radius:   spec.Radius,
-		Seed:     seed,
-		Source:   spec.Source,
-		MaxSteps: spec.MaxSteps,
-		Mobility: m,
+		Grid:        g,
+		K:           spec.Agents,
+		Radius:      spec.Radius,
+		Seed:        seed,
+		Source:      spec.Source,
+		MaxSteps:    spec.MaxSteps,
+		Mobility:    m,
+		Parallelism: spec.Parallelism,
 	})
 	if err != nil {
 		return Rep{}, err

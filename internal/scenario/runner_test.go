@@ -137,6 +137,31 @@ func TestRepZeroMatchesSingleRun(t *testing.T) {
 	}
 }
 
+// TestRunParallelismInvariant runs the same component-heavy scenarios at
+// forced-sequential and forced-parallel labelling and requires bit-identical
+// results — the end-to-end form of the labeller's determinism guarantee.
+func TestRunParallelismInvariant(t *testing.T) {
+	t.Parallel()
+	for _, engine := range []string{EngineBroadcast, EngineGossip, EngineFrog} {
+		seq := Spec{Engine: engine, Nodes: 1024, Agents: 24, Radius: 2, Seed: 11, Reps: 2, Parallelism: 1}
+		par := seq
+		par.Parallelism = 4
+		a, err := Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Errorf("%s: parallelism changed the result:\nseq: %s\npar: %s", engine, aj, bj)
+		}
+	}
+}
+
 func TestResultHashMatchesSpecHash(t *testing.T) {
 	t.Parallel()
 	spec := Spec{Engine: EngineCoverage, Nodes: 256, Agents: 8, Seed: 3}

@@ -87,6 +87,17 @@ type Spec struct {
 	// constants. Metrics an engine cannot produce are dropped by
 	// canonicalisation.
 	Metrics []string `json:"metrics,omitempty"`
+	// Parallelism sets the component labeller's worker count for engines
+	// that rebuild visibility components each step (broadcast, gossip,
+	// frog): 0 selects the automatic policy, 1 forces sequential, larger
+	// values request up to that many workers. Like Label it is an
+	// execution-only knob: results are bit-for-bit identical at every
+	// setting, so canonicalisation zeroes it and it never splits the
+	// content hash or the result cache. It governs library (scenario.Run)
+	// and CLI runs only; the simulation service ignores it, because its
+	// worker pool already fans replicates across every core and pins each
+	// replicate to sequential labelling.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Parse decodes a Spec from JSON, rejecting unknown fields and trailing
@@ -133,6 +144,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Preys < 0 {
 		return fmt.Errorf("scenario: negative preys %d", s.Preys)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("scenario: negative parallelism %d", s.Parallelism)
 	}
 	if s.Rumors < 0 || s.Rumors > s.Agents {
 		return fmt.Errorf("scenario: rumors %d outside [0,%d]", s.Rumors, s.Agents)
@@ -190,6 +204,7 @@ func (s Spec) Canonical() (Spec, error) {
 	}
 	c := s
 	c.Label = ""
+	c.Parallelism = 0 // execution-only: identical results at every setting
 	c.Engine = strings.ToLower(strings.TrimSpace(s.Engine))
 	g, err := grid.FromNodes(s.Nodes)
 	if err != nil {

@@ -189,6 +189,42 @@ func TestHashIsContentAddressed(t *testing.T) {
 	}
 }
 
+// TestParallelismIsExecutionOnly pins the contract that the parallelism
+// knob never splits the content address: canonicalisation zeroes it, so
+// specs differing only in parallelism hash — and therefore cache —
+// identically, while negative values are still rejected up front.
+func TestParallelismIsExecutionOnly(t *testing.T) {
+	t.Parallel()
+	base := Spec{Engine: EngineBroadcast, Nodes: 256, Agents: 8, Seed: 3}
+	baseHash, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 16} {
+		s := base
+		s.Parallelism = p
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != baseHash {
+			t.Errorf("parallelism %d split the hash: %s vs %s", p, h, baseHash)
+		}
+		c, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Parallelism != 0 {
+			t.Errorf("canonical form kept parallelism %d", c.Parallelism)
+		}
+	}
+	bad := base
+	bad.Parallelism = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}
+
 func TestSpecJSONRoundTrip(t *testing.T) {
 	t.Parallel()
 	s := Spec{Engine: EnginePredator, Nodes: 1024, Agents: 16, Radius: 1, Seed: 42,

@@ -293,7 +293,16 @@ func (s *Server) worker() {
 		if !ok {
 			err = fmt.Errorf("simserve: unknown engine %q", t.job.spec.Engine)
 		} else {
-			rep, err = r.RunRep(t.job.spec, seed)
+			// The pool is the service's parallelism layer: replicates
+			// already fan out across every worker, so each replicate
+			// labels components sequentially. This deliberately overrides
+			// whatever Parallelism the submitter set (canonicalisation
+			// zeroed it anyway — it is execution-only and never part of
+			// the job's identity) and keeps a saturated server from
+			// stacking labeller goroutines on top of busy workers.
+			spec := t.job.spec
+			spec.Parallelism = 1
+			rep, err = r.RunRep(spec, seed)
 		}
 		s.completeRep(t.job, t.rep, rep, err)
 	}

@@ -68,6 +68,17 @@ func (d *DSU) Union(x, y int) bool {
 	return true
 }
 
+// UnionEdges applies Union to every flat (pairs[2i], pairs[2i+1]) pair.
+// Replaying the spanning edges recorded from another forest over the same
+// universe reproduces that forest's partition, which is how the visibility
+// labeller merges per-shard union results back into its master forest. A
+// trailing unpaired element is ignored.
+func (d *DSU) UnionEdges(pairs []int32) {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		d.Union(int(pairs[i]), int(pairs[i+1]))
+	}
+}
+
 // Connected reports whether x and y are in the same set.
 func (d *DSU) Connected(x, y int) bool {
 	return d.Find(x) == d.Find(y)

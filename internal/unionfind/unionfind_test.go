@@ -139,6 +139,43 @@ func TestLabelsDense(t *testing.T) {
 	}
 }
 
+// TestUnionEdges checks the spanning-edge replay contract the parallel
+// labeller relies on: applying the successful unions recorded from one
+// forest to a fresh forest reproduces the partition exactly, and a trailing
+// unpaired element is ignored.
+func TestUnionEdges(t *testing.T) {
+	t.Parallel()
+	src := New(12) // forest whose union history we record
+	var edges []int32
+	for _, p := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {5, 6}, {6, 5}, {9, 10}, {2, 0}, {10, 11}} {
+		if src.Union(p[0], p[1]) {
+			edges = append(edges, int32(p[0]), int32(p[1]))
+		}
+	}
+	replay := New(12)
+	replay.UnionEdges(edges)
+	if replay.Sets() != src.Sets() {
+		t.Fatalf("replayed forest has %d sets, original %d", replay.Sets(), src.Sets())
+	}
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if replay.Connected(i, j) != src.Connected(i, j) {
+				t.Errorf("connectivity(%d,%d) differs after replay", i, j)
+			}
+		}
+	}
+
+	trailing := New(4)
+	trailing.UnionEdges([]int32{0, 1, 3}) // the lone 3 must be ignored
+	if !trailing.Connected(0, 1) || trailing.Sets() != 3 {
+		t.Errorf("trailing element handling: sets=%d", trailing.Sets())
+	}
+	trailing.UnionEdges(nil) // no-op
+	if trailing.Sets() != 3 {
+		t.Errorf("nil edge list changed the forest")
+	}
+}
+
 func TestZeroElements(t *testing.T) {
 	t.Parallel()
 	d := New(0)

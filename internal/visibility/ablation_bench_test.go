@@ -1,12 +1,18 @@
 package visibility
 
-// Ablation benchmarks for the component-labelling design choice called out
-// in DESIGN.md: the spatial-hash labeller against the O(k²) all-pairs
-// brute force it replaced. Correctness equivalence is established by the
-// brute-force comparison tests in visibility_test.go; these benchmarks
-// quantify the performance gap at sparse-regime densities.
+// Ablation benchmarks for the component-labelling design choices called out
+// in DESIGN.md. Three generations of the labeller are compared: the O(k²)
+// all-pairs brute force, the map-backed spatial hash it was first replaced
+// by (retained here verbatim as mapLabeller), and the current flat CSR
+// bucket index in both its sequential and parallel configurations.
+// Correctness equivalence is established by TestAblationBaselinesAgree and
+// the brute-force comparison tests in visibility_test.go; these benchmarks
+// quantify the gaps at sparse-regime densities. BENCH_visibility.json
+// records the measured trajectory.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"mobilenet/internal/grid"
@@ -39,6 +45,118 @@ func (b *bruteLabeller) components(pos []grid.Point, r int) ([]int32, int) {
 	return b.labels[:k], b.dsu.Labels(b.labels[:k])
 }
 
+// mapLabeller is the previous production labeller, frozen for the ablation:
+// a map[uint64][]int32 spatial hash with a bucket recycle pool, the design
+// the CSR index replaced. Its dense label pass is identical to the current
+// one, so its labels — not just its partitions — must match.
+type mapLabeller struct {
+	dsu       *unionfind.DSU
+	buckets   map[uint64][]int32
+	keys      []uint64
+	pool      [][]int32
+	labels    []int32
+	rootLabel []int32
+}
+
+func newMapLabeller(k int) *mapLabeller {
+	return &mapLabeller{
+		dsu:       unionfind.New(k),
+		buckets:   make(map[uint64][]int32, k),
+		labels:    make([]int32, k),
+		rootLabel: make([]int32, k),
+	}
+}
+
+func mapBucketKey(bx, by int32) uint64 {
+	return uint64(uint32(bx))<<32 | uint64(uint32(by))
+}
+
+func (l *mapLabeller) components(pos []grid.Point, r int) ([]int32, int) {
+	k := len(pos)
+	d := l.dsu
+	d.Reset()
+
+	if r >= 0 && k > 1 {
+		cell := int32(r)
+		if cell < 1 {
+			cell = 1
+		}
+		for key, b := range l.buckets {
+			l.pool = append(l.pool, b[:0])
+			delete(l.buckets, key)
+		}
+		l.keys = l.keys[:0]
+		for i := 0; i < k; i++ {
+			key := mapBucketKey(pos[i].X/cell, pos[i].Y/cell)
+			b, ok := l.buckets[key]
+			if !ok {
+				if n := len(l.pool); n > 0 {
+					b = l.pool[n-1]
+					l.pool = l.pool[:n-1]
+				}
+				l.keys = append(l.keys, key)
+			}
+			l.buckets[key] = append(b, int32(i))
+		}
+		if r == 0 {
+			for _, key := range l.keys {
+				b := l.buckets[key]
+				for i := 1; i < len(b); i++ {
+					d.Union(int(b[0]), int(b[i]))
+				}
+			}
+		} else {
+			forward := [4][2]int32{{1, 0}, {0, 1}, {1, 1}, {-1, 1}}
+			for _, key := range l.keys {
+				b := l.buckets[key]
+				bx := int32(uint32(key >> 32))
+				by := int32(uint32(key))
+				for i := 0; i < len(b); i++ {
+					pi := pos[b[i]]
+					for j := i + 1; j < len(b); j++ {
+						if grid.ManhattanPoints(pi, pos[b[j]]) <= r {
+							d.Union(int(b[i]), int(b[j]))
+						}
+					}
+				}
+				for _, off := range forward {
+					nb, ok := l.buckets[mapBucketKey(bx+off[0], by+off[1])]
+					if !ok {
+						continue
+					}
+					for _, ai := range b {
+						pi := pos[ai]
+						for _, aj := range nb {
+							if grid.ManhattanPoints(pi, pos[aj]) <= r {
+								d.Union(int(ai), int(aj))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	rl := l.rootLabel[:k]
+	for i := range rl {
+		rl[i] = -1
+	}
+	out := l.labels[:k]
+	next := int32(0)
+	for i := 0; i < k; i++ {
+		root := d.Find(i)
+		if rl[root] < 0 {
+			rl[root] = next
+			next++
+		}
+		out[i] = rl[root]
+	}
+	return out, int(next)
+}
+
+// benchPositions places k agents uniformly on a side x side box, the
+// sparse-regime density all ablation points share (k/n = 1/64, the regime
+// where T_B = Θ̃(n/√k) is the binding bound).
 func benchPositions(k, side int) []grid.Point {
 	src := rng.New(99)
 	pos := make([]grid.Point, k)
@@ -48,61 +166,90 @@ func benchPositions(k, side int) []grid.Point {
 	return pos
 }
 
-func BenchmarkAblationSpatialHashK1024(b *testing.B) {
-	pos := benchPositions(1024, 256)
-	l := NewLabeller(1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l.Components(pos, 8) // r = rc for n=65536, k=1024
+// benchSide keeps the density fixed as k scales: side = 8√k gives
+// n = 64k nodes, matching the historical k=1024/side=256 ablation point.
+func benchSide(k int) int {
+	return int(8 * math.Sqrt(float64(k)))
+}
+
+const benchRadius = 8
+
+// BenchmarkComponents is the labeller ablation grid: implementation x
+// population size at fixed sparse density. "maphash" is the retired
+// map-backed spatial hash, "csr" the flat CSR index (sequential), "csrpar"
+// the CSR index with the parallel union phase forced to 4 workers (on a
+// single-core host it measures shard overhead; on multicore hardware,
+// speedup).
+func BenchmarkComponents(b *testing.B) {
+	for _, k := range []int{1000, 10000, 100000, 1000000} {
+		pos := benchPositions(k, benchSide(k))
+
+		b.Run(fmt.Sprintf("impl=maphash/k=%d", k), func(b *testing.B) {
+			l := newMapLabeller(k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.components(pos, benchRadius)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=csr/k=%d", k), func(b *testing.B) {
+			l := NewLabeller(k)
+			l.SetParallelism(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Components(pos, benchRadius)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=csrpar/k=%d", k), func(b *testing.B) {
+			l := NewLabeller(k)
+			l.SetParallelism(4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Components(pos, benchRadius)
+			}
+		})
 	}
 }
 
+// BenchmarkAblationBruteForceK1024 keeps the all-pairs baseline in the
+// record; it is too slow to sweep past k=1024.
 func BenchmarkAblationBruteForceK1024(b *testing.B) {
 	pos := benchPositions(1024, 256)
 	l := newBruteLabeller(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l.components(pos, 8)
+		l.components(pos, benchRadius)
 	}
 }
 
-func BenchmarkAblationSpatialHashK256(b *testing.B) {
-	pos := benchPositions(256, 128)
-	l := NewLabeller(256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l.Components(pos, 8)
-	}
-}
-
-func BenchmarkAblationBruteForceK256(b *testing.B) {
-	pos := benchPositions(256, 128)
-	l := newBruteLabeller(256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l.components(pos, 8)
-	}
-}
-
-// The ablations must agree, at bench parameters too.
+// TestAblationBaselinesAgree pins all four implementations to each other at
+// bench parameters: identical labels, not just partitions. Every
+// implementation assigns labels by first appearance in agent-index order —
+// a function of the partition alone — so label slices must match exactly
+// however the unions were ordered.
 func TestAblationBaselinesAgree(t *testing.T) {
 	t.Parallel()
 	pos := benchPositions(256, 128)
-	fast := NewLabeller(256)
+	legacy := newMapLabeller(256)
+	csr := NewLabeller(256)
+	csr.SetParallelism(1)
+	par := NewLabeller(256)
+	par.SetParallelism(3)
 	slow := newBruteLabeller(256)
 	for _, r := range []int{0, 4, 8, 16} {
-		fl, fc := fast.Components(pos, r)
-		flCopy := make([]int32, len(fl))
-		copy(flCopy, fl)
+		ml, mc := legacy.components(pos, r)
+		mlCopy := append([]int32(nil), ml...)
+		cl, cc := csr.Components(pos, r)
+		clCopy := append([]int32(nil), cl...)
+		pl, pc := par.Components(pos, r)
+		plCopy := append([]int32(nil), pl...)
 		sl, sc := slow.components(pos, r)
-		if fc != sc {
-			t.Fatalf("r=%d: counts differ %d vs %d", r, fc, sc)
+		if mc != cc || cc != pc || pc != sc {
+			t.Fatalf("r=%d: counts differ map=%d csr=%d par=%d brute=%d", r, mc, cc, pc, sc)
 		}
-		for i := range flCopy {
-			for j := range flCopy {
-				if (flCopy[i] == flCopy[j]) != (sl[i] == sl[j]) {
-					t.Fatalf("r=%d: grouping differs at (%d,%d)", r, i, j)
-				}
+		for i := range clCopy {
+			if clCopy[i] != mlCopy[i] || clCopy[i] != plCopy[i] || clCopy[i] != sl[i] {
+				t.Fatalf("r=%d: labels differ at %d: map=%d csr=%d par=%d brute=%d",
+					r, i, mlCopy[i], clCopy[i], plCopy[i], sl[i])
 			}
 		}
 	}

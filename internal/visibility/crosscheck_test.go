@@ -1,0 +1,98 @@
+package visibility
+
+// Randomized cross-check of the CSR labeller (sequential and parallel)
+// against the O(k²) brute force, over position streams produced by every
+// shipped mobility model. Uniform placement alone would under-exercise the
+// index: waypoint runs develop centre-biased clusters, Lévy flights leave
+// large empty spans (stressing the bucket-grid bounding box), ballistic
+// motion produces straight-line chains — each a different occupancy profile
+// for the counting sort and the strip partition. The assertion is identical
+// label slices, not mere partition equality: every implementation assigns
+// labels by first appearance in agent-index order, so any divergence —
+// including a nondeterministic parallel merge — fails loudly.
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/mobility"
+	"mobilenet/internal/rng"
+	"mobilenet/internal/trace"
+)
+
+// crossCheckRadii are the paper-relevant radii: r=0 co-location, small radii
+// around the sparse percolation regime, and r=17 where components get large.
+var crossCheckRadii = []int{0, 1, 2, 5, 17}
+
+// recordModelTrace records a short lazy-walk run for TraceReplay input,
+// driving the model state directly so this package needs no agent import.
+func recordModelTrace(t *testing.T, g *grid.Grid, k, steps int, seed uint64) *trace.Trace {
+	t.Helper()
+	st, err := mobility.LazyWalk{}.Bind(g, k, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]grid.Point, k)
+	st.Place(pos)
+	rec, err := trace.NewRecorder(g.Side(), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		st.Step(pos)
+		if err := rec.Record(pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rec.Trace()
+}
+
+func TestCrossCheckLabellersAcrossMobilityModels(t *testing.T) {
+	t.Parallel()
+	const side, k, steps = 48, 150, 24
+	g := grid.MustNew(side)
+	models := []mobility.Model{
+		mobility.LazyWalk{},
+		mobility.RandomWaypoint{Pause: 1},
+		mobility.LevyFlight{},
+		mobility.Ballistic{},
+		mobility.TraceReplay{Trace: recordModelTrace(t, g, k, steps+4, 1789), Loop: true},
+	}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			st, err := m.Bind(g, k, rng.New(4242))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos := make([]grid.Point, k)
+			st.Place(pos)
+
+			seq := NewLabeller(k)
+			seq.SetParallelism(1)
+			par := NewLabeller(k)
+			par.SetParallelism(3)
+
+			for s := 0; s <= steps; s++ {
+				if s > 0 {
+					st.Step(pos)
+				}
+				for _, r := range crossCheckRadii {
+					want, wantCount := bruteComponents(pos, r)
+					sl, sc := seq.Components(pos, r)
+					slCopy := append([]int32(nil), sl...)
+					pl, pc := par.Components(pos, r)
+					if sc != wantCount || pc != wantCount {
+						t.Fatalf("t=%d r=%d: counts seq=%d par=%d, brute %d", s, r, sc, pc, wantCount)
+					}
+					for i := range want {
+						if int(slCopy[i]) != want[i] || int(pl[i]) != want[i] {
+							t.Fatalf("t=%d r=%d agent %d: labels seq=%d par=%d, brute %d",
+								s, r, i, slCopy[i], pl[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,8 +2,20 @@
 // paper: vertices are agents, and an edge joins two agents whose Manhattan
 // distance is at most the transmission radius r. The simulator rebuilds the
 // connected components of this graph at every time step, so the labeller is
-// built around a reusable spatial hash plus union-find and performs no
-// steady-state allocation.
+// the per-step hot path of every engine. It is built around a flat CSR
+// (compressed sparse row) bucket index — agent indices counting-sorted by
+// coarse cell into one reusable slice with an offset array — plus
+// union-find, and performs no steady-state allocation and no map
+// operations.
+//
+// For large populations the union phase can additionally run in parallel:
+// the bucket grid is strip-partitioned across workers, each worker unions
+// its strip into a private disjoint-set forest while recording the spanning
+// edges it finds, and the recorded edges are then merged sequentially into
+// the master forest. The final dense label pass is always sequential and
+// assigns labels by first appearance in agent-index order, a function of the
+// partition alone — so the parallel path returns labels bit-for-bit
+// identical to the sequential one. See Labeller.SetParallelism.
 //
 // The same machinery computes the paper's "islands" (Definition 2): the
 // components of G_t(gamma) for the island parameter gamma of Lemma 6.
@@ -11,25 +23,65 @@ package visibility
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"mobilenet/internal/grid"
 	"mobilenet/internal/unionfind"
 )
 
+// autoParallelK is the population size above which a Labeller with
+// automatic parallelism (the default) fans the union phase across
+// GOMAXPROCS workers. Below it the fixed per-call cost of spawning workers
+// and resetting per-shard forests outweighs the union work.
+const autoParallelK = 1 << 15
+
+// maxShards caps the worker count: each shard owns a k-element disjoint-set
+// forest, so the cap bounds the parallel path's memory at maxShards
+// forests regardless of GOMAXPROCS.
+const maxShards = 16
+
 // Labeller computes connected-component labels for agent position sets.
 // A zero Labeller is not usable; construct with NewLabeller. A Labeller is
-// reusable across steps but not safe for concurrent use.
+// reusable across steps but not safe for concurrent use (the parallel path
+// manages its own internal workers).
 type Labeller struct {
 	dsu *unionfind.DSU
 
-	// Spatial hash: agent indices bucketed by coarse cell of side max(r, 1).
-	// Bucket slices are recycled through pool to avoid per-step allocation.
-	buckets map[uint64][]int32
-	keys    []uint64 // bucket keys in first-insertion order (deterministic)
-	pool    [][]int32
+	// CSR bucket index, rebuilt by buildIndex every call. order holds the
+	// agent indices counting-sorted by cell; starts[c]..starts[c+1] is the
+	// half-open range of cell c in order. cellOf is the per-agent cell id
+	// scratch used by the counting sort.
+	order  []int32
+	starts []int32
+	cellOf []int32
+
+	// Geometry of the current index (valid between buildIndex and the end
+	// of Components): cells of side cell, bucket grid gridW x gridH, cell
+	// (0,0) anchored at (minX, minY).
+	cell       int64
+	gridW      int
+	gridH      int
+	minX, minY int32
 
 	labels    []int32
 	rootLabel []int32
+
+	// par is the requested parallelism: 0 selects the automatic policy
+	// (parallel above autoParallelK), 1 forces sequential, p > 1 requests
+	// up to p workers.
+	par int
+
+	// shards holds per-worker union scratch for the parallel path,
+	// allocated lazily on first parallel call.
+	shards []shard
+}
+
+// shard is one parallel worker's private state: a disjoint-set forest over
+// the full agent universe and the spanning edges discovered in its strip.
+type shard struct {
+	dsu   *unionfind.DSU
+	edges []int32 // flat (a, b) pairs; every pair merged two components
 }
 
 // NewLabeller returns a labeller sized for populations of k agents. It
@@ -37,28 +89,319 @@ type Labeller struct {
 func NewLabeller(k int) *Labeller {
 	return &Labeller{
 		dsu:       unionfind.New(k),
-		buckets:   make(map[uint64][]int32, k),
+		order:     make([]int32, k),
+		cellOf:    make([]int32, k),
 		labels:    make([]int32, k),
 		rootLabel: make([]int32, k),
 	}
 }
 
+// SetParallelism configures the union phase's worker count. p == 0 restores
+// the automatic default: sequential below autoParallelK agents, GOMAXPROCS
+// workers (capped at an internal shard limit) above. p == 1 forces the
+// sequential path. p > 1 requests up to p workers regardless of population
+// size — useful for tests and for callers that know their density profile.
+// Negative values are treated as 0. Parallelism never changes results: the
+// returned labels are bit-for-bit identical either way.
+func (l *Labeller) SetParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	l.par = p
+}
+
+// workers resolves the worker count for a population of k agents on a
+// bucket grid with rows cell rows.
+func (l *Labeller) workers(k, rows int) int {
+	p := l.par
+	if p == 0 {
+		if k < autoParallelK {
+			return 1
+		}
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > maxShards {
+		p = maxShards
+	}
+	if p > rows {
+		p = rows
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
 func (l *Labeller) ensure(k int) {
 	if l.dsu.Len() < k {
 		l.dsu = unionfind.New(k)
+		l.order = make([]int32, k)
+		l.cellOf = make([]int32, k)
 		l.labels = make([]int32, k)
 		l.rootLabel = make([]int32, k)
+		for i := range l.shards {
+			l.shards[i].dsu = unionfind.New(k)
+		}
 	}
 }
 
-func bucketKey(bx, by int32) uint64 {
-	return uint64(uint32(bx))<<32 | uint64(uint32(by))
+// buildIndex counting-sorts the agents into the CSR bucket index for cells
+// of side max(r, 1). When the bounding box of the positions would need more
+// cells than a small multiple of k, the cell side is doubled until the grid
+// fits: cells only ever grow past r, which preserves the invariant that two
+// agents within distance r differ by at most one cell per axis, and keeps
+// the offset array — and hence the per-call clearing cost — O(k).
+func (l *Labeller) buildIndex(pos []grid.Point, r int) {
+	k := len(pos)
+
+	minX, minY := pos[0].X, pos[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pos[1:] {
+		if p.X < minX {
+			minX = p.X
+		} else if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		} else if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+
+	cell := int64(r)
+	if cell < 1 {
+		cell = 1
+	}
+	// The cap keeps every per-call O(numCells) pass — clearing, the prefix
+	// sum, the bucket scan — proportional to the population, so tiny
+	// populations on large arenas are not taxed by their bounding box.
+	maxCells := 4 * k
+	if maxCells < 64 {
+		maxCells = 64
+	}
+	spanX := int64(maxX) - int64(minX)
+	spanY := int64(maxY) - int64(minY)
+	w := int(spanX/cell) + 1
+	h := int(spanY/cell) + 1
+	for w > maxCells || h > maxCells || w*h > maxCells {
+		cell *= 2
+		w = int(spanX/cell) + 1
+		h = int(spanY/cell) + 1
+	}
+	l.cell, l.gridW, l.gridH, l.minX, l.minY = cell, w, h, minX, minY
+
+	numCells := w * h
+	if cap(l.starts) < numCells+1 {
+		l.starts = make([]int32, numCells+1)
+	}
+	starts := l.starts[:numCells+1]
+	clear(starts)
+
+	// Counting sort: count per cell (offset by one), prefix-sum into
+	// starts, scatter in ascending agent order so each bucket lists its
+	// members ascending — the deterministic order the union scans rely on.
+	cellOf := l.cellOf[:k]
+	if cell == 1 {
+		for i, p := range pos {
+			c := int32(p.Y-minY)*int32(w) + int32(p.X-minX)
+			cellOf[i] = c
+			starts[c+1]++
+		}
+	} else {
+		for i, p := range pos {
+			cx := (int64(p.X) - int64(minX)) / cell
+			cy := (int64(p.Y) - int64(minY)) / cell
+			c := int32(cy)*int32(w) + int32(cx)
+			cellOf[i] = c
+			starts[c+1]++
+		}
+	}
+	for c := 1; c < numCells; c++ {
+		starts[c+1] += starts[c]
+	}
+	order := l.order[:k]
+	for i := int32(0); i < int32(k); i++ {
+		c := cellOf[i]
+		order[starts[c]] = i
+		starts[c]++
+	}
+	// The scatter advanced starts[c] to the end of cell c; shift back one
+	// cell to restore the canonical CSR convention starts[c] = begin(c).
+	copy(starts[1:], starts[:numCells])
+	starts[0] = 0
+}
+
+// scanStrip unions every candidate pair owned by bucket rows [rowLo, rowHi)
+// into d. A pair is owned by the cell of its lower row (ties broken by the
+// leftmost cell): within-cell pairs plus the four forward neighbour cells
+// (+1,0), (0,+1), (+1,+1), (-1,+1) cover every candidate pair exactly once,
+// because cells have side >= max(r, 1) so two agents within distance r
+// differ by at most one cell per axis.
+//
+// When rec is non-nil, every successful union is appended to it as a flat
+// (a, b) pair and the extended slice is returned: the recorded pairs form a
+// spanning forest of the strip's union graph, so replaying them into
+// another forest reproduces exactly the strip's merges.
+func (l *Labeller) scanStrip(d *unionfind.DSU, pos []grid.Point, r, rowLo, rowHi int, rec []int32) []int32 {
+	starts, order := l.starts, l.order
+	w := l.gridW
+
+	if r == 0 {
+		// Components are exactly the co-located groups, and co-located
+		// agents always share a cell (whatever the cell side), so only
+		// within-cell pairs matter. With unit cells a bucket holds one
+		// location; with coarsened cells membership needs an equality
+		// check against the group anchors found so far.
+		unit := l.cell == 1
+		for c := rowLo * w; c < rowHi*w; c++ {
+			lo, hi := int(starts[c]), int(starts[c+1])
+			if hi-lo < 2 {
+				continue
+			}
+			b := order[lo:hi]
+			if unit {
+				for i := 1; i < len(b); i++ {
+					if d.Union(int(b[0]), int(b[i])) && rec != nil {
+						rec = append(rec, b[0], b[i])
+					}
+				}
+				continue
+			}
+			for i := 0; i < len(b); i++ {
+				pi := pos[b[i]]
+				for j := i + 1; j < len(b); j++ {
+					if pos[b[j]] == pi {
+						if d.Union(int(b[i]), int(b[j])) && rec != nil {
+							rec = append(rec, b[i], b[j])
+						}
+					}
+				}
+			}
+		}
+		return rec
+	}
+
+	h := l.gridH
+	for cy := rowLo; cy < rowHi; cy++ {
+		rowBase := cy * w
+		for cx := 0; cx < w; cx++ {
+			c := rowBase + cx
+			lo, hi := int(starts[c]), int(starts[c+1])
+			if lo == hi {
+				continue
+			}
+			b := order[lo:hi]
+			for i := 0; i < len(b); i++ {
+				pi := pos[b[i]]
+				for j := i + 1; j < len(b); j++ {
+					if grid.ManhattanPoints(pi, pos[b[j]]) <= r {
+						if d.Union(int(b[i]), int(b[j])) && rec != nil {
+							rec = append(rec, b[i], b[j])
+						}
+					}
+				}
+			}
+			// Forward neighbours, with bucket-grid bounds checks.
+			if cx+1 < w {
+				rec = l.scanPair(d, pos, r, b, c+1, rec)
+			}
+			if cy+1 < h {
+				n := c + w
+				rec = l.scanPair(d, pos, r, b, n, rec)
+				if cx+1 < w {
+					rec = l.scanPair(d, pos, r, b, n+1, rec)
+				}
+				if cx > 0 {
+					rec = l.scanPair(d, pos, r, b, n-1, rec)
+				}
+			}
+		}
+	}
+	return rec
+}
+
+// scanPair unions the cross pairs between bucket b and the agents of cell n
+// that are within distance r, recording successful unions when rec != nil.
+func (l *Labeller) scanPair(d *unionfind.DSU, pos []grid.Point, r int, b []int32, n int, rec []int32) []int32 {
+	lo, hi := int(l.starts[n]), int(l.starts[n+1])
+	if lo == hi {
+		return rec
+	}
+	nb := l.order[lo:hi]
+	for _, ai := range b {
+		pi := pos[ai]
+		for _, aj := range nb {
+			if grid.ManhattanPoints(pi, pos[aj]) <= r {
+				if d.Union(int(ai), int(aj)) && rec != nil {
+					rec = append(rec, ai, aj)
+				}
+			}
+		}
+	}
+	return rec
+}
+
+// unionParallel runs the union phase across nw workers: bucket rows are
+// split into nw contiguous strips balanced by agent count, each worker
+// unions its strip into a private forest (reading neighbouring rows is safe
+// — the index is immutable during the scan), and the per-strip spanning
+// edges are then replayed into the master forest in strip order. Any replay
+// order yields the same partition, and labels are a function of the
+// partition alone, so the result is bit-for-bit identical to sequential.
+func (l *Labeller) unionParallel(pos []grid.Point, r, nw int) {
+	k := len(pos)
+	for len(l.shards) < nw {
+		// The edge buffer starts non-nil: scanStrip records into rec only
+		// when it is non-nil, and resliced-to-empty buffers must stay
+		// recording across reuse.
+		l.shards = append(l.shards, shard{
+			dsu:   unionfind.New(l.dsu.Len()),
+			edges: make([]int32, 0, 64),
+		})
+	}
+
+	// Strip boundaries by cumulative agent count: row boundary b for worker
+	// s is the first row where at least s/nw of the agents lie below it.
+	w, h := l.gridW, l.gridH
+	bounds := make([]int, nw+1) // small; dwarfed by the per-shard scans
+	bounds[nw] = h
+	row := 0
+	for s := 1; s < nw; s++ {
+		target := int32(k * s / nw)
+		for row < h && l.starts[row*w] < target {
+			row++
+		}
+		bounds[s] = row
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < nw; s++ {
+		rowLo, rowHi := bounds[s], bounds[s+1]
+		if rowLo >= rowHi {
+			l.shards[s].edges = l.shards[s].edges[:0]
+			continue
+		}
+		wg.Add(1)
+		go func(s, rowLo, rowHi int) {
+			defer wg.Done()
+			sh := &l.shards[s]
+			sh.dsu.Reset()
+			sh.edges = l.scanStrip(sh.dsu, pos, r, rowLo, rowHi, sh.edges[:0])
+		}(s, rowLo, rowHi)
+	}
+	wg.Wait()
+
+	for s := 0; s < nw; s++ {
+		l.dsu.UnionEdges(l.shards[s].edges)
+	}
 }
 
 // Components labels the connected components of G(r) over the given agent
 // positions. It returns a dense label per agent (labels[i] in [0, count))
 // and the number of components. Labels are assigned deterministically in
-// order of first appearance by agent index.
+// order of first appearance by agent index, and are identical whether the
+// union phase ran sequentially or in parallel.
 //
 // The returned slice is owned by the Labeller and is valid only until the
 // next call; callers that need to retain it must copy.
@@ -71,76 +414,17 @@ func (l *Labeller) Components(pos []grid.Point, r int) (labels []int32, count in
 	d.Reset()
 
 	if r >= 0 && k > 1 {
-		cell := int32(r)
-		if cell < 1 {
-			cell = 1
-		}
-
-		// Recycle buckets from the previous call.
-		for key, b := range l.buckets {
-			l.pool = append(l.pool, b[:0])
-			delete(l.buckets, key)
-		}
-		l.keys = l.keys[:0]
-
-		// Fill the spatial hash.
-		for i := 0; i < k; i++ {
-			key := bucketKey(pos[i].X/cell, pos[i].Y/cell)
-			b, ok := l.buckets[key]
-			if !ok {
-				if n := len(l.pool); n > 0 {
-					b = l.pool[n-1]
-					l.pool = l.pool[:n-1]
-				}
-				l.keys = append(l.keys, key)
-			}
-			l.buckets[key] = append(b, int32(i))
-		}
-
-		if r == 0 {
-			// Fast path: components are exactly the co-located groups.
-			for _, key := range l.keys {
-				b := l.buckets[key]
-				for i := 1; i < len(b); i++ {
-					d.Union(int(b[0]), int(b[i]))
-				}
-			}
+		l.buildIndex(pos, r)
+		if nw := l.workers(k, l.gridH); nw > 1 {
+			l.unionParallel(pos, r, nw)
 		} else {
-			// Within-bucket pairs plus four forward neighbour buckets cover
-			// every candidate pair exactly once: any two points at Manhattan
-			// distance <= r differ by at most one cell per axis.
-			forward := [4][2]int32{{1, 0}, {0, 1}, {1, 1}, {-1, 1}}
-			for _, key := range l.keys {
-				b := l.buckets[key]
-				bx := int32(uint32(key >> 32))
-				by := int32(uint32(key))
-				for i := 0; i < len(b); i++ {
-					pi := pos[b[i]]
-					for j := i + 1; j < len(b); j++ {
-						if grid.ManhattanPoints(pi, pos[b[j]]) <= r {
-							d.Union(int(b[i]), int(b[j]))
-						}
-					}
-				}
-				for _, off := range forward {
-					nb, ok := l.buckets[bucketKey(bx+off[0], by+off[1])]
-					if !ok {
-						continue
-					}
-					for _, ai := range b {
-						pi := pos[ai]
-						for _, aj := range nb {
-							if grid.ManhattanPoints(pi, pos[aj]) <= r {
-								d.Union(int(ai), int(aj))
-							}
-						}
-					}
-				}
-			}
+			l.scanStrip(d, pos, r, 0, l.gridH, nil)
 		}
 	}
 
-	// Dense deterministic labels without allocation.
+	// Dense deterministic labels without allocation. The label of an agent
+	// depends only on which agents share its component — never on the
+	// union order — because first appearance is scanned in index order.
 	rl := l.rootLabel[:k]
 	for i := range rl {
 		rl[i] = -1

@@ -218,6 +218,123 @@ func TestReusedLabellerMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSequential pins the parallel labelling contract:
+// whatever worker count is forced, the returned label slice is bit-for-bit
+// identical to the sequential path's, across population sizes that land on
+// either side of every strip boundary.
+func TestParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	src := rng.New(77)
+	seq := NewLabeller(1)
+	seq.SetParallelism(1)
+	for _, p := range []int{2, 3, 8, 64} {
+		par := NewLabeller(1)
+		par.SetParallelism(p)
+		for trial := 0; trial < 40; trial++ {
+			k := 1 + src.Intn(500)
+			side := 8 + src.Intn(120)
+			pos := make([]grid.Point, k)
+			for i := range pos {
+				pos[i] = grid.Point{X: int32(src.Intn(side)), Y: int32(src.Intn(side))}
+			}
+			for _, r := range []int{-1, 0, 1, 3, 9} {
+				want, wantC := seq.Components(pos, r)
+				wantCopy := append([]int32(nil), want...)
+				got, gotC := par.Components(pos, r)
+				if gotC != wantC {
+					t.Fatalf("p=%d trial=%d r=%d: count %d != sequential %d", p, trial, r, gotC, wantC)
+				}
+				for i := range wantCopy {
+					if got[i] != wantCopy[i] {
+						t.Fatalf("p=%d trial=%d r=%d: label[%d] = %d, sequential %d",
+							p, trial, r, i, got[i], wantCopy[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSetParallelismNeverChangesResults drives one labeller through
+// alternating parallelism settings mid-life, the way a reused engine
+// labeller would see them, and checks against brute force throughout.
+func TestSetParallelismNeverChangesResults(t *testing.T) {
+	t.Parallel()
+	src := rng.New(31)
+	l := NewLabeller(64)
+	for trial := 0; trial < 30; trial++ {
+		l.SetParallelism(trial % 5) // cycles auto, 1, 2, 3, 4
+		k := 2 + src.Intn(64)
+		pos := make([]grid.Point, k)
+		for i := range pos {
+			pos[i] = grid.Point{X: int32(src.Intn(40)), Y: int32(src.Intn(40))}
+		}
+		r := src.Intn(6)
+		labels, count := l.Components(pos, r)
+		want, wantCount := bruteComponents(pos, r)
+		if count != wantCount || !sameGrouping(labels, want) {
+			t.Fatalf("trial %d (par=%d) r=%d: mismatch vs brute force", trial, trial%5, r)
+		}
+	}
+}
+
+// TestComponentsSteadyStateAllocs pins the zero-allocation guarantee the
+// package doc makes for the sequential hot path — and with it the fix for
+// the old bucket pool's unbounded retention: the CSR index owns exactly one
+// order slice and one offset slice, both sized O(k), so a one-off dense
+// step can no longer pin memory beyond that.
+func TestComponentsSteadyStateAllocs(t *testing.T) {
+	src := rng.New(12)
+	const k = 2048
+	pos := make([]grid.Point, k)
+	for i := range pos {
+		pos[i] = grid.Point{X: int32(src.Intn(256)), Y: int32(src.Intn(256))}
+	}
+	l := NewLabeller(k)
+	l.Components(pos, 8) // warm up: first call may size the offset array
+	for _, r := range []int{0, 1, 8} {
+		allocs := testing.AllocsPerRun(20, func() {
+			l.Components(pos, r)
+		})
+		if allocs != 0 {
+			t.Errorf("r=%d: %v allocs per steady-state Components call, want 0", r, allocs)
+		}
+	}
+}
+
+// TestComponentsCoarsenedCells forces the cell-coarsening path: positions
+// spread over a span vastly larger than the population would normally
+// occupy, so the bucket grid must cap its resolution and fall back to
+// coarser cells without losing pairs (including the r=0 equality groups).
+func TestComponentsCoarsenedCells(t *testing.T) {
+	t.Parallel()
+	src := rng.New(8)
+	l := NewLabeller(64)
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + src.Intn(48)
+		pos := make([]grid.Point, k)
+		for i := range pos {
+			// Half the agents cluster near the origin, half scatter across
+			// a ~100k-wide span; duplicates for the r=0 groups.
+			switch src.Intn(3) {
+			case 0:
+				pos[i] = grid.Point{X: int32(src.Intn(6)), Y: int32(src.Intn(6))}
+			case 1:
+				pos[i] = grid.Point{X: int32(src.Intn(100000)), Y: int32(src.Intn(100000))}
+			default:
+				pos[i] = pos[src.Intn(i+1)]
+			}
+		}
+		for _, r := range []int{0, 2, 7} {
+			labels, count := l.Components(pos, r)
+			want, wantCount := bruteComponents(pos, r)
+			if count != wantCount || !sameGrouping(labels, want) {
+				t.Fatalf("trial %d r=%d: coarsened grid mismatch vs brute force", trial, r)
+			}
+		}
+	}
+}
+
 func TestFloorRadius(t *testing.T) {
 	t.Parallel()
 	cases := []struct {

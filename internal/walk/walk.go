@@ -11,6 +11,8 @@
 package walk
 
 import (
+	"math/bits"
+
 	"mobilenet/internal/bitset"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/rng"
@@ -45,6 +47,56 @@ func Step(g *grid.Grid, p grid.Point, src *rng.Source) grid.Point {
 		// stay
 	}
 	return p
+}
+
+// StepAll advances every position one lazy step in index order, batching
+// the per-agent randomness: the raw 64-bit draws for the whole population
+// are generated first in one tight loop over the generator state (buf must
+// have len(pos) capacity), and each is then decoded into both the laziness
+// and the direction decision of one agent in a second, generator-free loop.
+//
+// The batched kernel consumes exactly the same randomness stream as
+// len(pos) successive Step calls: Step's Intn(5) draws one Uint64 and keeps
+// the high word of its 128-bit product with 5, redrawing only when the
+// Lemire rejection fires — which for n = 5 happens precisely on a raw draw
+// of zero, reproduced here by the inner redraw loop at the same position in
+// the stream. Equal seeds therefore yield trajectories bit-for-bit
+// identical to the scalar path, which TestStepAllMatchesStep pins.
+func StepAll(g *grid.Grid, pos []grid.Point, buf []uint64, src *rng.Source) {
+	buf = buf[:len(pos)]
+	for i := range buf {
+		u := src.Uint64()
+		for u == 0 {
+			u = src.Uint64()
+		}
+		buf[i] = u
+	}
+	edge := int32(g.Side()) - 1
+	for i, u := range buf {
+		outcome, _ := bits.Mul64(u, 5)
+		p := pos[i]
+		switch outcome {
+		case 0:
+			if p.X > 0 {
+				p.X--
+			}
+		case 1:
+			if p.X < edge {
+				p.X++
+			}
+		case 2:
+			if p.Y > 0 {
+				p.Y--
+			}
+		case 3:
+			if p.Y < edge {
+				p.Y++
+			}
+		default:
+			// stay
+		}
+		pos[i] = p
+	}
 }
 
 // SimpleStep advances a non-lazy simple-random-walk step: the agent always

@@ -355,6 +355,40 @@ func TestRangeLowerBound(t *testing.T) {
 	}
 }
 
+// TestStepAllMatchesStep is the seed-compatibility regression for the
+// batched kernel: StepAll must consume the randomness stream exactly like
+// successive Step calls, so two populations driven from equal seeds through
+// the two paths stay identical for hundreds of steps — including on tiny
+// grids where boundary clamping fires constantly.
+func TestStepAllMatchesStep(t *testing.T) {
+	t.Parallel()
+	for _, side := range []int{1, 2, 3, 16, 64} {
+		g := grid.MustNew(side)
+		const k, steps = 37, 400
+		bulkSrc := rng.New(1234)
+		scalarSrc := rng.New(1234)
+		bulk := make([]grid.Point, k)
+		scalar := make([]grid.Point, k)
+		for i := range bulk {
+			p := grid.Point{X: int32(i % side), Y: int32((i * 7) % side)}
+			bulk[i], scalar[i] = p, p
+		}
+		buf := make([]uint64, k)
+		for s := 0; s < steps; s++ {
+			StepAll(g, bulk, buf, bulkSrc)
+			for i := range scalar {
+				scalar[i] = Step(g, scalar[i], scalarSrc)
+			}
+			for i := range scalar {
+				if bulk[i] != scalar[i] {
+					t.Fatalf("side=%d t=%d agent %d: batched %v != scalar %v",
+						side, s, i, bulk[i], scalar[i])
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkStep(b *testing.B) {
 	g := grid.MustNew(128)
 	src := rng.New(1)
@@ -364,4 +398,39 @@ func BenchmarkStep(b *testing.B) {
 		p = Step(g, p, src)
 	}
 	_ = p
+}
+
+// BenchmarkStepPopulation compares the scalar per-agent loop against the
+// batched StepAll kernel at population scale; one op = one synchronized
+// step of k = 4096 agents.
+func BenchmarkStepPopulation(b *testing.B) {
+	const k = 4096
+	g := grid.MustNew(512)
+	newPos := func() []grid.Point {
+		src := rng.New(3)
+		pos := make([]grid.Point, k)
+		for i := range pos {
+			pos[i] = grid.Point{X: int32(src.Intn(512)), Y: int32(src.Intn(512))}
+		}
+		return pos
+	}
+	b.Run("scalar", func(b *testing.B) {
+		pos := newPos()
+		src := rng.New(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range pos {
+				pos[j] = Step(g, pos[j], src)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		pos := newPos()
+		src := rng.New(4)
+		buf := make([]uint64, k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			StepAll(g, pos, buf, src)
+		}
+	})
 }

@@ -43,42 +43,52 @@ type Scenario struct {
 	// Metrics requests extra measurements: "curve" (per-step progress) and
 	// "coverage" (broadcast coverage time T_C).
 	Metrics []string `json:"metrics,omitempty"`
+	// Parallelism sets the component labeller's worker count for engines
+	// that rebuild visibility components each step (broadcast, gossip,
+	// frog): 0 selects the automatic policy, 1 forces sequential. Like
+	// Label it never affects results or the content hash; it only governs
+	// how a library or CLI run executes. The mobiserved service ignores
+	// it: its worker pool already fans replicates across every core, so
+	// each replicate labels sequentially there.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // spec converts the public Scenario to the internal spec, field for field.
 func (s Scenario) spec() scenario.Spec {
 	return scenario.Spec{
-		Label:    s.Label,
-		Engine:   s.Engine,
-		Nodes:    s.Nodes,
-		Agents:   s.Agents,
-		Radius:   s.Radius,
-		Seed:     s.Seed,
-		Source:   s.Source,
-		MaxSteps: s.MaxSteps,
-		Reps:     s.Reps,
-		Preys:    s.Preys,
-		Rumors:   s.Rumors,
-		Mobility: s.Mobility,
-		Metrics:  s.Metrics,
+		Label:       s.Label,
+		Engine:      s.Engine,
+		Nodes:       s.Nodes,
+		Agents:      s.Agents,
+		Radius:      s.Radius,
+		Seed:        s.Seed,
+		Source:      s.Source,
+		MaxSteps:    s.MaxSteps,
+		Reps:        s.Reps,
+		Preys:       s.Preys,
+		Rumors:      s.Rumors,
+		Mobility:    s.Mobility,
+		Metrics:     s.Metrics,
+		Parallelism: s.Parallelism,
 	}
 }
 
 func fromSpec(sp scenario.Spec) Scenario {
 	return Scenario{
-		Label:    sp.Label,
-		Engine:   sp.Engine,
-		Nodes:    sp.Nodes,
-		Agents:   sp.Agents,
-		Radius:   sp.Radius,
-		Seed:     sp.Seed,
-		Source:   sp.Source,
-		MaxSteps: sp.MaxSteps,
-		Reps:     sp.Reps,
-		Preys:    sp.Preys,
-		Rumors:   sp.Rumors,
-		Mobility: sp.Mobility,
-		Metrics:  sp.Metrics,
+		Label:       sp.Label,
+		Engine:      sp.Engine,
+		Nodes:       sp.Nodes,
+		Agents:      sp.Agents,
+		Radius:      sp.Radius,
+		Seed:        sp.Seed,
+		Source:      sp.Source,
+		MaxSteps:    sp.MaxSteps,
+		Reps:        sp.Reps,
+		Preys:       sp.Preys,
+		Rumors:      sp.Rumors,
+		Mobility:    sp.Mobility,
+		Metrics:     sp.Metrics,
+		Parallelism: sp.Parallelism,
 	}
 }
 

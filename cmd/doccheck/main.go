@@ -1,0 +1,193 @@
+// Command doccheck enforces the repository's documentation invariants in
+// CI without external dependencies. It has two modes:
+//
+//	doccheck ./internal/sweep ./internal/scenario .        # godoc mode
+//	doccheck -links README.md DESIGN.md EXPERIMENTS.md     # link mode
+//
+// Godoc mode parses each package directory (test files excluded) and
+// fails when the package lacks a package comment or when any exported
+// top-level declaration — functions, methods on exported types, types,
+// and const/var groups — has no doc comment. Link mode scans Markdown
+// files for relative links and fails when a target file does not exist,
+// catching renamed files and section moves before they land as dead
+// links.
+//
+// The CI "docs" job runs both modes over the packages and documents this
+// repository treats as API surface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("doccheck", flag.ContinueOnError)
+	links := fs.Bool("links", false, "check Markdown relative links instead of godoc coverage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("nothing to check: pass package directories (or -links FILES)")
+	}
+	var problems []string
+	for _, arg := range fs.Args() {
+		var (
+			found []string
+			err   error
+		)
+		if *links {
+			found, err = checkLinks(arg)
+		} else {
+			found, err = checkPackage(arg)
+		}
+		if err != nil {
+			return err
+		}
+		problems = append(problems, found...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(out, p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d problem(s)", len(problems))
+	}
+	return nil
+}
+
+// checkPackage parses one package directory and reports exported
+// declarations without doc comments.
+func checkPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var problems []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Tok == token.IMPORT {
+						continue
+					}
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+// exportedReceiver reports whether a method's receiver type (if any) is
+// exported; methods on unexported types are internal details.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return !ok || id.IsExported()
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl reports exported types, consts and vars lacking both a
+// group doc and a per-spec doc.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// mdLink matches Markdown inline links; the first capture is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks scans one Markdown file and reports relative link targets
+// that do not exist on disk. Absolute URLs and pure anchors are skipped —
+// CI must not depend on the network.
+func checkLinks(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken relative link %q", path, i+1, m[1]))
+			}
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGodocModeFlagsMissingDocs(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write(t, dir+"/bad.go", `package bad
+
+func Exported() {}
+
+type AlsoExported struct{}
+
+const LooseConst = 1
+`)
+	problems, err := checkPackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Package comment + function + type + const = 4 problems.
+	if len(problems) != 4 {
+		t.Fatalf("got %d problems, want 4: %v", len(problems), problems)
+	}
+}
+
+func TestGodocModeAcceptsDocumentedPackage(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write(t, dir+"/good.go", `// Package good is fully documented.
+package good
+
+// Exported does nothing.
+func Exported() {}
+
+// T is a documented type.
+type T struct{}
+
+// M is a documented method; methods on unexported types are exempt.
+func (T) M() {}
+
+type hidden struct{}
+
+func (hidden) NoDocNeeded() {}
+
+// Group doc covers the block.
+const (
+	A = 1
+	B = 2
+)
+`)
+	problems, err := checkPackage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("documented package flagged: %v", problems)
+	}
+}
+
+func TestLinkMode(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write(t, dir+"/exists.md", "target")
+	write(t, dir+"/doc.md", `See [good](exists.md), [anchor](exists.md#sec),
+[web](https://example.com/x), [pure anchor](#local),
+and [broken](missing.md).
+`)
+	problems, err := checkLinks(dir + "/doc.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems, want 1 (the broken link): %v", len(problems), problems)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write(t, dir+"/good.go", "// Package good.\npackage good\n")
+	write(t, dir+"/doc.md", "[ok](good.go)\n")
+	if err := run([]string{dir}, os.Stdout); err != nil {
+		t.Errorf("clean package failed: %v", err)
+	}
+	if err := run([]string{"-links", dir + "/doc.md"}, os.Stdout); err != nil {
+		t.Errorf("clean links failed: %v", err)
+	}
+	if err := run([]string{}, os.Stdout); err == nil {
+		t.Error("empty invocation accepted")
+	}
+	write(t, dir+"/bad/bad.go", "package bad\n\nfunc Exported() {}\n")
+	if err := run([]string{dir + "/bad"}, os.Stdout); err == nil {
+		t.Error("undocumented package accepted")
+	}
+}

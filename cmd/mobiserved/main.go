@@ -4,15 +4,24 @@
 // bounded worker pool under position-derived seeds, so every result is a
 // deterministic function of the spec alone.
 //
+// Parameter sweeps are first-class batch jobs: POST a sweep spec (a base
+// scenario plus axes, the same object `mobisim -sweep` runs) to
+// /v1/sweeps, poll /v1/sweeps/{id} for per-point progress, and each point
+// flows through the same hash-keyed result cache — repeated or
+// overlapping sweeps are answered point by point without re-running
+// anything.
+//
 // Usage:
 //
-//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256
+//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024
 //
 // Quickstart:
 //
 //	curl -s localhost:8080/v1/run -d '{"engine":"broadcast","nodes":16384,"agents":64,"seed":1}'
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s localhost:8080/v1/results/<hash>
+//	curl -s localhost:8080/v1/sweeps -d '{"base":{"engine":"broadcast","nodes":16384,"agents":64,"seed":1},"axes":[{"field":"agents","values":[16,64,256]}]}'
+//	curl -s localhost:8080/v1/sweeps/sweep-1
 //	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM drain the queue and shut the server down gracefully.
@@ -45,23 +54,26 @@ func main() {
 func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("mobiserved", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = fs.Int("queue", 0, "run-queue depth in replicate tasks (0 = 256)")
-		cache   = fs.Int("cache", 0, "result-cache entries (0 = 256)")
-		grace   = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "run-queue depth in replicate tasks (0 = 256)")
+		cache       = fs.Int("cache", 0, "result-cache entries (0 = 256)")
+		sweepPoints = fs.Int("sweep-points", 0, "max expanded points per submitted sweep (0 = 1024)")
+		grace       = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 0 || *queue < 0 || *cache < 0 {
-		return fmt.Errorf("workers, queue and cache must be non-negative")
+	if *workers < 0 || *queue < 0 || *cache < 0 || *sweepPoints < 0 {
+		return fmt.Errorf("workers, queue, cache and sweep-points must be non-negative")
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	return serve(ctx, l, simserve.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *cache}, *grace, out)
+	return serve(ctx, l, simserve.Config{
+		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache, MaxSweepPoints: *sweepPoints,
+	}, *grace, out)
 }
 
 // serve runs the service on the given listener until ctx is cancelled,

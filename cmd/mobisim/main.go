@@ -1,17 +1,25 @@
-// Command mobisim runs a single dissemination simulation and prints the
-// measured times alongside the paper's theoretical scales. Flags assemble a
-// scenario spec (the same declarative object cmd/mobiserved serves and
-// mobilenet.RunScenario executes), so one dispatch path drives every
-// engine; -spec skips the flag assembly and runs a JSON spec file.
+// Command mobisim runs a single dissemination simulation — or a whole
+// parameter sweep — and prints the measured times alongside the paper's
+// theoretical scales. Flags assemble a scenario spec (the same declarative
+// object cmd/mobiserved serves and mobilenet.RunScenario executes), so one
+// dispatch path drives every engine; -spec skips the flag assembly and
+// runs a JSON spec file, and -sweep runs a sweep spec file (a base
+// scenario plus axes, the same object POST /v1/sweeps accepts) through
+// the sweep subsystem, printing the per-point table and optional
+// scaling-law fit.
 //
 // Usage:
 //
 //	mobisim -n 16384 -k 64 -r 0 -seed 1 -model broadcast
 //	mobisim -n 16384 -k 64 -mobility levy:alpha=1.6,max=40
 //	mobisim -spec scenario.json -reps 5
+//	mobisim -sweep sweep.json                  # table to stdout
+//	mobisim -sweep sweep.json -table out.csv   # also export CSV (.json for a JSON table)
+//	mobisim -sweep sweep.json -json            # full sweep result as JSON
 //
 // Models: broadcast (default), gossip, frog, coverage (alias: cover),
-// predator (alias: extinction).
+// predator (alias: extinction), meeting (one Lemma 3 trial per replicate;
+// -r is the initial separation d).
 //
 // Mobility (-mobility) selects the motion law, with model-specific
 // sub-options after a colon:
@@ -40,6 +48,7 @@ import (
 	"mobilenet/internal/core"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/sweep"
 	"mobilenet/internal/trace"
 )
 
@@ -57,13 +66,15 @@ func run(args []string) error {
 		k        = fs.Int("k", 64, "number of agents")
 		r        = fs.Int("r", 0, "transmission radius (Manhattan)")
 		seed     = fs.Uint64("seed", 1, "randomness seed")
-		model    = fs.String("model", "broadcast", "engine: broadcast|gossip|frog|coverage|predator (aliases: cover, extinction)")
+		model    = fs.String("model", "broadcast", "engine: broadcast|gossip|frog|coverage|predator|meeting (aliases: cover, extinction)")
 		mobSpec  = fs.String("mobility", "lazy", "mobility model: lazy|waypoint[:pause=N]|levy[:alpha=F,max=N]|ballistic[:turn=F]|trace:FILE[,loop]")
 		preys    = fs.Int("preys", 0, "prey count for -model predator (default k)")
 		reps     = fs.Int("reps", 1, "replicates (position-derived seeds; prints the mean)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve (broadcast only)")
 		specPath = fs.String("spec", "", "run a scenario spec JSON file instead of assembling one from flags")
-		jsonOut  = fs.Bool("json", false, "print the full scenario result as JSON")
+		sweepIn  = fs.String("sweep", "", "run a sweep spec JSON file (base scenario + axes) through the sweep subsystem")
+		tableOut = fs.String("table", "", "with -sweep: export the sweep table to this file (.csv or .json)")
+		jsonOut  = fs.Bool("json", false, "print the full scenario (or sweep) result as JSON")
 		traceOut = fs.String("trace", "", "record the full trajectory to this file (broadcast only)")
 		par      = fs.Int("par", 0, "component-labeller workers: 0 = automatic, 1 = sequential (results identical)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -78,6 +89,19 @@ func run(args []string) error {
 	}
 	defer stopProfiles()
 	engine := canonicalEngine(strings.ToLower(strings.TrimSpace(*model)))
+
+	if *sweepIn != "" {
+		switch {
+		case *specPath != "":
+			return fmt.Errorf("-sweep cannot be combined with -spec (the sweep file carries its own base scenario)")
+		case *traceOut != "":
+			return fmt.Errorf("-trace is not supported with -sweep")
+		}
+		return runSweepFile(*sweepIn, *tableOut, *jsonOut)
+	}
+	if *tableOut != "" {
+		return fmt.Errorf("-table requires -sweep")
+	}
 
 	if *traceOut != "" {
 		// Recording drives the engine step by step through the library,
@@ -154,6 +178,60 @@ func run(args []string) error {
 	if len(res.Reps) > 1 {
 		fmt.Printf("reps: %d  mean steps: %.1f  all completed: %v\n",
 			len(res.Reps), res.MeanSteps, res.AllCompleted)
+	}
+	return nil
+}
+
+// runSweepFile executes a sweep spec file through the sweep subsystem and
+// renders the per-point table (stdout or -table file) plus the optional
+// scaling-law fit. With -json the full sweep result — whose per-point
+// results are byte-identical to mobiserved payloads — is printed instead.
+func runSweepFile(path, tableOut string, jsonOut bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sp, err := sweep.Parse(data)
+	if err != nil {
+		return err
+	}
+	res, err := sweep.Run(sp, sweep.Options{})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("sweep: %s  points: %d  axes: %s\n\n",
+			res.Hash[:12], len(res.Points), strings.Join(res.AxisFields, ", "))
+		if err := res.Table().WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if res.Fit != nil {
+			fmt.Printf("\nscaling-law fit: %s\n", res.Fit)
+		}
+	}
+	if tableOut != "" {
+		f, err := os.Create(tableOut)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(tableOut, ".json") {
+			err = res.Table().WriteJSON(f)
+		} else {
+			err = res.Table().WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntable: %s\n", tableOut)
 	}
 	return nil
 }
@@ -387,6 +465,14 @@ func printEngineResult(net *mobilenet.Network, engine string, rep mobilenet.Scen
 	case "predator":
 		report("extinction time", rep.Steps, rep.Completed)
 		fmt.Printf("surviving preys: %d\n", rep.Survivors)
+	case "meeting":
+		// One Lemma 3 trial: not meeting within the horizon is a
+		// legitimate outcome, not a failed run.
+		if rep.Completed {
+			fmt.Printf("walks met in the lens after %d steps\n", rep.Steps)
+		} else {
+			fmt.Printf("no lens meeting within the %d-step horizon\n", rep.Steps)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mobilenet/internal/sweep"
 	"mobilenet/internal/trace"
 )
 
@@ -150,5 +151,103 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunMeetingModel(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-model", "meeting", "-r", "4", "-reps", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	// The separation is required.
+	if err := run([]string{"-model", "meeting", "-r", "0"}); err == nil {
+		t.Error("meeting with r=0 accepted")
+	}
+}
+
+func TestRunSweepFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := dir + "/sweep.json"
+	spec := `{
+		"base": {"engine":"broadcast","nodes":256,"agents":4,"seed":3,"reps":2},
+		"axes": [{"field":"agents","values":[4,8]}],
+		"fit": "agents"
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-sweep", path, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	// Table export in both formats.
+	for _, out := range []string{dir + "/table.csv", dir + "/table.json"} {
+		if err := run([]string{"-sweep", path, "-table", out}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", out)
+		}
+	}
+	// Incompatible flag combinations fail loudly.
+	for _, args := range [][]string{
+		{"-sweep", path, "-spec", path},
+		{"-sweep", path, "-trace", dir + "/out.mtrace"},
+		{"-table", dir + "/t.csv"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if err := run([]string{"-sweep", dir + "/missing.json"}); err == nil {
+		t.Error("missing sweep file accepted")
+	}
+	// A sweep whose expansion contains an invalid point fails with the
+	// point named.
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte(`{
+		"base": {"engine":"broadcast","nodes":256,"agents":4},
+		"axes": [{"field":"agents","values":[4,0]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-sweep", bad})
+	if err == nil || !strings.Contains(err.Error(), "point 1") {
+		t.Errorf("invalid sweep point not surfaced, got %v", err)
+	}
+}
+
+// TestExampleSweepFilesAreRunnable pins the sweep specs shipped under
+// examples/sweeps/ (and quoted in EXPERIMENTS.md) to the current grammar:
+// they must parse, validate and expand.
+func TestExampleSweepFilesAreRunnable(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"e1_k_sweep.json", "mobility_contrast.json"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile("../../examples/sweeps/" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := sweep.Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			points, err := sp.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(points) < 2 {
+				t.Errorf("%s expands to %d points", name, len(points))
+			}
+		})
 	}
 }

@@ -68,8 +68,64 @@
 // cache key; cmd/mobiserved serves them over HTTP with hash-keyed result
 // caching, returning payloads byte-identical to a local RunScenario call.
 //
-// The examples/ directory contains runnable scenarios (MANET radius sweeps,
-// epidemic spreading, wildlife-tracking gossip, the Frog model, the
-// cross-model mobility contrast in examples/levy), and the cmd/ directory
-// ships the simulation and experiment CLIs.
+// # Parameter sweeps
+//
+// The paper's results are scaling laws, and a scaling law is measured as
+// a sweep. A Sweep is a base Scenario plus axes — value lists or integer
+// ranges over any numeric or enum scenario field, cartesian or zipped —
+// that expands deterministically into canonical scenarios, runs them on
+// a bounded pool with per-point statistics (mean/stddev/median/95% CI)
+// and an optional log-log scaling-law fit, and hashes
+// order-independently over the expanded point set:
+//
+//	sw, _ := mobilenet.ParseSweep([]byte(`{
+//	  "base": {"engine":"broadcast","nodes":16384,"agents":8,"radius":0,"seed":1,"reps":12},
+//	  "axes": [{"field":"agents","values":[8,32,128,512]}],
+//	  "fit":  "agents"}`))
+//	res, _ := mobilenet.RunSweep(sw)
+//	fmt.Printf("T_B ~ k^%.2f\n", res.Fit.Alpha) // ≈ -0.5, the n/√k law
+//
+// The same JSON drives `mobisim -sweep` and the mobiserved POST
+// /v1/sweeps batch endpoint, where every point is deduplicated against
+// the hash-keyed result cache.
+//
+// # Package tree
+//
+// Public API (this package): mobilenet.go (Network, options, engines),
+// scenario.go (Scenario specs), sweep.go (Sweep specs), doc.go.
+//
+// Commands:
+//
+//   - cmd/mobisim — single-run and sweep CLI (specs, tracing, profiling)
+//   - cmd/mobiserved — the HTTP simulation service (runs + sweep batches)
+//   - cmd/experiments, cmd/paperrepro — the E1–E17/X1–X8 validation suite
+//   - cmd/percmap, cmd/tracecat — percolation maps, trace inspection
+//   - cmd/doccheck — CI gate for godoc coverage and Markdown links
+//
+// Internal layers, substrate to surface:
+//
+//   - internal/grid, internal/rng, internal/walk — arena, deterministic
+//     randomness, the §2 lazy-walk kernel
+//   - internal/mobility — pluggable motion laws (lazy, waypoint, Lévy,
+//     ballistic, trace replay)
+//   - internal/agent, internal/visibility, internal/unionfind,
+//     internal/bitset — populations and the CSR component labeller (the
+//     per-step hot path)
+//   - internal/core, internal/frog, internal/coverage,
+//     internal/predator, internal/meeting, internal/barrier — the
+//     dissemination engines and lemma probes
+//   - internal/scenario — declarative specs, canonicalisation, content
+//     hashes, the Runner registry
+//   - internal/sweep — declarative parameter sweeps over scenarios
+//   - internal/simserve — worker pool, result cache, HTTP service
+//   - internal/experiments, internal/stats, internal/tableio,
+//     internal/plot, internal/theory — the validation suite and its
+//     statistics, rendering and closed-form envelopes
+//   - internal/percolation, internal/trace — phase structure, trajectory
+//     format
+//
+// The examples/ directory contains runnable scenarios (MANET radius
+// sweeps, epidemic spreading, wildlife-tracking gossip, the Frog model,
+// the cross-model mobility contrast in examples/levy, the predator-prey
+// fleet sweep) plus ready-to-run sweep specs under examples/sweeps.
 package mobilenet

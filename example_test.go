@@ -84,3 +84,31 @@ func ExampleNetwork_BroadcastWithObstacles() {
 	// Output:
 	// completed=true
 }
+
+// RunSweep measures a whole parameter grid — here the paper's headline
+// k-dependence at tiny scale — as one declarative object. The same JSON
+// drives `mobisim -sweep` and the mobiserved POST /v1/sweeps endpoint,
+// with byte-identical per-point results.
+func ExampleRunSweep() {
+	sw, err := mobilenet.ParseSweep([]byte(`{
+	  "base": {"engine": "broadcast", "nodes": 1024, "agents": 4, "seed": 7, "reps": 2},
+	  "axes": [{"field": "agents", "values": [4, 8, 16]}],
+	  "fit": "agents"
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mobilenet.RunSweep(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		fmt.Printf("k=%v median T_B=%.0f\n", pt.Values[0], pt.Steps.Median)
+	}
+	fmt.Printf("fit: T_B ~ k^%.1f\n", res.Fit.Alpha)
+	// Output:
+	// k=4 median T_B=3448
+	// k=8 median T_B=2074
+	// k=16 median T_B=1467
+	// fit: T_B ~ k^-0.6
+}

@@ -3,15 +3,19 @@ package experiments
 import (
 	"fmt"
 
-	"mobilenet/internal/core"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/plot"
+	"mobilenet/internal/scenario"
+	"mobilenet/internal/sweep"
 	"mobilenet/internal/tableio"
 	"mobilenet/internal/theory"
 )
 
 // expE01 validates the k-dependence of Theorems 1 and 2: at fixed n and
-// r = 0, the broadcast time decays as k^(-1/2) up to polylog factors.
+// r = 0, the broadcast time decays as k^(-1/2) up to polylog factors. The
+// measurement is one declarative SweepSpec — an agents axis over a fixed
+// broadcast base — with the sweep layer's built-in log-log fit as the
+// scaling-law check.
 func expE01() Experiment {
 	e := Experiment{
 		ID:    "E1",
@@ -27,46 +31,40 @@ func expE01() Experiment {
 		}
 		n := g.N()
 		reps := p.reps(12)
-		ks := []int{8, 16, 32, 64, 128, 256, 512}
+		var ks []int
+		for _, k := range []int{8, 16, 32, 64, 128, 256, 512} {
+			if 2*k <= n { // stay in the paper's sparse regime n >= 2k
+				ks = append(ks, k)
+			}
+		}
+
+		sp := sweep.Spec{
+			Label: fmt.Sprintf("E1: T_B vs k (n=%d, r=0)", n),
+			Base: scenario.Spec{Engine: scenario.EngineBroadcast, Nodes: n, Agents: ks[0],
+				Radius: 0, Seed: p.Seed, Source: 0, Reps: reps},
+			Axes: []sweep.Axis{{Field: "agents", Values: intValues(ks)}},
+			Fit:  "agents",
+		}
+		swres, pts, err := runScenarioSweep(p, "E1", sp, true)
+		if err != nil {
+			return nil, err
+		}
 
 		table := tableio.NewTable(
 			fmt.Sprintf("Median T_B, n=%d, r=0, %d reps", n, reps),
 			"k", "median T_B", "mean", "stddev", "n/sqrt(k)", "T_B/(n/sqrt(k))")
-		var pts []pointSummary
 		envelope := plot.Series{Name: "n/sqrt(k)"}
-		for pi, k := range ks {
-			if 2*k > n {
-				continue // stay in the paper's sparse regime n >= 2k
-			}
-			k := k
-			pt, err := sweepPoint(p.Seed, pi, reps, float64(k), func(seed uint64) (float64, error) {
-				r, err := core.RunBroadcast(core.Config{
-					Grid: g, K: k, Radius: 0, Seed: seed, Source: 0,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !r.Completed {
-					return 0, fmt.Errorf("E1: broadcast k=%d seed=%d hit step cap", k, seed)
-				}
-				return float64(r.Steps), nil
-			})
-			if err != nil {
-				return nil, err
-			}
+		for i, pt := range pts {
+			k := ks[i]
 			scale := theory.BroadcastScale(n, k)
 			table.AddRow(k, pt.Sum.Median, pt.Sum.Mean, pt.Sum.StdDev, scale, pt.Sum.Median/scale)
-			pts = append(pts, pt)
 			envelope.X = append(envelope.X, float64(k))
 			envelope.Y = append(envelope.Y, scale)
 			p.logf("E1: k=%d median T_B=%.0f (%d reps)", k, pt.Sum.Median, reps)
 		}
 		res.Tables = append(res.Tables, table)
 
-		fit, err := fitMedians(pts)
-		if err != nil {
-			return nil, err
-		}
+		fit := swres.Fit
 		res.AddFinding("power-law fit of median T_B vs k: %s", fit)
 		res.AddFinding("paper predicts exponent -0.5 (±polylog drift); Wang et al. [28] would predict ≈ -1")
 		res.Verdict = exponentVerdict(fit.Alpha, -0.5, 0.2, 0.35)

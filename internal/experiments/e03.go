@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"math"
 
-	"mobilenet/internal/core"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/plot"
+	"mobilenet/internal/scenario"
+	"mobilenet/internal/sweep"
 	"mobilenet/internal/tableio"
 	"mobilenet/internal/theory"
 )
@@ -14,8 +15,8 @@ import (
 // expE03 is the headline experiment: below the percolation radius the
 // broadcast time does not depend on r (beyond polylog factors), while above
 // r_c it collapses to the polylogarithmic supercritical regime of Peres et
-// al. The sweep crosses r_c so both behaviours and the transition are
-// visible in one table.
+// al. The radius axis of one SweepSpec crosses r_c so both behaviours and
+// the transition are visible in one table.
 func expE03() Experiment {
 	e := Experiment{
 		ID:    "E3",
@@ -48,37 +49,28 @@ func expE03() Experiment {
 			}
 		}
 
+		sp := sweep.Spec{
+			Label: fmt.Sprintf("E3: T_B vs r (n=%d, k=%d)", n, k),
+			Base: scenario.Spec{Engine: scenario.EngineBroadcast, Nodes: n, Agents: k,
+				Seed: p.Seed, Source: 0, Reps: reps},
+			Axes: []sweep.Axis{{Field: "radius", Values: intValues(radii)}},
+		}
+		_, pts, err := runScenarioSweep(p, "E3", sp, true)
+		if err != nil {
+			return nil, err
+		}
+
 		table := tableio.NewTable(
 			fmt.Sprintf("Median T_B vs r, n=%d, k=%d, r_c=%.1f, %d reps", n, k, rc, reps),
 			"r", "r/r_c", "median T_B", "mean", "T_B(r)/T_B(0)")
-		var pts []pointSummary
-		var tb0 float64
-		for pi, r := range radii {
-			r := r
-			pt, err := sweepPoint(p.Seed, pi, reps, float64(r), func(seed uint64) (float64, error) {
-				br, err := core.RunBroadcast(core.Config{
-					Grid: g, K: k, Radius: r, Seed: seed, Source: 0,
-				})
-				if err != nil {
-					return 0, err
-				}
-				if !br.Completed {
-					return 0, fmt.Errorf("E3: broadcast r=%d seed=%d hit step cap", r, seed)
-				}
-				return float64(br.Steps), nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			if pi == 0 {
-				tb0 = pt.Sum.Median
-			}
+		tb0 := pts[0].Sum.Median
+		for i, pt := range pts {
+			r := radii[i]
 			ratio := 0.0
 			if tb0 > 0 {
 				ratio = pt.Sum.Median / tb0
 			}
 			table.AddRow(r, float64(r)/rc, pt.Sum.Median, pt.Sum.Mean, ratio)
-			pts = append(pts, pt)
 			p.logf("E3: r=%d (%.2f r_c) median T_B=%.0f", r, float64(r)/rc, pt.Sum.Median)
 		}
 		res.Tables = append(res.Tables, table)

@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"mobilenet/internal/meeting"
 	"mobilenet/internal/plot"
+	"mobilenet/internal/scenario"
+	"mobilenet/internal/sweep"
 	"mobilenet/internal/tableio"
 	"mobilenet/internal/theory"
 )
@@ -13,7 +14,10 @@ import (
 // expE06 validates Lemma 3: the probability that two walks starting at
 // distance d meet within d^2 steps at a node of the shared lens D is at
 // least c3/log d — equivalently, p(d)·max(1, ln d) is bounded below by a
-// positive constant.
+// positive constant. The measurement rides the sweep subsystem via the
+// scenario layer's "meeting" engine: one replicate is one trial, a
+// distance is one sweep point (radius axis), and p(d) is the completed
+// fraction of a point's replicates.
 func expE06() Experiment {
 	e := Experiment{
 		ID:    "E6",
@@ -25,20 +29,33 @@ func expE06() Experiment {
 		trials := p.scaledCount(3000, 300)
 		ds := []int{2, 4, 8, 16, 32, 64}
 
+		sp := sweep.Spec{
+			Label: "E6: meeting probability vs d",
+			Base: scenario.Spec{Engine: scenario.EngineMeeting, Nodes: 64, Agents: 2,
+				Radius: ds[0], Seed: p.Seed, Reps: trials},
+			Axes: []sweep.Axis{{Field: "radius", Values: intValues(ds)}},
+		}
+		// Not meeting within the horizon is a legitimate trial outcome,
+		// so capped replicates must NOT be errors here.
+		swres, _, err := runScenarioSweep(p, "E6", sp, false)
+		if err != nil {
+			return nil, err
+		}
+
 		table := tableio.NewTable(
 			fmt.Sprintf("Meeting probability, %d trials per distance", trials),
 			"d", "T=d^2", "p(d)", "p(d)*max(1,ln d)", "bound c3/max(1,ln d)")
 		product := plot.Series{Name: "p(d)·max(1,ln d)"}
 		minProduct := math.Inf(1)
-		for pi, d := range ds {
-			prob, err := meeting.MeetingProbability(meeting.Trial{
-				Distance: d,
-				Trials:   trials,
-				Seed:     repSeed(p.Seed, pi, 0),
-			})
-			if err != nil {
-				return nil, err
+		for i, pr := range swres.Points {
+			d := ds[i]
+			met := 0
+			for _, rep := range pr.Result.Reps {
+				if rep.Completed {
+					met++
+				}
 			}
+			prob := float64(met) / float64(len(pr.Result.Reps))
 			logD := math.Max(1, math.Log(float64(d)))
 			prod := prob * logD
 			bound := theory.MeetingLowerBound(d, theory.DefaultC3)

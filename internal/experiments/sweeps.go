@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"mobilenet/internal/plot"
+	"mobilenet/internal/scenario"
 	"mobilenet/internal/stats"
+	"mobilenet/internal/sweep"
 )
 
 // pointSummary couples one sweep coordinate with its replicate statistics.
@@ -36,6 +39,47 @@ func summarizePoint(x float64, vals []float64) pointSummary {
 		panic(fmt.Sprintf("experiments: summarizePoint on empty sample: %v", err))
 	}
 	return pointSummary{X: x, Values: vals, Sum: s}
+}
+
+// intValues converts an int slice to sweep axis values.
+func intValues(vs []int) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// runScenarioSweep executes a SweepSpec through the sweep subsystem with
+// the experiment conventions: progress lines go to Params.Log, and (when
+// requireCompleted) a replicate that hits its step cap is an error rather
+// than a data point. It returns the sweep result plus each point
+// re-summarised as a pointSummary keyed by its first-axis value, the
+// shape the fit/figure helpers consume.
+func runScenarioSweep(p Params, id string, sp sweep.Spec, requireCompleted bool) (*sweep.Result, []pointSummary, error) {
+	// OnPoint fires from the sweep pool's goroutines, but Params.Log is a
+	// plain io.Writer with no concurrency contract — serialise the lines.
+	var logMu sync.Mutex
+	res, err := sweep.Run(sp, sweep.Options{
+		RequireCompleted: requireCompleted,
+		OnPoint: func(pt sweep.Point, r *scenario.Result) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			p.logf("%s: point %d done (%d reps)", id, pt.Index, len(r.Reps))
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", id, err)
+	}
+	pts := make([]pointSummary, len(res.Points))
+	for i, pr := range res.Points {
+		x, ok := pr.Values[0].(int64)
+		if !ok {
+			return nil, nil, fmt.Errorf("%s: sweep point %d has non-numeric first axis value %v", id, i, pr.Values[0])
+		}
+		pts[i] = summarizePoint(float64(x), sweep.Steps(pr.Result))
+	}
+	return res, pts, nil
 }
 
 // fitMedians fits a power law through the (X, median) pairs of a sweep.

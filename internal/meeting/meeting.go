@@ -53,46 +53,77 @@ func (t *Trial) horizon() int {
 	return t.Distance * t.Distance
 }
 
-// arena builds a grid large enough that boundary reflection does not
-// dominate at scale d: side 6d, with the two start nodes centred and
-// horizontally separated by d.
-func arena(d int) (*grid.Grid, grid.Point, grid.Point) {
+// ArenaSide returns the side of the arena a distance-d trial runs on: 6d,
+// floored at 8, so boundary reflection does not dominate at scale d. The
+// scenario layer uses it to canonicalise the realised grid of a "meeting"
+// spec without duplicating the geometry.
+func ArenaSide(d int) int {
 	side := 6 * d
 	if side < 8 {
 		side = 8
 	}
-	g := grid.MustNew(side)
+	return side
+}
+
+// arena builds the ArenaSide grid with the two start nodes centred and
+// horizontally separated by d.
+func arena(d int) (*grid.Grid, grid.Point, grid.Point) {
+	g := grid.MustNew(ArenaSide(d))
 	c := g.Center()
 	a := grid.Point{X: c.X - int32(d)/2, Y: c.Y}
 	b := grid.Point{X: a.X + int32(d), Y: c.Y}
 	return g, a, b
 }
 
+// TrialRun executes a single Lemma 3 meeting trial: two synchronized walks
+// start at separation d and run for up to horizon steps (d^2 when horizon
+// is 0). It returns the meeting time and true when the walks met at a node
+// of the lens D within the horizon, else (horizon, false). One trial is the
+// unit of work the scenario layer's "meeting" engine schedules per
+// replicate, so a whole probability estimate is just a multi-rep spec.
+func TrialRun(d int, seed uint64, horizon int) (steps int, met bool, err error) {
+	if d < 1 {
+		return 0, false, fmt.Errorf("meeting: distance must be >= 1, got %d", d)
+	}
+	if horizon < 0 {
+		return 0, false, fmt.Errorf("meeting: negative horizon %d", horizon)
+	}
+	if horizon == 0 {
+		horizon = d * d
+	}
+	g, a, b := arena(d)
+	a0, b0 := a, b
+	src := rng.New(seed)
+	for t := 1; t <= horizon; t++ {
+		a = walk.Step(g, a, src)
+		b = walk.Step(g, b, src)
+		if a == b && inLens(a, a0, b0, d) {
+			return t, true, nil
+		}
+	}
+	return horizon, false, nil
+}
+
 // MeetingProbability estimates P(∃ t <= T: a_t = b_t ∈ D) of Lemma 3 for
 // two walks with initial separation d and T = d^2 (or the configured
 // horizon). It returns the fraction of trials in which the walks met at a
-// node of the lens D within the horizon.
+// node of the lens D within the horizon. Each trial is one TrialRun —
+// the same unit the scenario layer's "meeting" engine schedules — under
+// a seed drawn from the trial's master stream, so there is exactly one
+// implementation of the trial physics.
 func MeetingProbability(tr Trial) (float64, error) {
 	if err := tr.validate(); err != nil {
 		return 0, err
 	}
-	d := tr.Distance
-	g, a0, b0 := arena(d)
-	horizon := tr.horizon()
 	master := rng.New(tr.Seed)
 	hits := 0
 	for i := 0; i < tr.Trials; i++ {
-		src := master.Split()
-		a, b := a0, b0
-		// Walks are synchronized: both step once per time unit. The time-0
-		// configuration has them d > 0 apart, so no meeting at t=0.
-		for t := 1; t <= horizon; t++ {
-			a = walk.Step(g, a, src)
-			b = walk.Step(g, b, src)
-			if a == b && inLens(a, a0, b0, d) {
-				hits++
-				break
-			}
+		_, met, err := TrialRun(tr.Distance, master.Uint64(), tr.horizon())
+		if err != nil {
+			return 0, err
+		}
+		if met {
+			hits++
 		}
 	}
 	return float64(hits) / float64(tr.Trials), nil

@@ -9,6 +9,7 @@ import (
 	"mobilenet/internal/coverage"
 	"mobilenet/internal/frog"
 	"mobilenet/internal/grid"
+	"mobilenet/internal/meeting"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/predator"
 )
@@ -44,6 +45,7 @@ func init() {
 	register(frogRunner{})
 	register(coverageRunner{})
 	register(predatorRunner{})
+	register(meetingRunner{})
 }
 
 // Lookup resolves an engine name (case-insensitive) to its Runner.
@@ -249,6 +251,22 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		CoverageSteps: -1,
 		Curve:         res.Curve,
 	}, nil
+}
+
+type meetingRunner struct{}
+
+func (meetingRunner) Engine() string { return EngineMeeting }
+
+// RunRep executes one Lemma 3 meeting trial. Steps is the meeting time
+// (the horizon when the walks never met) and Completed reports a meeting
+// inside the lens, so the mean of Completed over replicates estimates the
+// lemma's probability p(d).
+func (meetingRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+	steps, met, err := meeting.TrialRun(spec.Radius, seed, spec.MaxSteps)
+	if err != nil {
+		return Rep{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Rep{Seed: seed, Steps: steps, Completed: met, CoverageSteps: -1}, nil
 }
 
 type predatorRunner struct{}

@@ -11,7 +11,7 @@ import (
 
 func TestEnginesRegistry(t *testing.T) {
 	t.Parallel()
-	want := []string{EngineBroadcast, EngineCoverage, EngineFrog, EngineGossip, EnginePredator}
+	want := []string{EngineBroadcast, EngineCoverage, EngineFrog, EngineGossip, EngineMeeting, EnginePredator}
 	got := Engines()
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Engines() = %v, want %v", got, want)
@@ -38,7 +38,14 @@ func TestAllEnginesRunThroughDispatch(t *testing.T) {
 		engine := engine
 		t.Run(engine, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(Spec{Engine: engine, Nodes: 256, Agents: 8, Seed: 1})
+			spec := Spec{Engine: engine, Nodes: 256, Agents: 8, Seed: 1}
+			if engine == EngineMeeting {
+				// The meeting engine needs a separation d >= 1, and a
+				// single trial legitimately may not meet — the completion
+				// fraction is the measurement, not a success criterion.
+				spec.Radius = 4
+			}
+			res, err := Run(spec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +55,7 @@ func TestAllEnginesRunThroughDispatch(t *testing.T) {
 			if len(res.Reps) != 1 {
 				t.Fatalf("got %d reps, want 1", len(res.Reps))
 			}
-			if !res.Reps[0].Completed {
+			if engine != EngineMeeting && !res.Reps[0].Completed {
 				t.Errorf("%s did not complete at this small size", engine)
 			}
 			if res.Reps[0].Steps <= 0 {

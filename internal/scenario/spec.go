@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/meeting"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/rng"
 )
@@ -31,6 +32,15 @@ const (
 	EngineFrog      = "frog"
 	EngineCoverage  = "coverage"
 	EnginePredator  = "predator"
+	// EngineMeeting runs one Lemma 3 meeting trial per replicate: two
+	// synchronized lazy walks start Radius apart and the replicate reports
+	// whether (Completed) and when (Steps) they met inside the lens within
+	// MaxSteps (0 selects the lemma's d² horizon). The fraction of
+	// completed replicates estimates the meeting probability p(d), so the
+	// whole estimate is one multi-rep spec — which is how experiment E6
+	// rides the sweep subsystem. The arena is derived from Radius alone
+	// (meeting.ArenaSide); Nodes and Agents are canonicalised away.
+	EngineMeeting = "meeting"
 )
 
 // Metric names requestable in Spec.Metrics.
@@ -151,6 +161,22 @@ func (s Spec) Validate() error {
 	if s.Rumors < 0 || s.Rumors > s.Agents {
 		return fmt.Errorf("scenario: rumors %d outside [0,%d]", s.Rumors, s.Agents)
 	}
+	if engine == EngineMeeting {
+		if s.Radius < 1 {
+			return fmt.Errorf("scenario: the meeting engine needs radius >= 1 (the initial separation d), got %d", s.Radius)
+		}
+		// The lemma is stated for the paper's lazy walk; silently running a
+		// different motion law would estimate a different quantity.
+		if s.Mobility != "" {
+			m, err := mobility.Parse(s.Mobility)
+			if err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			if mobility.CanonicalSpec(m) != mobility.Default().Name() {
+				return fmt.Errorf("scenario: the meeting engine runs Lemma 3's lazy walk only, got mobility %q", s.Mobility)
+			}
+		}
+	}
 	if s.Mobility != "" {
 		// Reject the trace scheme by name, before mobility.Parse would
 		// open the referenced file: specs arrive from untrusted HTTP
@@ -226,6 +252,21 @@ func (s Spec) Canonical() (Spec, error) {
 	// Engine-irrelevant knobs are zeroed so they cannot split the cache.
 	if c.Engine == EngineCoverage {
 		c.Radius = 0 // plain cover time has no transmission radius
+	}
+	if c.Engine == EngineMeeting {
+		// The trial geometry is a function of the separation d (= Radius)
+		// alone: the arena side is meeting.ArenaSide(d) and exactly two
+		// walkers take part, so the user-supplied Nodes and Agents cannot
+		// be allowed to split the cache. The d² default horizon is made
+		// explicit so the effective step bound is visible in the hash (and
+		// to service-side admission checks).
+		side := meeting.ArenaSide(c.Radius)
+		c.Nodes = side * side
+		c.Agents = 2
+		c.Mobility = mobility.Default().Name()
+		if c.MaxSteps == 0 {
+			c.MaxSteps = c.Radius * c.Radius
+		}
 	}
 	if c.Engine != EnginePredator {
 		c.Preys = 0

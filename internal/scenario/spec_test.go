@@ -130,6 +130,53 @@ func TestCanonicalEngineSpecificDefaults(t *testing.T) {
 	}
 }
 
+// TestMeetingEngineSpec pins the meeting engine's spec contract: the
+// separation d rides the radius field (and must be >= 1), the arena and
+// population are functions of d alone, the d² horizon is made explicit,
+// and non-lazy mobility is rejected rather than silently ignored.
+func TestMeetingEngineSpec(t *testing.T) {
+	t.Parallel()
+	if err := (Spec{Engine: EngineMeeting, Nodes: 1, Agents: 1}).Validate(); err == nil {
+		t.Error("meeting spec with radius 0 validated")
+	}
+	if err := (Spec{Engine: EngineMeeting, Nodes: 1, Agents: 1, Radius: 4, Mobility: "levy"}).Validate(); err == nil {
+		t.Error("meeting spec with non-lazy mobility validated")
+	}
+	if err := (Spec{Engine: EngineMeeting, Nodes: 1, Agents: 1, Radius: 4, Mobility: "lazy"}).Validate(); err != nil {
+		t.Errorf("explicit lazy mobility rejected: %v", err)
+	}
+	c, err := Spec{Engine: EngineMeeting, Nodes: 9999, Agents: 77, Radius: 4, Reps: 3}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 24*24 || c.Agents != 2 {
+		t.Errorf("canonical arena = (nodes %d, agents %d), want (%d, 2)", c.Nodes, c.Agents, 24*24)
+	}
+	if c.MaxSteps != 16 {
+		t.Errorf("canonical horizon = %d, want d² = 16", c.MaxSteps)
+	}
+	// Nodes and Agents must not split the cache: the trial geometry is a
+	// function of d alone.
+	h1, err := Spec{Engine: EngineMeeting, Nodes: 1, Agents: 1, Radius: 4, Seed: 9}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Spec{Engine: EngineMeeting, Nodes: 4096, Agents: 64, Radius: 4, Seed: 9}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("meeting specs differing only in nodes/agents hash differently")
+	}
+	h3, err := Spec{Engine: EngineMeeting, Nodes: 1, Agents: 1, Radius: 5, Seed: 9}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("changing the separation left the hash unchanged")
+	}
+}
+
 func TestHashIsContentAddressed(t *testing.T) {
 	t.Parallel()
 	a := Spec{Engine: EngineBroadcast, Nodes: 256, Agents: 8, Seed: 3, Mobility: "levy:max=40,alpha=1.6"}

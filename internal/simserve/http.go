@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"mobilenet/internal/scenario"
+	"mobilenet/internal/sweep"
 )
 
 // maxSpecBytes bounds a submitted scenario body; specs are small, so one
@@ -19,6 +20,8 @@ const maxSpecBytes = 1 << 20
 //	POST /v1/run            submit a scenario spec (JSON body)
 //	GET  /v1/jobs/{id}      poll a job
 //	GET  /v1/results/{hash} fetch a cached result payload
+//	POST /v1/sweeps         submit a sweep spec (JSON body)
+//	GET  /v1/sweeps/{id}    poll a sweep (per-point progress, then result)
 //	GET  /healthz           liveness probe
 //	GET  /metrics           Prometheus-style service metrics
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -30,6 +33,8 @@ func newMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -76,6 +81,42 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, ticket)
+}
+
+// handleSweepSubmit accepts a sweep spec. Unlike single runs, a sweep is
+// always accepted asynchronously (202): even a fully cached sweep is
+// assembled by the dispatcher, and the first poll observes it done with
+// every point cached.
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sp, err := sweep.Parse(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ticket, err := s.SubmitSweep(sp)
+	switch {
+	case errors.Is(err, errShutdown):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ticket)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -136,4 +177,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP mobiserved_cache_entries Results currently cached.\n")
 	fmt.Fprintf(w, "# TYPE mobiserved_cache_entries gauge\n")
 	fmt.Fprintf(w, "mobiserved_cache_entries %d\n", s.cache.Len())
+	fmt.Fprintf(w, "# HELP mobiserved_sweeps_served_total Sweeps completed successfully.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_sweeps_served_total counter\n")
+	fmt.Fprintf(w, "mobiserved_sweeps_served_total %d\n", s.sweepsServed.Load())
+	fmt.Fprintf(w, "# HELP mobiserved_sweeps_failed_total Sweeps that ended in an error.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_sweeps_failed_total counter\n")
+	fmt.Fprintf(w, "mobiserved_sweeps_failed_total %d\n", s.sweepsFailed.Load())
+	fmt.Fprintf(w, "# HELP mobiserved_sweep_points_cached_total Sweep points answered from the result cache.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_sweep_points_cached_total counter\n")
+	fmt.Fprintf(w, "mobiserved_sweep_points_cached_total %d\n", s.sweepPointsCached.Load())
 }

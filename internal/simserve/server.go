@@ -50,6 +50,13 @@ type Config struct {
 	MaxNodes  int
 	MaxAgents int
 	MaxSteps  int
+	// MaxSweepPoints bounds the expanded point count of one submitted
+	// sweep; 0 selects 1024. Every point additionally passes the
+	// single-scenario bounds above.
+	MaxSweepPoints int
+	// MaxSweeps bounds retained finished-sweep records; 0 selects 256.
+	// Like MaxJobs, the oldest finished records are dropped first.
+	MaxSweeps int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = math.MaxInt32
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1024
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 256
 	}
 	return c
 }
@@ -166,13 +179,21 @@ type Server struct {
 	finished []string        // finished job ids, oldest first, for eviction
 	nextID   uint64
 
+	sweeps         map[string]*sweepJob
+	finishedSweeps []string // finished sweep ids, oldest first, for eviction
+	nextSweepID    uint64
+	sweepWG        sync.WaitGroup // sweep dispatcher goroutines
+
 	tasks chan task
 	wg    sync.WaitGroup
 
-	jobsServed  atomic.Uint64
-	jobsFailed  atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
+	jobsServed        atomic.Uint64
+	jobsFailed        atomic.Uint64
+	cacheHits         atomic.Uint64
+	cacheMisses       atomic.Uint64
+	sweepsServed      atomic.Uint64
+	sweepsFailed      atomic.Uint64
+	sweepPointsCached atomic.Uint64
 
 	mux *http.ServeMux
 }
@@ -185,6 +206,7 @@ func New(cfg Config) *Server {
 		cache:    newLRU(cfg.CacheEntries),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
+		sweeps:   make(map[string]*sweepJob),
 		tasks:    make(chan task, cfg.QueueDepth),
 	}
 	s.mux = newMux(s)
@@ -203,17 +225,8 @@ func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
 	if err != nil {
 		return Ticket{}, err
 	}
-	// Library callers may run any size they like; a service must bound
-	// what one untrusted submission can allocate or occupy.
-	switch {
-	case c.Nodes > s.cfg.MaxNodes:
-		return Ticket{}, fmt.Errorf("simserve: %d nodes exceed this server's limit of %d", c.Nodes, s.cfg.MaxNodes)
-	case c.Agents > s.cfg.MaxAgents:
-		return Ticket{}, fmt.Errorf("simserve: %d agents exceed this server's limit of %d", c.Agents, s.cfg.MaxAgents)
-	case c.Preys > s.cfg.MaxAgents:
-		return Ticket{}, fmt.Errorf("simserve: %d preys exceed this server's limit of %d", c.Preys, s.cfg.MaxAgents)
-	case stepBoundExceeds(c, s.cfg.MaxSteps):
-		return Ticket{}, fmt.Errorf("simserve: the effective step cap exceeds this server's limit of %d (set an explicit, smaller max_steps)", s.cfg.MaxSteps)
+	if err := s.checkBounds(c); err != nil {
+		return Ticket{}, err
 	}
 	hash, err := scenario.HashCanonical(c)
 	if err != nil {
@@ -271,6 +284,23 @@ func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
 		s.tasks <- task{job: j, rep: rep}
 	}
 	return Ticket{JobID: j.id, Hash: hash, Status: j.status}, nil
+}
+
+// checkBounds enforces the server's size limits on one canonical spec.
+// Library callers may run any size they like; a service must bound what
+// one untrusted submission can allocate or occupy.
+func (s *Server) checkBounds(c scenario.Spec) error {
+	switch {
+	case c.Nodes > s.cfg.MaxNodes:
+		return fmt.Errorf("simserve: %d nodes exceed this server's limit of %d", c.Nodes, s.cfg.MaxNodes)
+	case c.Agents > s.cfg.MaxAgents:
+		return fmt.Errorf("simserve: %d agents exceed this server's limit of %d", c.Agents, s.cfg.MaxAgents)
+	case c.Preys > s.cfg.MaxAgents:
+		return fmt.Errorf("simserve: %d preys exceed this server's limit of %d", c.Preys, s.cfg.MaxAgents)
+	case stepBoundExceeds(c, s.cfg.MaxSteps):
+		return fmt.Errorf("simserve: the effective step cap exceeds this server's limit of %d (set an explicit, smaller max_steps)", s.cfg.MaxSteps)
+	}
+	return nil
 }
 
 // worker executes replicate tasks until the task channel closes.
@@ -412,7 +442,10 @@ func (s *Server) QueueDepth() int {
 }
 
 // Shutdown stops accepting submissions, drains queued work and waits for
-// the pool to exit, or returns ctx's error if it expires first.
+// the pool and any sweep dispatchers to exit, or returns ctx's error if
+// it expires first. Sweep dispatchers cannot hang the drain: their point
+// submissions fail with errShutdown once the server is closed, and points
+// already queued complete because the pool drains the task channel.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -423,6 +456,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.sweepWG.Wait()
 		close(drained)
 	}()
 	select {

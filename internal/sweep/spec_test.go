@@ -1,0 +1,267 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobilenet/internal/scenario"
+)
+
+func i64(v int64) *int64 { return &v }
+
+func baseBroadcast() scenario.Spec {
+	return scenario.Spec{Engine: scenario.EngineBroadcast, Nodes: 256, Agents: 8, Seed: 3}
+}
+
+func TestValidateRejectsBadSweeps(t *testing.T) {
+	t.Parallel()
+	good := Spec{
+		Base: baseBroadcast(),
+		Axes: []Axis{{Field: "agents", Values: []any{4, 8}}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good sweep rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no axes", func(s *Spec) { s.Axes = nil }},
+		{"unknown mode", func(s *Spec) { s.Mode = "diagonal" }},
+		{"unknown field", func(s *Spec) { s.Axes[0].Field = "velocity" }},
+		{"execution-only field", func(s *Spec) { s.Axes[0].Field = "parallelism" }},
+		{"duplicate field", func(s *Spec) {
+			s.Axes = append(s.Axes, Axis{Field: "agents", Values: []any{16}})
+		}},
+		{"empty axis", func(s *Spec) { s.Axes[0].Values = nil }},
+		{"string on numeric axis", func(s *Spec) { s.Axes[0].Values = []any{"eight"} }},
+		{"fractional on numeric axis", func(s *Spec) { s.Axes[0].Values = []any{8.5} }},
+		{"number on enum axis", func(s *Spec) {
+			s.Axes[0] = Axis{Field: "engine", Values: []any{7}}
+		}},
+		{"values and range", func(s *Spec) { s.Axes[0].From, s.Axes[0].To, s.Axes[0].Step = i64(1), i64(3), i64(1) }},
+		{"partial range", func(s *Spec) { s.Axes[0].Values = nil; s.Axes[0].From = i64(1) }},
+		{"non-positive step", func(s *Spec) {
+			s.Axes[0] = Axis{Field: "agents", From: i64(1), To: i64(3), Step: i64(0)}
+		}},
+		{"empty range", func(s *Spec) {
+			s.Axes[0] = Axis{Field: "agents", From: i64(5), To: i64(3), Step: i64(1)}
+		}},
+		{"range on enum axis", func(s *Spec) {
+			s.Axes[0] = Axis{Field: "engine", From: i64(1), To: i64(3), Step: i64(1)}
+		}},
+		{"zip length mismatch", func(s *Spec) {
+			s.Mode = ModeZip
+			s.Axes = append(s.Axes, Axis{Field: "radius", Values: []any{0, 1, 2}})
+		}},
+		{"fit names non-axis", func(s *Spec) { s.Fit = "radius" }},
+		{"fit names enum axis", func(s *Spec) {
+			s.Axes = append(s.Axes, Axis{Field: "mobility", Values: []any{"lazy", "ballistic"}})
+			s.Fit = "mobility"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good
+			s.Axes = append([]Axis{}, good.Axes...)
+			tc.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("sweep %+v validated", s)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+	if _, err := Parse([]byte(`{"base":{"engine":"broadcast","nodes":256,"agents":8},"axez":[]}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	if _, err := Parse([]byte(`{"base":{"engine":"broadcast","nodes":256,"agents":8},"axes":[{"field":"agents","values":[4]}]}{}`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	s, err := Parse([]byte(`{
+		"base": {"engine":"broadcast","nodes":256,"agents":8,"seed":3},
+		"axes": [{"field":"agents","values":[4,8]},{"field":"radius","from":0,"to":2,"step":1}],
+		"fit": "agents"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Axes) != 2 || s.Fit != "agents" {
+		t.Fatalf("parsed sweep %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandCartesianOrder(t *testing.T) {
+	t.Parallel()
+	s := Spec{
+		Base: baseBroadcast(),
+		Axes: []Axis{
+			{Field: "agents", Values: []any{4, 8}},
+			{Field: "radius", From: i64(0), To: i64(2), Step: i64(2)},
+		},
+	}
+	points, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First axis slowest, range expanded inclusively.
+	want := [][]any{{int64(4), int64(0)}, {int64(4), int64(2)}, {int64(8), int64(0)}, {int64(8), int64(2)}}
+	if len(points) != len(want) {
+		t.Fatalf("expanded %d points, want %d", len(points), len(want))
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Errorf("point %d has index %d", i, p.Index)
+		}
+		if !reflect.DeepEqual(p.Values, want[i]) {
+			t.Errorf("point %d values %v, want %v", i, p.Values, want[i])
+		}
+		if p.Spec.Agents != int(want[i][0].(int64)) || p.Spec.Radius != int(want[i][1].(int64)) {
+			t.Errorf("point %d spec not updated: %+v", i, p.Spec)
+		}
+		// Points are canonical: defaults resolved.
+		if p.Spec.Reps != 1 || p.Spec.Mobility == "" {
+			t.Errorf("point %d spec not canonical: %+v", i, p.Spec)
+		}
+		wantHash, err := p.Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Hash != wantHash {
+			t.Errorf("point %d hash mismatch", i)
+		}
+	}
+}
+
+func TestExpandZipOrder(t *testing.T) {
+	t.Parallel()
+	s := Spec{
+		Base: baseBroadcast(),
+		Mode: ModeZip,
+		Axes: []Axis{
+			{Field: "agents", Values: []any{4, 8, 16}},
+			{Field: "seed", Values: []any{10, 20, 30}},
+		},
+	}
+	points, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("zip expanded %d points, want 3", len(points))
+	}
+	for i, p := range points {
+		if p.Spec.Agents != []int{4, 8, 16}[i] || p.Spec.Seed != []uint64{10, 20, 30}[i] {
+			t.Errorf("zip point %d spec %+v", i, p.Spec)
+		}
+	}
+}
+
+func TestExpandReportsOffendingPoint(t *testing.T) {
+	t.Parallel()
+	s := Spec{
+		Base: baseBroadcast(),
+		// 2k > n at the third value is fine (scenario allows it); use an
+		// outright invalid agents value instead.
+		Axes: []Axis{{Field: "agents", Values: []any{4, 8, 0}}},
+	}
+	_, err := s.Expand()
+	if err == nil {
+		t.Fatal("invalid point expanded")
+	}
+	if want := "point 2"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the offending point (%s)", err, want)
+	}
+}
+
+func TestExpandCapsPointCount(t *testing.T) {
+	t.Parallel()
+	s := Spec{
+		Base: baseBroadcast(),
+		Axes: []Axis{
+			{Field: "seed", From: i64(0), To: i64(1 << 9), Step: i64(1)},
+			{Field: "max_steps", From: i64(1), To: i64(1 << 9), Step: i64(1)},
+		},
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("oversized cartesian product validated")
+	}
+}
+
+// TestHashIsOrderIndependent pins the sweep content address: the same set
+// of simulations declared differently — axes reordered, values reordered,
+// cartesian versus equivalent zip — hashes identically, while changing
+// any actual parameter moves the hash.
+func TestHashIsOrderIndependent(t *testing.T) {
+	t.Parallel()
+	a := Spec{
+		Base: baseBroadcast(),
+		Axes: []Axis{
+			{Field: "agents", Values: []any{4, 8}},
+			{Field: "radius", Values: []any{0, 2}},
+		},
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Spec{
+		Label: "same grid, reordered",
+		Base:  baseBroadcast(),
+		Axes: []Axis{
+			{Field: "radius", Values: []any{2, 0}},
+			{Field: "agents", Values: []any{8, 4}},
+		},
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("reordered axes hash differently: %s vs %s", ha, hb)
+	}
+	z := Spec{
+		Base: baseBroadcast(),
+		Mode: ModeZip,
+		Axes: []Axis{
+			{Field: "agents", Values: []any{4, 4, 8, 8}},
+			{Field: "radius", Values: []any{0, 2, 0, 2}},
+		},
+	}
+	hz, err := z.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz != ha {
+		t.Error("equivalent zip expansion hashes differently from cartesian")
+	}
+	for name, mut := range map[string]func(Spec) Spec{
+		"base seed":  func(s Spec) Spec { s.Base.Seed++; return s },
+		"axis value": func(s Spec) Spec { s.Axes[1].Values = []any{0, 3}; return s },
+		"extra axis": func(s Spec) Spec {
+			s.Axes = append(s.Axes, Axis{Field: "reps", Values: []any{1, 2}})
+			return s
+		},
+	} {
+		s := mut(Spec{
+			Base: baseBroadcast(),
+			Axes: []Axis{
+				{Field: "agents", Values: []any{4, 8}},
+				{Field: "radius", Values: []any{0, 2}},
+			},
+		})
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == ha {
+			t.Errorf("changing %s left the sweep hash unchanged", name)
+		}
+	}
+}

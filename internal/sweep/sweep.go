@@ -1,0 +1,442 @@
+// Package sweep makes a parameter sweep — the unit in which every one of
+// the paper's results is actually measured — a first-class declarative
+// object. A Spec is a base scenario plus a list of axes (explicit value
+// lists or integer ranges over any numeric or enum scenario field,
+// combined cartesian or zipped) that expands deterministically into
+// canonical scenario specs. The expanded point set canonicalises to a
+// content hash of its own (order-independent: the same grid declared with
+// axes in a different order hashes identically), every point is executed
+// through the scenario.Runner registry on a bounded worker pool with
+// first-error cancellation, per-point replicate statistics are aggregated
+// via internal/stats, and the result renders to CSV/JSON tables via
+// internal/tableio. An optional log-log power-law fit over one numeric
+// axis turns a sweep into a scaling-law check (T_B ∝ k^-1/2, and so on).
+//
+// The same Spec drives mobilenet.RunSweep, `mobisim -sweep`, and the
+// simulation service's POST /v1/sweeps endpoint, where each point flows
+// through the hash-keyed result cache so repeated or overlapping sweeps
+// deduplicate point by point.
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"mobilenet/internal/scenario"
+)
+
+// MaxPoints bounds the expanded size of a single sweep. It is a guard
+// against typo'd cartesian products (three 100-value axes is a million
+// simulations), not a service admission limit — the simulation service
+// applies its own, smaller bound.
+const MaxPoints = 1 << 16
+
+// Modes of axis combination; see Spec.Mode.
+const (
+	// ModeCartesian expands the cartesian product of all axes, first axis
+	// slowest (row-major). It is the default.
+	ModeCartesian = "cartesian"
+	// ModeZip expands axes of equal length position by position: point i
+	// takes value i of every axis.
+	ModeZip = "zip"
+)
+
+// Axis varies one scenario field across a sweep. Exactly one of Values or
+// the From/To/Step range must be given; ranges are integer-only and
+// inclusive of To when the step lands on it.
+type Axis struct {
+	// Field is the canonical JSON name of the scenario field to vary:
+	// "engine", "mobility" (string-valued), or "nodes", "agents",
+	// "radius", "seed", "source", "max_steps", "reps", "preys", "rumors"
+	// (integer-valued).
+	Field string `json:"field"`
+	// Values lists the axis values explicitly: JSON numbers (integral)
+	// for numeric fields, strings for enum fields.
+	Values []any `json:"values,omitempty"`
+	// From, To, Step describe an inclusive integer range as an
+	// alternative to Values (numeric fields only). Step must be positive.
+	From *int64 `json:"from,omitempty"`
+	To   *int64 `json:"to,omitempty"`
+	Step *int64 `json:"step,omitempty"`
+}
+
+// Spec declares one parameter sweep: a base scenario and the axes that
+// vary it. Like scenario specs, sweep specs are plain data — they marshal
+// to JSON, validate without side effects, expand deterministically, and
+// hash to a canonical content address of the expanded point set.
+type Spec struct {
+	// Label is an optional human-readable name; like scenario labels it
+	// never enters the content hash.
+	Label string `json:"label,omitempty"`
+	// Base is the scenario every point starts from. It is validated only
+	// as part of the expanded points, so fields an axis always overrides
+	// may be left zero.
+	Base scenario.Spec `json:"base"`
+	// Axes lists the varied fields; at least one is required (a sweep
+	// without axes is just a scenario).
+	Axes []Axis `json:"axes"`
+	// Mode selects how the axes combine: ModeCartesian (default) or
+	// ModeZip.
+	Mode string `json:"mode,omitempty"`
+	// Fit optionally names a numeric axis to fit a log-log power law of
+	// the per-point median steps against — the scaling-law check the
+	// paper's Θ̃ statements call for.
+	Fit string `json:"fit,omitempty"`
+}
+
+// Point is one expanded sweep coordinate: the axis values that produced
+// it and the resulting canonical scenario.
+type Point struct {
+	// Index is the point's position in expansion order.
+	Index int `json:"index"`
+	// Values holds the axis values in axis order (int64 or string).
+	Values []any `json:"values"`
+	// Spec is the point's canonical scenario spec.
+	Spec scenario.Spec `json:"spec"`
+	// Hash is the point's canonical scenario content hash — the key the
+	// result cache dedupes it under.
+	Hash string `json:"hash"`
+}
+
+// fieldDef describes one sweepable scenario field.
+type fieldDef struct {
+	numeric bool
+	set     func(s *scenario.Spec, n int64)
+	setText func(s *scenario.Spec, v string)
+}
+
+// fields enumerates the sweepable scenario fields by canonical JSON name.
+// Label and parallelism are deliberately absent: both are execution-only
+// and would expand to points with identical content hashes.
+var fields = map[string]fieldDef{
+	"engine":    {setText: func(s *scenario.Spec, v string) { s.Engine = v }},
+	"mobility":  {setText: func(s *scenario.Spec, v string) { s.Mobility = v }},
+	"nodes":     {numeric: true, set: func(s *scenario.Spec, n int64) { s.Nodes = int(n) }},
+	"agents":    {numeric: true, set: func(s *scenario.Spec, n int64) { s.Agents = int(n) }},
+	"radius":    {numeric: true, set: func(s *scenario.Spec, n int64) { s.Radius = int(n) }},
+	"seed":      {numeric: true, set: func(s *scenario.Spec, n int64) { s.Seed = uint64(n) }},
+	"source":    {numeric: true, set: func(s *scenario.Spec, n int64) { s.Source = int(n) }},
+	"max_steps": {numeric: true, set: func(s *scenario.Spec, n int64) { s.MaxSteps = int(n) }},
+	"reps":      {numeric: true, set: func(s *scenario.Spec, n int64) { s.Reps = int(n) }},
+	"preys":     {numeric: true, set: func(s *scenario.Spec, n int64) { s.Preys = int(n) }},
+	"rumors":    {numeric: true, set: func(s *scenario.Spec, n int64) { s.Rumors = int(n) }},
+}
+
+// Fields returns the sweepable scenario field names, sorted.
+func Fields() []string {
+	out := make([]string, 0, len(fields))
+	for name := range fields {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse decodes a sweep Spec from JSON, rejecting unknown fields and
+// trailing data, mirroring scenario.Parse.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, fmt.Errorf("sweep: trailing data after the spec")
+	}
+	return s, nil
+}
+
+// normalizeValue coerces one axis value to its canonical representation:
+// int64 for numeric fields (JSON numbers arrive as float64 and must be
+// integral), string for enum fields.
+func normalizeValue(field string, def fieldDef, v any) (any, error) {
+	if def.numeric {
+		switch n := v.(type) {
+		case int:
+			return int64(n), nil
+		case int32:
+			return int64(n), nil
+		case int64:
+			return n, nil
+		case uint64:
+			if n > math.MaxInt64 {
+				return nil, fmt.Errorf("sweep: axis %q value %d overflows", field, n)
+			}
+			return int64(n), nil
+		case float64:
+			if n != math.Trunc(n) || math.Abs(n) >= 1<<53 {
+				return nil, fmt.Errorf("sweep: axis %q value %v is not an integer", field, n)
+			}
+			return int64(n), nil
+		default:
+			return nil, fmt.Errorf("sweep: axis %q needs integer values, got %T", field, v)
+		}
+	}
+	s, ok := v.(string)
+	if !ok {
+		return nil, fmt.Errorf("sweep: axis %q needs string values, got %T", field, v)
+	}
+	return s, nil
+}
+
+// axisValues resolves an axis to its normalized value list.
+func axisValues(a Axis) ([]any, error) {
+	def, ok := fields[a.Field]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown axis field %q (want one of %s)", a.Field, strings.Join(Fields(), "|"))
+	}
+	hasRange := a.From != nil || a.To != nil || a.Step != nil
+	if len(a.Values) > 0 && hasRange {
+		return nil, fmt.Errorf("sweep: axis %q gives both values and a range", a.Field)
+	}
+	if len(a.Values) > 0 {
+		out := make([]any, len(a.Values))
+		for i, v := range a.Values {
+			nv, err := normalizeValue(a.Field, def, v)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = nv
+		}
+		return out, nil
+	}
+	if !hasRange {
+		return nil, fmt.Errorf("sweep: axis %q has no values and no range", a.Field)
+	}
+	if !def.numeric {
+		return nil, fmt.Errorf("sweep: axis %q is not numeric, ranges need integer fields", a.Field)
+	}
+	if a.From == nil || a.To == nil || a.Step == nil {
+		return nil, fmt.Errorf("sweep: axis %q range needs all of from, to and step", a.Field)
+	}
+	if *a.Step <= 0 {
+		return nil, fmt.Errorf("sweep: axis %q step must be positive, got %d", a.Field, *a.Step)
+	}
+	if *a.To < *a.From {
+		return nil, fmt.Errorf("sweep: axis %q range is empty (from %d > to %d)", a.Field, *a.From, *a.To)
+	}
+	var out []any
+	for v := *a.From; v <= *a.To; v += *a.Step {
+		out = append(out, v)
+		if len(out) > MaxPoints {
+			return nil, fmt.Errorf("sweep: axis %q range exceeds %d values", a.Field, MaxPoints)
+		}
+	}
+	return out, nil
+}
+
+// mode returns the canonical combination mode.
+func (s Spec) mode() string {
+	if strings.TrimSpace(s.Mode) == "" {
+		return ModeCartesian
+	}
+	return strings.ToLower(strings.TrimSpace(s.Mode))
+}
+
+// Validate checks the sweep's structure: known, non-duplicate axis
+// fields, well-formed values or ranges, matching lengths under zip mode,
+// a known fit axis, and an expansion within MaxPoints. It does not
+// canonicalise the individual points — Expand does, and reports the first
+// offending point by index.
+func (s Spec) Validate() error {
+	_, err := s.resolveAxes()
+	return err
+}
+
+// resolveAxes validates the structure and returns the normalized value
+// list of every axis.
+func (s Spec) resolveAxes() ([][]any, error) {
+	if len(s.Axes) == 0 {
+		return nil, fmt.Errorf("sweep: no axes (a sweep without axes is just a scenario)")
+	}
+	switch s.mode() {
+	case ModeCartesian, ModeZip:
+	default:
+		return nil, fmt.Errorf("sweep: unknown mode %q (want %s|%s)", s.Mode, ModeCartesian, ModeZip)
+	}
+	seen := map[string]bool{}
+	vals := make([][]any, len(s.Axes))
+	for i, a := range s.Axes {
+		if seen[a.Field] {
+			return nil, fmt.Errorf("sweep: duplicate axis field %q", a.Field)
+		}
+		seen[a.Field] = true
+		v, err := axisValues(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	total := 1
+	if s.mode() == ModeZip {
+		for i := range vals {
+			if len(vals[i]) != len(vals[0]) {
+				return nil, fmt.Errorf("sweep: zip mode needs equal-length axes, %q has %d values but %q has %d",
+					s.Axes[i].Field, len(vals[i]), s.Axes[0].Field, len(vals[0]))
+			}
+		}
+		total = len(vals[0])
+	} else {
+		for i := range vals {
+			if total > MaxPoints/len(vals[i]) {
+				return nil, fmt.Errorf("sweep: expansion exceeds %d points", MaxPoints)
+			}
+			total *= len(vals[i])
+		}
+	}
+	if total > MaxPoints {
+		return nil, fmt.Errorf("sweep: expansion of %d points exceeds %d", total, MaxPoints)
+	}
+	if s.Fit != "" {
+		found := false
+		for _, a := range s.Axes {
+			if a.Field == s.Fit {
+				def := fields[a.Field]
+				if !def.numeric {
+					return nil, fmt.Errorf("sweep: fit axis %q is not numeric", s.Fit)
+				}
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sweep: fit names %q, which is not an axis", s.Fit)
+		}
+	}
+	return vals, nil
+}
+
+// AxisFields returns the axis field names in axis order.
+func (s Spec) AxisFields() []string {
+	out := make([]string, len(s.Axes))
+	for i, a := range s.Axes {
+		out[i] = a.Field
+	}
+	return out
+}
+
+// Expand validates the sweep and expands it into its points, in
+// deterministic order: zip position order, or the cartesian product with
+// the first axis slowest. Every point is canonicalised (and therefore
+// fully validated); the first invalid point fails the whole expansion
+// with its index and axis coordinates.
+func (s Spec) Expand() ([]Point, error) {
+	vals, err := s.resolveAxes()
+	if err != nil {
+		return nil, err
+	}
+	total := 1
+	if s.mode() == ModeZip {
+		total = len(vals[0])
+	} else {
+		for _, v := range vals {
+			total *= len(v)
+		}
+	}
+	points := make([]Point, 0, total)
+	for idx := 0; idx < total; idx++ {
+		pv := make([]any, len(vals))
+		if s.mode() == ModeZip {
+			for ai := range vals {
+				pv[ai] = vals[ai][idx]
+			}
+		} else {
+			rem := idx
+			for ai := len(vals) - 1; ai >= 0; ai-- {
+				rem, pv[ai] = rem/len(vals[ai]), vals[ai][rem%len(vals[ai])]
+			}
+		}
+		spec := s.Base
+		for ai, v := range pv {
+			def := fields[s.Axes[ai].Field]
+			if def.numeric {
+				def.set(&spec, v.(int64))
+			} else {
+				def.setText(&spec, v.(string))
+			}
+		}
+		c, err := spec.Canonical()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", idx, coordString(s.AxisFields(), pv), err)
+		}
+		hash, err := scenario.HashCanonical(c)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", idx, err)
+		}
+		points = append(points, Point{Index: idx, Values: pv, Spec: c, Hash: hash})
+	}
+	return points, nil
+}
+
+// coordString renders a point's axis coordinates for error messages.
+func coordString(fields []string, values []any) string {
+	parts := make([]string, len(fields))
+	for i := range fields {
+		parts[i] = fmt.Sprintf("%s=%v", fields[i], values[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// DistinctPoint groups the expanded points that canonicalise to one
+// scenario: the first-occurring Point plus the indices of every point
+// sharing its hash.
+type DistinctPoint struct {
+	// Point is the group's first occurrence in expansion order.
+	Point
+	// Indices lists all point indices sharing the hash, ascending.
+	Indices []int
+}
+
+// Distinct groups an expanded point set by content hash, in
+// first-occurrence (= ascending index) order. Both execution paths — the
+// library pool and the simulation service's dispatcher — run one
+// simulation per group and fan the result back out, so the grouping must
+// stay shared or their byte-identical results could diverge.
+func Distinct(points []Point) []DistinctPoint {
+	byHash := map[string]int{}
+	var out []DistinctPoint
+	for _, p := range points {
+		if ui, ok := byHash[p.Hash]; ok {
+			out[ui].Indices = append(out[ui].Indices, p.Index)
+			continue
+		}
+		byHash[p.Hash] = len(out)
+		out = append(out, DistinctPoint{Point: p, Indices: []int{p.Index}})
+	}
+	return out
+}
+
+// HashPoints returns the sweep content hash of an expanded point set: the
+// hex SHA-256 over the sorted multiset of point hashes. Sorting makes the
+// hash independent of expansion order, so the same grid of simulations
+// declared with axes (or axis values) in a different order — or expanded
+// cartesian versus zipped — addresses the same content.
+func HashPoints(points []Point) string {
+	hs := make([]string, len(points))
+	for i, p := range points {
+		hs[i] = p.Hash
+	}
+	sort.Strings(hs)
+	h := sha256.New()
+	for _, s := range hs {
+		h.Write([]byte(s))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Hash expands the sweep and returns its content hash; see HashPoints.
+func (s Spec) Hash() (string, error) {
+	points, err := s.Expand()
+	if err != nil {
+		return "", err
+	}
+	return HashPoints(points), nil
+}

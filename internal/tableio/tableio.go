@@ -1,10 +1,14 @@
-// Package tableio renders the experiment result tables in the three forms
-// the repository emits: aligned plain text (terminal), Markdown
-// (EXPERIMENTS.md) and CSV (results/ directory, for external tooling).
+// Package tableio renders the result tables of the experiment and sweep
+// layers in the four forms the repository emits: aligned plain text
+// (terminal), Markdown (EXPERIMENTS.md), CSV and JSON (results/ directory
+// and the sweep CLI/service, for external tooling). The CSV and JSON
+// encodings are deterministic functions of the table, pinned by golden
+// files in testdata/.
 package tableio
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -180,4 +184,25 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// jsonTable is the JSON encoding of a Table: title, column names and the
+// row cells as rendered strings, exactly as the CSV form would emit them.
+type jsonTable struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteJSON renders the table as a JSON object {title, columns, rows}.
+// Cells keep the table's rendered string form so the JSON and CSV
+// encodings of a table always agree cell for cell.
+func (t *Table) WriteJSON(w io.Writer) error {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTable{Title: t.Title, Columns: t.Columns, Rows: rows})
 }

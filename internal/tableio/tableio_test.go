@@ -1,6 +1,12 @@
 package tableio
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -114,5 +120,92 @@ func TestRowsLongerThanHeader(t *testing.T) {
 	out := tb.Text()
 	if !strings.Contains(out, "3") {
 		t.Errorf("extra cells dropped: %q", out)
+	}
+}
+
+// sweepTable builds a fixed table shaped exactly like the sweep layer's
+// Result.Table() output (axis columns first, then replicate statistics),
+// the form the golden files pin.
+func sweepTable() *Table {
+	t := NewTable("sweep 9f86d081884c",
+		"agents", "mobility", "reps", "mean_steps", "stddev", "median",
+		"ci95_low", "ci95_high", "all_completed", "hash")
+	t.AddRow(8, "lazy", 4, 2048.25, 101.5, 2040.0, 1948.78, 2147.72, true, "9f86d081884c")
+	t.AddRow(8, "ballistic", 4, 1765.5, 88.875, 1760.0, 1678.42, 1852.58, true, "60303ae22b99")
+	t.AddRow(32, "lazy", 4, 1024.75, 55.0625, 1020.0, 970.79, 1078.71, false, "fd61a03af4f7")
+	t.AddRow(32, "ballistic", 4, 880.0, 41.125, 876.5, 839.7, 920.3, true, "a4e624d686e0")
+	return t
+}
+
+// TestSweepTableGoldens pins the CSV and JSON encodings of a sweep table
+// to golden files: any change to cell formatting or encoding shape is a
+// visible diff in testdata/, not a silent behaviour change for consumers
+// of `mobisim -sweep -csv` or the sweep service payloads.
+func TestSweepTableGoldens(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		golden string
+		render func(*Table, io.Writer) error
+	}{
+		{"sweep_table.csv", func(tb *Table, w io.Writer) error { return tb.WriteCSV(w) }},
+		{"sweep_table.json", func(tb *Table, w io.Writer) error { return tb.WriteJSON(w) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.golden, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := tc.render(sweepTable(), &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden file missing (regenerate by writing buf): %v", err)
+			}
+			if buf.String() != string(want) {
+				t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestJSONMatchesCSVCells guards the invariant the golden files rely on:
+// the JSON rows are exactly the CSV cells.
+func TestJSONMatchesCSVCells(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	tb := sample()
+	if decoded.Title != tb.Title {
+		t.Errorf("title %q", decoded.Title)
+	}
+	if !reflect.DeepEqual(decoded.Columns, tb.Columns) {
+		t.Errorf("columns %v", decoded.Columns)
+	}
+	if !reflect.DeepEqual(decoded.Rows, tb.Rows) {
+		t.Errorf("rows %v != %v", decoded.Rows, tb.Rows)
+	}
+}
+
+func TestWriteJSONEmptyTable(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := NewTable("", "a", "b").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows": []`) {
+		t.Errorf("empty table rows not an empty array:\n%s", buf.String())
 	}
 }

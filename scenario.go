@@ -169,24 +169,5 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &ScenarioResult{
-		Engine:       res.Engine,
-		Hash:         res.Hash,
-		Reps:         make([]ScenarioRep, len(res.Reps)),
-		MeanSteps:    res.MeanSteps,
-		AllCompleted: res.AllCompleted,
-	}
-	for i, r := range res.Reps {
-		out.Reps[i] = ScenarioRep{
-			Seed:          r.Seed,
-			Steps:         r.Steps,
-			Completed:     r.Completed,
-			Source:        r.Source,
-			CoverageSteps: r.CoverageSteps,
-			Covered:       r.Covered,
-			Survivors:     r.Survivors,
-			Curve:         r.Curve,
-		}
-	}
-	return out, nil
+	return fromScenarioResult(res), nil
 }

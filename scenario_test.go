@@ -40,11 +40,18 @@ func TestRunScenarioAllEngines(t *testing.T) {
 		engine := engine
 		t.Run(engine, func(t *testing.T) {
 			t.Parallel()
-			res, err := RunScenario(Scenario{Engine: engine, Nodes: 256, Agents: 8, Seed: 1})
+			sc := Scenario{Engine: engine, Nodes: 256, Agents: 8, Seed: 1}
+			if engine == "meeting" {
+				// The meeting engine needs a separation d >= 1, and a
+				// single trial may legitimately end without a meeting —
+				// the completed fraction IS the measurement.
+				sc.Radius = 4
+			}
+			res, err := RunScenario(sc)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !res.AllCompleted {
+			if engine != "meeting" && !res.AllCompleted {
 				t.Errorf("%s did not complete", engine)
 			}
 		})

@@ -11,15 +11,23 @@
 // overlapping sweeps are answered point by point without re-running
 // anything.
 //
+// Scenarios with an `observe` block record per-step time series
+// (informed count, component structure, coverage; see internal/obs), and
+// GET /v1/results/{hash}/series streams the across-replicate aggregate as
+// NDJSON — byte-identical to a library or `mobisim -series-out -` render
+// of the same scenario, and cached through the same LRU.
+//
 // Usage:
 //
-//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024
+//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024 -series-points 1048576
 //
 // Quickstart:
 //
 //	curl -s localhost:8080/v1/run -d '{"engine":"broadcast","nodes":16384,"agents":64,"seed":1}'
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s localhost:8080/v1/results/<hash>
+//	curl -s localhost:8080/v1/run -d '{"engine":"broadcast","nodes":16384,"agents":64,"seed":1,"observe":{"observables":["informed"],"every":4}}'
+//	curl -s localhost:8080/v1/results/<hash>/series
 //	curl -s localhost:8080/v1/sweeps -d '{"base":{"engine":"broadcast","nodes":16384,"agents":64,"seed":1},"axes":[{"field":"agents","values":[16,64,256]}]}'
 //	curl -s localhost:8080/v1/sweeps/sweep-1
 //	curl -s localhost:8080/metrics
@@ -54,25 +62,27 @@ func main() {
 func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("mobiserved", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", ":8080", "listen address")
-		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue       = fs.Int("queue", 0, "run-queue depth in replicate tasks (0 = 256)")
-		cache       = fs.Int("cache", 0, "result-cache entries (0 = 256)")
-		sweepPoints = fs.Int("sweep-points", 0, "max expanded points per submitted sweep (0 = 1024)")
-		grace       = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "run-queue depth in replicate tasks (0 = 256)")
+		cache        = fs.Int("cache", 0, "result-cache entries (0 = 256)")
+		sweepPoints  = fs.Int("sweep-points", 0, "max expanded points per submitted sweep (0 = 1024)")
+		seriesPoints = fs.Int("series-points", 0, "max recorded series points per replicate of an observed scenario (0 = 1048576)")
+		grace        = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 0 || *queue < 0 || *cache < 0 || *sweepPoints < 0 {
-		return fmt.Errorf("workers, queue, cache and sweep-points must be non-negative")
+	if *workers < 0 || *queue < 0 || *cache < 0 || *sweepPoints < 0 || *seriesPoints < 0 {
+		return fmt.Errorf("workers, queue, cache, sweep-points and series-points must be non-negative")
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	return serve(ctx, l, simserve.Config{
-		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache, MaxSweepPoints: *sweepPoints,
+		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
+		MaxSweepPoints: *sweepPoints, MaxSeriesPoints: *seriesPoints,
 	}, *grace, out)
 }
 

@@ -16,6 +16,16 @@
 //	mobisim -sweep sweep.json                  # table to stdout
 //	mobisim -sweep sweep.json -table out.csv   # also export CSV (.json for a JSON table)
 //	mobisim -sweep sweep.json -json            # full sweep result as JSON
+//	mobisim -observe informed -series-out -    # per-step series as NDJSON to stdout
+//	mobisim -observe informed,coverage -observe-every 4 -reps 8 -series-out series.csv
+//
+// Observation (-observe) records per-step time series — the
+// dissemination-front curves behind the paper's figures — through the
+// scenario's observe block: the same request a -spec file spells as
+// {"observe":{...}} and mobiserved serves at /v1/results/{hash}/series.
+// -series-out renders the across-replicate aggregate: "-" streams NDJSON
+// to stdout (byte-identical to the library and service renders), a .csv
+// or .json path exports the tabular form.
 //
 // Models: broadcast (default), gossip, frog, coverage (alias: cover),
 // predator (alias: extinction), meeting (one Lemma 3 trial per replicate;
@@ -71,6 +81,10 @@ func run(args []string) error {
 		preys    = fs.Int("preys", 0, "prey count for -model predator (default k)")
 		reps     = fs.Int("reps", 1, "replicates (position-derived seeds; prints the mean)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve (broadcast only)")
+		observe  = fs.String("observe", "", "comma-separated per-step observables to record: informed|components|largest_component|coverage|meeting")
+		obsEvery = fs.Int("observe-every", 0, "observation cadence in steps (0 = every step; needs -observe)")
+		obsMax   = fs.Int("observe-max", 0, "max recorded series points per replicate, stride doubling past it (0 = uncapped; needs -observe)")
+		series   = fs.String("series-out", "", "write the aggregated series: '-' = NDJSON to stdout, a .csv/.json path = table export")
 		specPath = fs.String("spec", "", "run a scenario spec JSON file instead of assembling one from flags")
 		sweepIn  = fs.String("sweep", "", "run a sweep spec JSON file (base scenario + axes) through the sweep subsystem")
 		tableOut = fs.String("table", "", "with -sweep: export the sweep table to this file (.csv or .json)")
@@ -90,12 +104,18 @@ func run(args []string) error {
 	defer stopProfiles()
 	engine := canonicalEngine(strings.ToLower(strings.TrimSpace(*model)))
 
+	if *observe == "" && (*obsEvery != 0 || *obsMax != 0) {
+		return fmt.Errorf("-observe-every and -observe-max need -observe (or an observe block in -spec)")
+	}
+
 	if *sweepIn != "" {
 		switch {
 		case *specPath != "":
 			return fmt.Errorf("-sweep cannot be combined with -spec (the sweep file carries its own base scenario)")
 		case *traceOut != "":
 			return fmt.Errorf("-trace is not supported with -sweep")
+		case *observe != "" || *series != "":
+			return fmt.Errorf("-observe/-series-out are single-scenario flags; put an observe block in the sweep's base scenario instead")
 		}
 		return runSweepFile(*sweepIn, *tableOut, *jsonOut)
 	}
@@ -113,6 +133,9 @@ func run(args []string) error {
 		if *reps != 1 {
 			return fmt.Errorf("-reps is not supported with -trace recording")
 		}
+		if *observe != "" || *series != "" {
+			return fmt.Errorf("-observe/-series-out are not supported with -trace recording")
+		}
 	}
 
 	if isTraceMobility(*mobSpec) {
@@ -127,10 +150,14 @@ func run(args []string) error {
 		if *reps != 1 {
 			return fmt.Errorf("-reps is not supported with trace mobility (the replicate schedule is a scenario feature)")
 		}
+		if *observe != "" || *series != "" {
+			return fmt.Errorf("-observe/-series-out are not supported with trace mobility (observation is a scenario feature)")
+		}
 		return runTraceMobility(engine, *n, *k, *r, *seed, *mobSpec, *preys, *curve, *traceOut)
 	}
 
-	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *par, *curve)
+	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *par, *curve,
+		*observe, *obsEvery, *obsMax)
 	if err != nil {
 		return err
 	}
@@ -138,11 +165,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// -series-out conflicts are statically knowable from the canonical
+	// spec; fail before the (possibly long) run, next to the other guards.
+	if *series != "" {
+		if *series == "-" && *jsonOut {
+			return fmt.Errorf("-series-out - and -json both write stdout; give -series-out a file path")
+		}
+		if sc.Observe == nil {
+			return fmt.Errorf("-series-out: the scenario observes nothing (add -observe or an observe block the %s engine supports)", sc.Engine)
+		}
+	}
 	net, err := mobilenet.New(sc.Nodes, sc.Agents, mobilenet.WithScenario(sc))
 	if err != nil {
 		return err
 	}
-	if !*jsonOut {
+	// NDJSON-to-stdout mode keeps stdout machine-clean, like -json: the
+	// human header and result lines are suppressed so the stream is
+	// exactly the canonical series bytes.
+	if !*jsonOut && *series != "-" {
 		hash, err := sc.Hash()
 		if err != nil {
 			return err
@@ -172,12 +212,57 @@ func run(args []string) error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		// quiet: -json promises machine-clean stdout.
+		return writeSeriesOut(res, *series, true)
 	}
-	printEngineResult(net, sc.Engine, res.Reps[0], *curve)
-	if len(res.Reps) > 1 {
-		fmt.Printf("reps: %d  mean steps: %.1f  all completed: %v\n",
-			len(res.Reps), res.MeanSteps, res.AllCompleted)
+	if *series != "-" {
+		printEngineResult(net, sc.Engine, res.Reps[0], *curve)
+		if len(res.Reps) > 1 {
+			fmt.Printf("reps: %d  mean steps: %.1f  all completed: %v\n",
+				len(res.Reps), res.MeanSteps, res.AllCompleted)
+		}
+	}
+	return writeSeriesOut(res, *series, false)
+}
+
+// writeSeriesOut renders the scenario's aggregated series per the
+// -series-out flag: nothing when unset, the canonical NDJSON stream on
+// "-", or a CSV/JSON table export by file extension. quiet suppresses the
+// human confirmation line (-json keeps stdout machine-clean).
+func writeSeriesOut(res *mobilenet.ScenarioResult, path string, quiet bool) error {
+	if path == "" {
+		return nil
+	}
+	if len(res.Series) == 0 {
+		// Unreachable after the pre-run observe check; kept defensive.
+		return fmt.Errorf("-series-out: the scenario observed nothing")
+	}
+	if path == "-" {
+		return res.WriteSeriesNDJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		err = res.WriteSeriesTableJSON(f)
+	case strings.HasSuffix(path, ".csv"):
+		err = res.WriteSeriesCSV(f)
+	default:
+		err = res.WriteSeriesNDJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("series: %s\n", path)
 	}
 	return nil
 }
@@ -239,7 +324,16 @@ func runSweepFile(path, tableOut string, jsonOut bool) error {
 // buildScenario assembles the scenario from -spec or from the individual
 // flags. Flags explicitly set alongside -spec override the file's fields.
 func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed uint64,
-	mobSpec string, preys, reps, par int, curve bool) (mobilenet.Scenario, error) {
+	mobSpec string, preys, reps, par int, curve bool,
+	observe string, obsEvery, obsMax int) (mobilenet.Scenario, error) {
+	var observation *mobilenet.Observation
+	if observe != "" {
+		observation = &mobilenet.Observation{
+			Observables: strings.Split(observe, ","),
+			Every:       obsEvery,
+			MaxPoints:   obsMax,
+		}
+	}
 	sc := mobilenet.Scenario{
 		Engine:      engine,
 		Nodes:       n,
@@ -249,6 +343,7 @@ func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed 
 		Mobility:    mobSpec,
 		Preys:       preys,
 		Reps:        reps,
+		Observe:     observation,
 		Parallelism: par,
 	}
 	if specPath != "" {
@@ -288,6 +383,9 @@ func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed 
 		}
 		if set["par"] {
 			fromFile.Parallelism = par
+		}
+		if set["observe"] {
+			fromFile.Observe = observation
 		}
 		sc = fromFile
 	}

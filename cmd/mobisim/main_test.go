@@ -229,7 +229,7 @@ func TestRunSweepFile(t *testing.T) {
 // they must parse, validate and expand.
 func TestExampleSweepFilesAreRunnable(t *testing.T) {
 	t.Parallel()
-	for _, name := range []string{"e1_k_sweep.json", "mobility_contrast.json"} {
+	for _, name := range []string{"e1_k_sweep.json", "mobility_contrast.json", "observe_informed.json"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

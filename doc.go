@@ -92,7 +92,8 @@
 // # Package tree
 //
 // Public API (this package): mobilenet.go (Network, options, engines),
-// scenario.go (Scenario specs), sweep.go (Sweep specs), doc.go.
+// scenario.go (Scenario specs), sweep.go (Sweep specs), observe.go
+// (per-step observation: Observation, WithObservations, Series), doc.go.
 //
 // Commands:
 //
@@ -114,6 +115,9 @@
 //   - internal/core, internal/frog, internal/coverage,
 //     internal/predator, internal/meeting, internal/barrier — the
 //     dissemination engines and lemma probes
+//   - internal/obs — the per-step observation pipeline: time-series
+//     observables recorded with zero step-loop allocation, aggregated
+//     across replicates, rendered as NDJSON/CSV
 //   - internal/scenario — declarative specs, canonicalisation, content
 //     hashes, the Runner registry
 //   - internal/sweep — declarative parameter sweeps over scenarios

@@ -4,6 +4,7 @@ import (
 	"mobilenet/internal/agent"
 	"mobilenet/internal/bitset"
 	"mobilenet/internal/grid"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/visibility"
 )
@@ -33,6 +34,11 @@ type Broadcast struct {
 	compScratch []bool // per-component informed flags, reused across steps
 
 	coverageStep int // first step with |I(t)| = n; -1 until then
+
+	obsr        *obs.Recorder
+	sizeScratch []int32 // component-size buffer for the largest observable
+	lastComps   int     // component count at the last observed step
+	lastLargest int     // largest component size at the last observed step
 }
 
 // NewBroadcast validates cfg, places the population and performs the time-0
@@ -57,6 +63,7 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 		informed:     make([]bool, cfg.K),
 		coverageStep: -1,
 		frontierX:    -1,
+		obsr:         cfg.Observer,
 	}
 	b.src = cfg.Source
 	if b.src == SourceRandom {
@@ -64,8 +71,11 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 	}
 	b.informed[b.src] = true
 	b.informedCount = 1
-	if cfg.TrackInformedArea || cfg.RecordFrontier {
+	if cfg.TrackInformedArea || cfg.RecordFrontier || (b.obsr != nil && b.obsr.NeedsCoverage()) {
 		b.area = bitset.New(cfg.Grid.N())
+	}
+	if b.obsr != nil && b.obsr.NeedsComponents() {
+		b.sizeScratch = make([]int32, 0, cfg.K)
 	}
 	if cfg.CellSide > 0 {
 		b.cells = newCellTracker(cfg.Grid, cfg.CellSide)
@@ -83,11 +93,23 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 // coverage-continuation phase only needs positions), unless component
 // statistics were requested.
 func (b *Broadcast) exchange() {
-	if b.cfg.TrackComponents || b.informedCount < b.pop.K() {
+	// An observer wanting component observables at this step forces the
+	// labelling even in the coverage-continuation phase, where it is
+	// otherwise skipped once everyone is informed.
+	observeComps := b.obsr != nil && b.obsr.NeedsComponents() && b.obsr.Wants(b.pop.Time())
+	if b.cfg.TrackComponents || observeComps || b.informedCount < b.pop.K() {
 		labels, count := b.lab.Components(b.pop.Positions(), b.cfg.Radius)
-		if b.cfg.TrackComponents {
-			if m := visibility.MaxSize(labels, count); m > b.maxComp {
+		if b.cfg.TrackComponents || observeComps {
+			// One size pass serves both the running maximum and the
+			// per-step observables.
+			var m int
+			m, b.sizeScratch = visibility.MaxSizeScratch(labels, count, b.sizeScratch)
+			if b.cfg.TrackComponents && m > b.maxComp {
 				b.maxComp = m
+			}
+			if observeComps {
+				b.lastComps = count
+				b.lastLargest = m
 			}
 		}
 		if b.informedCount < b.pop.K() {
@@ -146,6 +168,19 @@ func (b *Broadcast) record() {
 	}
 	if b.cfg.RecordFrontier {
 		b.frontier = append(b.frontier, b.frontierX)
+	}
+	if t := b.pop.Time(); b.obsr != nil && b.obsr.Wants(t) {
+		covered := 0
+		if b.area != nil {
+			covered = b.area.Len()
+		}
+		b.obsr.Record(t, obs.Sample{
+			Informed:   b.informedCount,
+			Components: b.lastComps,
+			Largest:    b.lastLargest,
+			Covered:    covered,
+			Nodes:      b.pop.Grid().N(),
+		})
 	}
 }
 
@@ -229,7 +264,12 @@ func (b *Broadcast) Run() BroadcastResult {
 		CoverageSteps: -1,
 		MaxComponent:  b.maxComp,
 	}
-	if b.area != nil {
+	// The coverage continuation is keyed on the config flags, not on
+	// b.area: an observer that merely records the coverage fraction
+	// allocates the area bitset too, but must not change the run's
+	// semantics (no continuation past full dissemination, CoverageSteps
+	// stays -1).
+	if b.cfg.TrackInformedArea || b.cfg.RecordFrontier {
 		for b.coverageStep < 0 && b.pop.Time() < stepCap {
 			b.Step()
 		}

@@ -13,6 +13,7 @@ import (
 
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/theory"
 	"mobilenet/internal/visibility"
 )
@@ -68,6 +69,17 @@ type Config struct {
 	// l = sqrt(14 n log³n / (c3 k))). See theory.CellSide for the paper's
 	// value.
 	CellSide int
+
+	// Observer, when non-nil, receives a per-step observation sample after
+	// every exchange (including the time-0 one), at the recorder's own
+	// cadence. Observables the engine cannot fill are recorded as zero;
+	// requesting component observables forces component labelling even in
+	// phases the engine could otherwise skip it, and requesting coverage
+	// forces informed-area tracking (but never the coverage-continuation
+	// phase — run semantics are unchanged). A capped recorder allocates
+	// nothing in the step loop; an uncapped one only on amortised slab
+	// growth (see obs.Recorder.Record).
+	Observer *obs.Recorder
 
 	// Placement, when non-nil, overrides the mobility model's initial
 	// placement with explicit agent positions (len == K, all on-grid).

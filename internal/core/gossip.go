@@ -5,6 +5,7 @@ import (
 
 	"mobilenet/internal/agent"
 	"mobilenet/internal/bitset"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/visibility"
 )
@@ -25,6 +26,8 @@ type Gossip struct {
 	haveAll int           // number of agents knowing all rumors
 	scratch *bitset.Set   // component-union accumulator
 	members [][]int32     // component membership scratch, indexed by label
+
+	obsr *obs.Recorder
 }
 
 // NewGossip starts the all-to-all problem (one rumor per agent) and
@@ -61,6 +64,7 @@ func NewPartialGossip(cfg Config, rumors int) (*Gossip, error) {
 		total:   rumors,
 		rumors:  make([]*bitset.Set, cfg.K),
 		scratch: bitset.New(rumors),
+		obsr:    cfg.Observer,
 	}
 	for i := range g.rumors {
 		g.rumors[i] = bitset.New(rumors)
@@ -126,6 +130,21 @@ func (g *Gossip) exchange() {
 				g.haveAll++
 			}
 		}
+	}
+	if t := g.pop.Time(); g.obsr != nil && g.obsr.Wants(t) {
+		largest := 0
+		if g.obsr.NeedsComponents() {
+			for _, m := range g.members {
+				if len(m) > largest {
+					largest = len(m)
+				}
+			}
+		}
+		g.obsr.Record(t, obs.Sample{
+			Informed:   g.haveAll,
+			Components: count,
+			Largest:    largest,
+		})
 	}
 }
 

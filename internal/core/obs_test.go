@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"mobilenet/internal/grid"
+	"mobilenet/internal/obs"
+)
+
+// observedBroadcast builds a broadcast with every broadcast observable
+// enabled and the recorder capped, for the allocation pins below.
+func observedBroadcast(tb testing.TB, k int) (*Broadcast, *obs.Recorder) {
+	tb.Helper()
+	rec := obs.NewRecorder(obs.Spec{
+		Observables: []string{obs.Informed, obs.Components, obs.Largest, obs.Coverage},
+		Every:       1,
+		MaxPoints:   512,
+	})
+	b, err := NewBroadcast(Config{
+		Grid:        grid.MustNew(64),
+		K:           k,
+		Radius:      1,
+		Seed:        7,
+		Source:      0,
+		Parallelism: 1,
+		Observer:    rec,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b, rec
+}
+
+// TestObservedStepNoAllocs pins the tentpole's acceptance criterion: with
+// observation enabled (all four broadcast observables, cadence 1), the
+// steady-state step loop performs zero allocations per step.
+func TestObservedStepNoAllocs(t *testing.T) {
+	b, _ := observedBroadcast(t, 64)
+	// Warm up: grow the labeller and scratch slabs to steady state.
+	for i := 0; i < 64; i++ {
+		b.Step()
+	}
+	allocs := testing.AllocsPerRun(256, func() { b.Step() })
+	if allocs != 0 {
+		t.Errorf("observed broadcast step allocates %.2f per step, want 0", allocs)
+	}
+}
+
+// TestObservedBroadcastSeries sanity-checks the recorded series shape on a
+// full run: informed is monotone non-decreasing from 1 and the coverage
+// fraction stays within [0, 1].
+func TestObservedBroadcastSeries(t *testing.T) {
+	t.Parallel()
+	b, rec := observedBroadcast(t, 32)
+	res := b.Run()
+	if !res.Completed {
+		t.Fatal("broadcast did not complete")
+	}
+	s := rec.Series()
+	informed := s.Values[obs.Informed]
+	if len(informed) == 0 || informed[0] < 1 {
+		t.Fatalf("informed series %v", informed)
+	}
+	for i := 1; i < len(informed); i++ {
+		if informed[i] < informed[i-1] {
+			t.Fatalf("informed series not monotone at %d: %v", i, informed)
+		}
+	}
+	for _, c := range s.Values[obs.Coverage] {
+		if c < 0 || c > 1 {
+			t.Fatalf("coverage fraction %v out of range", c)
+		}
+	}
+	for i, largest := range s.Values[obs.Largest] {
+		if comps := s.Values[obs.Components][i]; largest < 1 || comps < 1 {
+			t.Fatalf("component observables empty at sample %d: largest=%v comps=%v", i, largest, comps)
+		}
+	}
+}
+
+// TestCoverageObservableKeepsRunSemantics is the regression test for the
+// continuation leak: observing the coverage fraction allocates the
+// informed-area bitset, but must not switch the run into the
+// coverage-continuation phase or report a CoverageSteps the config never
+// requested.
+func TestCoverageObservableKeepsRunSemantics(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Grid: grid.MustNew(32), K: 8, Radius: 1, Seed: 5, Source: 0, Parallelism: 1}
+	plain, err := RunBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := cfg
+	observed.Observer = obs.NewRecorder(obs.Spec{Observables: []string{obs.Coverage}, Every: 1})
+	got, err := RunBroadcast(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != plain.Steps || got.Completed != plain.Completed {
+		t.Errorf("observed run diverged: steps %d vs %d", got.Steps, plain.Steps)
+	}
+	if got.CoverageSteps != -1 {
+		t.Errorf("coverage observable leaked CoverageSteps = %d, want -1", got.CoverageSteps)
+	}
+}
+
+// BenchmarkObservedBroadcastStep measures the per-step cost of the fully
+// observed step loop; run with -benchmem to see the zero-allocation
+// contract in the report.
+func BenchmarkObservedBroadcastStep(b *testing.B) {
+	br, _ := observedBroadcast(b, 256)
+	for i := 0; i < 64; i++ {
+		br.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Step()
+	}
+}
+
+// BenchmarkBroadcastStepBaseline is the unobserved twin of the benchmark
+// above, so the observation overhead is a one-line comparison.
+func BenchmarkBroadcastStepBaseline(b *testing.B) {
+	br, err := NewBroadcast(Config{
+		Grid: grid.MustNew(64), K: 256, Radius: 1, Seed: 7, Source: 0, Parallelism: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		br.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Step()
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mobilenet/internal/bitset"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 )
@@ -31,6 +32,10 @@ type Config struct {
 	// Mobility selects the walkers' motion model; nil selects the paper's
 	// lazy walk the §4 cover-time bound is proved for.
 	Mobility mobility.Model
+	// Observer, when non-nil, receives a per-step sample (including t=0)
+	// at the recorder's cadence: the covered-node count as "informed" and
+	// the covered fraction as "coverage".
+	Observer *obs.Recorder
 }
 
 func (c *Config) validate() error {
@@ -95,9 +100,19 @@ func Run(cfg Config) (Result, error) {
 		visited.Add(int(g.ID(pos[i])))
 	}
 	res := Result{}
+	observe := func(t int) {
+		if cfg.Observer != nil && cfg.Observer.Wants(t) {
+			cfg.Observer.Record(t, obs.Sample{
+				Informed: visited.Len(),
+				Covered:  visited.Len(),
+				Nodes:    g.N(),
+			})
+		}
+	}
 	if cfg.RecordCurve {
 		res.Curve = append(res.Curve, visited.Len())
 	}
+	observe(0)
 	stepCap := cfg.maxSteps()
 	t := 0
 	for visited.Len() < g.N() && t < stepCap {
@@ -109,6 +124,7 @@ func Run(cfg Config) (Result, error) {
 		if cfg.RecordCurve {
 			res.Curve = append(res.Curve, visited.Len())
 		}
+		observe(t)
 	}
 	res.Steps = t
 	res.Covered = visited.Len()

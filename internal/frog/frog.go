@@ -13,6 +13,7 @@ import (
 	"mobilenet/internal/agent"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 	"mobilenet/internal/visibility"
@@ -40,6 +41,12 @@ type Config struct {
 	// Parallelism sets the component labeller's worker count (0 = automatic,
 	// 1 = sequential); results are identical at every setting.
 	Parallelism int
+	// Observer, when non-nil, receives a per-step observation sample after
+	// every wake-up pass (including the time-0 one) at the recorder's
+	// cadence: the active count as "informed", plus the component
+	// observables when requested (which force labelling even after the
+	// last sleeper wakes).
+	Observer *obs.Recorder
 }
 
 func (c *Config) validate() error {
@@ -90,6 +97,11 @@ type System struct {
 	nAct   int
 
 	compScratch []bool // per-component active flags, reused across steps
+
+	obsr        *obs.Recorder
+	sizeScratch []int32 // component-size buffer for the largest observable
+	lastComps   int     // component count at the last observed step
+	lastLargest int     // largest component size at the last observed step
 }
 
 // New places the population and wakes the source's component: sleepers
@@ -108,6 +120,10 @@ func New(cfg Config) (*System, error) {
 		pop:    pop,
 		lab:    newLabeller(&cfg),
 		active: make([]bool, cfg.K),
+		obsr:   cfg.Observer,
+	}
+	if s.obsr != nil && s.obsr.NeedsComponents() {
+		s.sizeScratch = make([]int32, 0, cfg.K)
 	}
 	source := cfg.Source
 	if source == -1 {
@@ -124,27 +140,48 @@ func New(cfg Config) (*System, error) {
 // proximity) are intentional: the rumor floods the whole component, per the
 // paper's radio-faster-than-motion assumption.
 func (s *System) wake() {
-	if s.nAct == s.pop.K() {
+	observeComps := s.obsr != nil && s.obsr.NeedsComponents() && s.obsr.Wants(s.pop.Time())
+	if s.nAct == s.pop.K() && !observeComps {
+		s.observe()
 		return
 	}
 	labels, count := s.lab.Components(s.pop.Positions(), s.cfg.Radius)
-	if cap(s.compScratch) < count {
-		s.compScratch = make([]bool, count)
+	if observeComps {
+		s.lastComps = count
+		s.lastLargest, s.sizeScratch = visibility.MaxSizeScratch(labels, count, s.sizeScratch)
 	}
-	compActive := s.compScratch[:count]
-	for i := range compActive {
-		compActive[i] = false
-	}
-	for i, a := range s.active {
-		if a {
-			compActive[labels[i]] = true
+	if s.nAct < s.pop.K() {
+		if cap(s.compScratch) < count {
+			s.compScratch = make([]bool, count)
+		}
+		compActive := s.compScratch[:count]
+		for i := range compActive {
+			compActive[i] = false
+		}
+		for i, a := range s.active {
+			if a {
+				compActive[labels[i]] = true
+			}
+		}
+		for i := range s.active {
+			if !s.active[i] && compActive[labels[i]] {
+				s.active[i] = true
+				s.nAct++
+			}
 		}
 	}
-	for i := range s.active {
-		if !s.active[i] && compActive[labels[i]] {
-			s.active[i] = true
-			s.nAct++
-		}
+	s.observe()
+}
+
+// observe records the current step's sample when the observer's cadence
+// asks for it.
+func (s *System) observe() {
+	if t := s.pop.Time(); s.obsr != nil && s.obsr.Wants(t) {
+		s.obsr.Record(t, obs.Sample{
+			Informed:   s.nAct,
+			Components: s.lastComps,
+			Largest:    s.lastLargest,
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/walk"
 )
@@ -82,6 +83,16 @@ func arena(d int) (*grid.Grid, grid.Point, grid.Point) {
 // unit of work the scenario layer's "meeting" engine schedules per
 // replicate, so a whole probability estimate is just a multi-rep spec.
 func TrialRun(d int, seed uint64, horizon int) (steps int, met bool, err error) {
+	return TrialRunObserved(d, seed, horizon, nil)
+}
+
+// TrialRunObserved is TrialRun with a per-step observer: when rec is
+// non-nil, the 0/1 "has met in the lens by step t" indicator is recorded at
+// the recorder's cadence (t=0 included), plus once at the meeting step
+// itself so the series always ends with the realised outcome. A nil rec
+// reproduces TrialRun exactly — there is one implementation of the trial
+// physics.
+func TrialRunObserved(d int, seed uint64, horizon int, rec *obs.Recorder) (steps int, met bool, err error) {
 	if d < 1 {
 		return 0, false, fmt.Errorf("meeting: distance must be >= 1, got %d", d)
 	}
@@ -94,11 +105,23 @@ func TrialRun(d int, seed uint64, horizon int) (steps int, met bool, err error) 
 	g, a, b := arena(d)
 	a0, b0 := a, b
 	src := rng.New(seed)
+	if rec != nil && rec.Wants(0) {
+		rec.Record(0, obs.Sample{Met: false})
+	}
 	for t := 1; t <= horizon; t++ {
 		a = walk.Step(g, a, src)
 		b = walk.Step(g, b, src)
 		if a == b && inLens(a, a0, b0, d) {
+			if rec != nil {
+				// The meeting step is always recorded, cadence or not: a
+				// series whose last sample still reads 0 would misreport
+				// the trial.
+				rec.Record(t, obs.Sample{Met: true})
+			}
 			return t, true, nil
+		}
+		if rec != nil && rec.Wants(t) {
+			rec.Record(t, obs.Sample{Met: false})
 		}
 	}
 	return horizon, false, nil

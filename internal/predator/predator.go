@@ -12,6 +12,7 @@ import (
 
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	// Mobility selects the motion model both predators and preys follow
 	// (each species gets its own model state); nil selects the lazy walk.
 	Mobility mobility.Model
+	// Observer, when non-nil, receives a per-step sample (including the
+	// t=0 capture pass) at the recorder's cadence: the caught-prey count
+	// as "informed" — the predator system's dissemination-progress
+	// analogue.
+	Observer *obs.Recorder
 }
 
 func (c *Config) validate() error {
@@ -131,7 +137,16 @@ func New(cfg Config) (*System, error) {
 		s.preyAlive[i] = true
 	}
 	s.capture()
+	s.observe()
 	return s, nil
+}
+
+// observe records the current step's sample when the observer's cadence
+// asks for it.
+func (s *System) observe() {
+	if o := s.cfg.Observer; o != nil && o.Wants(s.t) {
+		o.Record(s.t, obs.Sample{Informed: s.cfg.Preys - s.alive})
+	}
 }
 
 func bucketKey(bx, by int32) uint64 {
@@ -203,6 +218,7 @@ func (s *System) Step() {
 	}
 	s.t++
 	s.capture()
+	s.observe()
 }
 
 // Done reports whether all preys are extinct.

@@ -1,6 +1,10 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+
+	"mobilenet/internal/obs"
+)
 
 // Rep is the outcome of one replicate. Fields an engine does not produce
 // hold their zero value (CoverageSteps uses -1 for "not measured", matching
@@ -25,6 +29,9 @@ type Rep struct {
 	Survivors int `json:"survivors"`
 	// Curve is the per-step progress curve under the "curve" metric.
 	Curve []int `json:"curve,omitempty"`
+	// Series holds this replicate's recorded time series under the
+	// spec's observe block; nil when the spec observes nothing.
+	Series *obs.SeriesSet `json:"series,omitempty"`
 }
 
 // Result is the uniform outcome of running a Spec: the canonical identity
@@ -44,6 +51,10 @@ type Result struct {
 	MeanSteps float64 `json:"mean_steps"`
 	// AllCompleted reports whether every replicate finished under the cap.
 	AllCompleted bool `json:"all_completed"`
+	// Series aggregates the replicates' observed time series per
+	// observable (across-replicate mean and Student-t 95% CI at every
+	// sampled step); nil when the spec observes nothing.
+	Series []obs.AggSeries `json:"series,omitempty"`
 }
 
 // Assemble builds the Result for a canonical spec from its per-replicate
@@ -70,5 +81,12 @@ func Assemble(canonical Spec, hash string, reps []Rep) (*Result, error) {
 		}
 	}
 	res.MeanSteps = sum / float64(len(reps))
+	if canonical.Observe != nil {
+		sets := make([]*obs.SeriesSet, len(reps))
+		for i := range reps {
+			sets[i] = reps[i].Series
+		}
+		res.Series = obs.Aggregate(sets)
+	}
 	return res, nil
 }

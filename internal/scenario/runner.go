@@ -11,6 +11,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/meeting"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/predator"
 )
 
@@ -105,6 +106,25 @@ func buildGrid(spec Spec) (*grid.Grid, error) {
 	return g, nil
 }
 
+// buildRecorder builds the replicate's observation recorder from the
+// spec's canonical observe block, or nil when the spec observes nothing.
+// Every replicate gets its own recorder (runners must stay safe for
+// concurrent use), preallocated once so the engine's step loop records
+// without allocating.
+func buildRecorder(spec Spec) *obs.Recorder {
+	if spec.Observe == nil {
+		return nil
+	}
+	return obs.NewRecorder(*spec.Observe)
+}
+
+// attachSeries copies the recorder's series into the replicate outcome.
+func attachSeries(rep *Rep, rec *obs.Recorder) {
+	if rec != nil {
+		rep.Series = rec.Series()
+	}
+}
+
 // buildMobility parses the spec's mobility model; validation has already
 // vetted the string, so errors here are defensive.
 func buildMobility(spec Spec) (mobility.Model, error) {
@@ -131,6 +151,7 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	if err != nil {
 		return Rep{}, err
 	}
+	rec := buildRecorder(spec)
 	res, err := core.RunBroadcast(core.Config{
 		Grid:              g,
 		K:                 spec.Agents,
@@ -142,18 +163,21 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Parallelism:       spec.Parallelism,
 		RecordCurve:       spec.HasMetric(MetricCurve),
 		TrackInformedArea: spec.HasMetric(MetricCoverage),
+		Observer:          rec,
 	})
 	if err != nil {
 		return Rep{}, err
 	}
-	return Rep{
+	rep := Rep{
 		Seed:          seed,
 		Steps:         res.Steps,
 		Completed:     res.Completed,
 		Source:        res.Source,
 		CoverageSteps: res.CoverageSteps,
 		Curve:         res.InformedCurve,
-	}, nil
+	}
+	attachSeries(&rep, rec)
+	return rep, nil
 }
 
 type gossipRunner struct{}
@@ -169,6 +193,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	if err != nil {
 		return Rep{}, err
 	}
+	rec := buildRecorder(spec)
 	cfg := core.Config{
 		Grid:        g,
 		K:           spec.Agents,
@@ -177,6 +202,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		MaxSteps:    spec.MaxSteps,
 		Mobility:    m,
 		Parallelism: spec.Parallelism,
+		Observer:    rec,
 	}
 	var res core.GossipResult
 	if spec.Rumors == 0 {
@@ -187,7 +213,9 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	if err != nil {
 		return Rep{}, err
 	}
-	return Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}, nil
+	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}
+	attachSeries(&rep, rec)
+	return rep, nil
 }
 
 type frogRunner struct{}
@@ -203,6 +231,7 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	if err != nil {
 		return Rep{}, err
 	}
+	rec := buildRecorder(spec)
 	res, err := frog.RunFrog(frog.Config{
 		Grid:        g,
 		K:           spec.Agents,
@@ -212,11 +241,14 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		MaxSteps:    spec.MaxSteps,
 		Mobility:    m,
 		Parallelism: spec.Parallelism,
+		Observer:    rec,
 	})
 	if err != nil {
 		return Rep{}, err
 	}
-	return Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Source: spec.Source, CoverageSteps: -1}, nil
+	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Source: spec.Source, CoverageSteps: -1}
+	attachSeries(&rep, rec)
+	return rep, nil
 }
 
 type coverageRunner struct{}
@@ -232,6 +264,7 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	if err != nil {
 		return Rep{}, err
 	}
+	rec := buildRecorder(spec)
 	res, err := coverage.Run(coverage.Config{
 		Grid:        g,
 		Walkers:     spec.Agents,
@@ -239,18 +272,21 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		MaxSteps:    spec.MaxSteps,
 		Mobility:    m,
 		RecordCurve: spec.HasMetric(MetricCurve),
+		Observer:    rec,
 	})
 	if err != nil {
 		return Rep{}, err
 	}
-	return Rep{
+	rep := Rep{
 		Seed:          seed,
 		Steps:         res.Steps,
 		Completed:     res.Completed,
 		Covered:       res.Covered,
 		CoverageSteps: -1,
 		Curve:         res.Curve,
-	}, nil
+	}
+	attachSeries(&rep, rec)
+	return rep, nil
 }
 
 type meetingRunner struct{}
@@ -262,11 +298,14 @@ func (meetingRunner) Engine() string { return EngineMeeting }
 // inside the lens, so the mean of Completed over replicates estimates the
 // lemma's probability p(d).
 func (meetingRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
-	steps, met, err := meeting.TrialRun(spec.Radius, seed, spec.MaxSteps)
+	rec := buildRecorder(spec)
+	steps, met, err := meeting.TrialRunObserved(spec.Radius, seed, spec.MaxSteps, rec)
 	if err != nil {
 		return Rep{}, fmt.Errorf("scenario: %w", err)
 	}
-	return Rep{Seed: seed, Steps: steps, Completed: met, CoverageSteps: -1}, nil
+	rep := Rep{Seed: seed, Steps: steps, Completed: met, CoverageSteps: -1}
+	attachSeries(&rep, rec)
+	return rep, nil
 }
 
 type predatorRunner struct{}
@@ -286,6 +325,7 @@ func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	if preys == 0 {
 		preys = spec.Agents
 	}
+	rec := buildRecorder(spec)
 	res, err := predator.RunExtinction(predator.Config{
 		Grid:      g,
 		Predators: spec.Agents,
@@ -294,9 +334,12 @@ func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Seed:      seed,
 		MaxSteps:  spec.MaxSteps,
 		Mobility:  m,
+		Observer:  rec,
 	})
 	if err != nil {
 		return Rep{}, err
 	}
-	return Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Survivors: res.Survivors, CoverageSteps: -1}, nil
+	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Survivors: res.Survivors, CoverageSteps: -1}
+	attachSeries(&rep, rec)
+	return rep, nil
 }

@@ -21,6 +21,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/meeting"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/rng"
 )
 
@@ -97,6 +98,15 @@ type Spec struct {
 	// constants. Metrics an engine cannot produce are dropped by
 	// canonicalisation.
 	Metrics []string `json:"metrics,omitempty"`
+	// Observe requests per-step time-series observables; see
+	// internal/obs. Canonicalisation filters the request to the engine's
+	// vocabulary (Observables), sorts and deduplicates the names, and
+	// makes the cadence default explicit; a request nothing survives is
+	// dropped entirely. Unlike Parallelism, the observe block IS part of
+	// the content hash: observable names and cadence change the result
+	// payload (the recorded series), so two specs differing in observe
+	// are different simulations (DESIGN.md §10).
+	Observe *obs.Spec `json:"observe,omitempty"`
 	// Parallelism sets the component labeller's worker count for engines
 	// that rebuild visibility components each step (broadcast, gossip,
 	// frog): 0 selects the automatic policy, 1 forces sequential, larger
@@ -210,6 +220,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: unknown metric %q (want %s|%s)", m, MetricCurve, MetricCoverage)
 		}
 	}
+	if s.Observe != nil {
+		if err := s.Observe.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -280,7 +295,46 @@ func (s Spec) Canonical() (Spec, error) {
 		c.Source = 0
 	}
 	c.Metrics = canonicalMetrics(c.Engine, s.Metrics)
+	if s.Observe != nil {
+		vocab := engineObservables[c.Engine]
+		ob, ok, err := s.Observe.Canonical(func(n string) bool { return vocab[n] })
+		if err != nil {
+			return Spec{}, fmt.Errorf("scenario: %w", err)
+		}
+		if ok {
+			c.Observe = &ob
+		} else {
+			c.Observe = nil
+		}
+	}
 	return c, nil
+}
+
+// engineObservables is each engine's observable vocabulary: the obs names
+// its runner can actually fill. Canonicalisation filters observe requests
+// down to it, mirroring canonicalMetrics.
+var engineObservables = map[string]map[string]bool{
+	EngineBroadcast: {obs.Informed: true, obs.Components: true, obs.Largest: true, obs.Coverage: true},
+	EngineGossip:    {obs.Informed: true, obs.Components: true, obs.Largest: true},
+	EngineFrog:      {obs.Informed: true, obs.Components: true, obs.Largest: true},
+	EngineCoverage:  {obs.Informed: true, obs.Coverage: true},
+	EnginePredator:  {obs.Informed: true},
+	EngineMeeting:   {obs.Meeting: true},
+}
+
+// Observables returns the observable names the engine can record, sorted;
+// it returns nil for unknown engines.
+func Observables(engine string) []string {
+	vocab := engineObservables[strings.ToLower(strings.TrimSpace(engine))]
+	if len(vocab) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(vocab))
+	for n := range vocab {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // canonicalMetrics keeps the metrics the engine can produce, deduplicated

@@ -17,13 +17,14 @@ const maxSpecBytes = 1 << 20
 
 // ServeHTTP exposes the service API:
 //
-//	POST /v1/run            submit a scenario spec (JSON body)
-//	GET  /v1/jobs/{id}      poll a job
-//	GET  /v1/results/{hash} fetch a cached result payload
-//	POST /v1/sweeps         submit a sweep spec (JSON body)
-//	GET  /v1/sweeps/{id}    poll a sweep (per-point progress, then result)
-//	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus-style service metrics
+//	POST /v1/run                   submit a scenario spec (JSON body)
+//	GET  /v1/jobs/{id}             poll a job
+//	GET  /v1/results/{hash}        fetch a cached result payload
+//	GET  /v1/results/{hash}/series stream the result's observed series (NDJSON)
+//	POST /v1/sweeps                submit a sweep spec (JSON body)
+//	GET  /v1/sweeps/{id}           poll a sweep (per-point progress, then result)
+//	GET  /healthz                  liveness probe
+//	GET  /metrics                  Prometheus-style service metrics
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
@@ -33,6 +34,7 @@ func newMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /v1/results/{hash}/series", s.handleSeries)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -139,6 +141,28 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(payload)
 }
 
+// handleSeries streams a cached result's observed time series as NDJSON:
+// one JSON object per (observable, step) aggregate, the canonical encoding
+// shared byte for byte with the library (obs.WriteNDJSON) and `mobisim
+// -series-out -`.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	payload, ok, err := s.Series(r.PathValue("hash"))
+	switch {
+	case !ok:
+		httpError(w, http.StatusNotFound, "no cached result for this hash")
+		return
+	case errors.Is(err, ErrNoSeries):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -186,4 +210,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP mobiserved_sweep_points_cached_total Sweep points answered from the result cache.\n")
 	fmt.Fprintf(w, "# TYPE mobiserved_sweep_points_cached_total counter\n")
 	fmt.Fprintf(w, "mobiserved_sweep_points_cached_total %d\n", s.sweepPointsCached.Load())
+	fmt.Fprintf(w, "# HELP mobiserved_series_served_total Observed-series payloads served.\n")
+	fmt.Fprintf(w, "# TYPE mobiserved_series_served_total counter\n")
+	fmt.Fprintf(w, "mobiserved_series_served_total %d\n", s.seriesServed.Load())
 }

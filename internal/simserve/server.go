@@ -8,6 +8,7 @@
 package simserve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -18,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mobilenet/internal/obs"
 	"mobilenet/internal/scenario"
 	"mobilenet/internal/theory"
 )
@@ -54,6 +56,21 @@ type Config struct {
 	// sweep; 0 selects 1024. Every point additionally passes the
 	// single-scenario bounds above.
 	MaxSweepPoints int
+	// MaxSeriesPoints bounds the recorded points per replicate of an
+	// observed scenario; 0 selects 1<<20. It bounds the EXPLICIT budget:
+	// the observe block's max_points when set, otherwise the explicit
+	// max_steps divided by the cadence — so a client cannot pin
+	// gigabyte-sized series by pairing a huge max_steps with a fine
+	// cadence. Specs that leave max_steps to the engine's
+	// completion-targeted default are admitted without a series check:
+	// recording costs a few dozen bytes per simulated step, orders of
+	// magnitude below the per-step CPU the server already agreed to
+	// spend, and grids large enough to derive a monstrous default cap
+	// are forced by MaxSteps admission to state an explicit (and
+	// therefore series-checked) max_steps anyway. Oversized specs are
+	// rejected as permanently unservable (HTTP 400) with a pointer at
+	// max_points.
+	MaxSeriesPoints int
 	// MaxSweeps bounds retained finished-sweep records; 0 selects 256.
 	// Like MaxJobs, the oldest finished records are dropped first.
 	MaxSweeps int
@@ -84,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 1024
 	}
+	if c.MaxSeriesPoints <= 0 {
+		c.MaxSeriesPoints = 1 << 20
+	}
 	if c.MaxSweeps <= 0 {
 		c.MaxSweeps = 256
 	}
@@ -102,6 +122,30 @@ func stepBoundExceeds(c scenario.Spec, limit int) bool {
 		return c.MaxSteps > limit
 	}
 	return 256*theory.CoverTimeBound(c.Nodes, c.Agents) > float64(limit)
+}
+
+// seriesBoundExceeds reports whether an observed canonical spec's
+// explicit budget could record more than limit points per replicate: its
+// max_points when set, otherwise the explicit max_steps over the cadence.
+// A spec that leaves max_steps to the engine's default passes — see the
+// MaxSeriesPoints doc for why the CPU posture already dominates there —
+// and the division happens in float space for the same
+// no-clamp-past-the-limit reason as stepBoundExceeds.
+func seriesBoundExceeds(c scenario.Spec, limit int) bool {
+	if c.Observe == nil {
+		return false
+	}
+	if c.Observe.MaxPoints > 0 {
+		return c.Observe.MaxPoints > limit
+	}
+	if c.MaxSteps <= 0 {
+		return false
+	}
+	every := c.Observe.Every
+	if every < 1 {
+		every = 1
+	}
+	return float64(c.MaxSteps)/float64(every) > float64(limit)
 }
 
 // Job states reported by Ticket.Status and JobView.Status.
@@ -194,6 +238,7 @@ type Server struct {
 	sweepsServed      atomic.Uint64
 	sweepsFailed      atomic.Uint64
 	sweepPointsCached atomic.Uint64
+	seriesServed      atomic.Uint64
 
 	mux *http.ServeMux
 }
@@ -299,6 +344,8 @@ func (s *Server) checkBounds(c scenario.Spec) error {
 		return fmt.Errorf("simserve: %d preys exceed this server's limit of %d", c.Preys, s.cfg.MaxAgents)
 	case stepBoundExceeds(c, s.cfg.MaxSteps):
 		return fmt.Errorf("simserve: the effective step cap exceeds this server's limit of %d (set an explicit, smaller max_steps)", s.cfg.MaxSteps)
+	case seriesBoundExceeds(c, s.cfg.MaxSeriesPoints):
+		return fmt.Errorf("simserve: the observed series could exceed this server's limit of %d points per replicate (set observe.max_points or a coarser cadence)", s.cfg.MaxSeriesPoints)
 	}
 	return nil
 }
@@ -410,6 +457,49 @@ func (s *Server) Job(id string) (JobView, bool) {
 // Result returns the cached payload for a scenario hash.
 func (s *Server) Result(hash string) ([]byte, bool) {
 	return s.cache.Get(hash)
+}
+
+// seriesSuffix namespaces rendered series payloads in the result cache.
+// Scenario hashes are fixed-width hex, so the suffix cannot collide with a
+// result key.
+const seriesSuffix = "#series"
+
+// ErrNoSeries reports a cached result whose scenario observed nothing, so
+// there is no series to stream (HTTP 404 with a pointed message).
+var ErrNoSeries = errors.New("simserve: the scenario has no observe block, so no series was recorded")
+
+// Series returns the canonical NDJSON rendering (obs.WriteNDJSON) of a
+// cached result's aggregated series. Renderings are cached in the same LRU
+// under a suffixed key, so repeated fetches are byte-identical without
+// re-decoding the result payload; because the rendering is a deterministic
+// function of the result — itself a deterministic function of the spec —
+// an eviction and re-render also reproduces the exact bytes. It returns
+// ok=false when no result is cached for the hash, and ErrNoSeries when the
+// result exists but its scenario observed nothing.
+func (s *Server) Series(hash string) (payload []byte, ok bool, err error) {
+	if b, ok := s.cache.Get(hash + seriesSuffix); ok {
+		s.seriesServed.Add(1)
+		return b, true, nil
+	}
+	res, ok := s.cache.Get(hash)
+	if !ok {
+		return nil, false, nil
+	}
+	var decoded scenario.Result
+	if err := json.Unmarshal(res, &decoded); err != nil {
+		return nil, true, fmt.Errorf("simserve: corrupt cached result for %s: %w", hash, err)
+	}
+	if len(decoded.Series) == 0 {
+		return nil, true, ErrNoSeries
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteNDJSON(&buf, decoded.Series); err != nil {
+		return nil, true, fmt.Errorf("simserve: %w", err)
+	}
+	b := buf.Bytes()
+	s.cache.Put(hash+seriesSuffix, b)
+	s.seriesServed.Add(1)
+	return b, true, nil
 }
 
 // Wait blocks until the job finishes (or ctx expires) and returns its

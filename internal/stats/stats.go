@@ -52,11 +52,24 @@ func (w *Welford) N() int { return w.n }
 // Mean returns the sample mean (0 for empty accumulators).
 func (w *Welford) Mean() float64 { return w.mean }
 
-// Min returns the smallest observation (0 when empty).
-func (w *Welford) Min() float64 { return w.min }
+// Min returns the smallest observation, or NaN for an empty accumulator —
+// matching Quantile's empty-input convention, so an empty sample is
+// distinguishable from a legitimate 0 observation.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
 
-// Max returns the largest observation (0 when empty).
-func (w *Welford) Max() float64 { return w.max }
+// Max returns the largest observation, or NaN for an empty accumulator
+// (see Min).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
 
 // Variance returns the unbiased sample variance; it is 0 for n < 2.
 func (w *Welford) Variance() float64 {
@@ -84,10 +97,13 @@ type Summary struct {
 	Min, Max      float64
 	Median        float64
 	Q25, Q75      float64
-	CILow, CIHigh float64 // normal-approximation 95% CI of the mean
+	CILow, CIHigh float64 // Student-t 95% CI of the mean
 }
 
 // Summarize computes a Summary of xs. It returns ErrNoData for empty input.
+// The confidence interval uses the Student-t critical value for the sample
+// size (TCritical95): the normal z = 1.96 badly understates the interval at
+// the small replicate counts (n <= 10) common in sweeps.
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrNoData
@@ -107,9 +123,42 @@ func Summarize(xs []float64) (Summary, error) {
 		Q25:    Quantile(xs, 0.25),
 		Q75:    Quantile(xs, 0.75),
 	}
-	half := 1.96 * w.StdErr()
+	half := TCritical95(w.N()) * w.StdErr()
 	s.CILow, s.CIHigh = s.Mean-half, s.Mean+half
 	return s, nil
+}
+
+// tTable95 holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom.
+var tTable95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for a
+// sample of size n (n-1 degrees of freedom): an exact table for df <= 30,
+// a conservative step table up to df = 120 — each bucket returns the
+// value at its smallest df, so the interval is never narrower than
+// nominal — and the normal limit z = 1.96 beyond, where the exact value
+// is within 1% (t(121) ≈ 1.980). n < 2 yields 0 — a single observation
+// carries no spread, so the interval collapses onto the mean.
+func TCritical95(n int) float64 {
+	df := n - 1
+	switch {
+	case df < 1:
+		return 0
+	case df <= 30:
+		return tTable95[df-1]
+	case df <= 40:
+		return 2.042 // t(30): upper bound for df in (30, 40]
+	case df <= 60:
+		return 2.021 // t(40): upper bound for df in (40, 60]
+	case df <= 120:
+		return 2.000 // t(60): upper bound for df in (60, 120]
+	default:
+		return 1.96
+	}
 }
 
 // String renders the summary in a single line for logs and tables.
@@ -120,9 +169,14 @@ func (s Summary) String() string {
 
 // Quantile returns the q-th sample quantile of xs (0 <= q <= 1) using linear
 // interpolation between order statistics. The input is not modified. It
-// returns NaN for empty input and clamps q to [0, 1].
+// returns NaN for empty input or a NaN q, and clamps q to [0, 1].
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q != q {
+		// Explicit NaN guard: both clamp comparisons below are false for
+		// NaN, which would otherwise flow into the index arithmetic.
 		return math.NaN()
 	}
 	if q < 0 {

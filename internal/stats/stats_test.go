@@ -38,12 +38,96 @@ func TestWelfordEmptyAndSingle(t *testing.T) {
 	if w.Variance() != 0 || w.StdErr() != 0 || w.Mean() != 0 {
 		t.Error("empty Welford nonzero stats")
 	}
+	// Regression: Min/Max of an empty accumulator used to return 0,
+	// indistinguishable from a legitimate 0 observation. They are NaN now,
+	// matching Quantile's empty-input convention.
+	if !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Errorf("empty Welford Min/Max = %v/%v, want NaN/NaN", w.Min(), w.Max())
+	}
 	w.Add(3)
 	if w.Variance() != 0 {
 		t.Errorf("single-point variance = %v", w.Variance())
 	}
 	if w.Mean() != 3 || w.Min() != 3 || w.Max() != 3 {
 		t.Error("single-point stats wrong")
+	}
+	// A legitimate zero observation stays distinguishable from empty.
+	var z Welford
+	z.Add(0)
+	if z.Min() != 0 || z.Max() != 0 {
+		t.Errorf("zero-observation Min/Max = %v/%v, want 0/0", z.Min(), z.Max())
+	}
+}
+
+// TestQuantileNaNQ is the regression test for the NaN-q hole: every
+// comparison against NaN is false, so a NaN q slipped past the q < 0 and
+// q > 1 clamps and propagated into the position arithmetic.
+func TestQuantileNaNQ(t *testing.T) {
+	t.Parallel()
+	if got := Quantile([]float64{1, 2, 3}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(xs, NaN) = %v, want NaN", got)
+	}
+	if got := Quantile([]float64{42}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("single-element Quantile(xs, NaN) = %v, want NaN", got)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 0}, // no spread from fewer than two observations
+		{2, 12.706}, {3, 4.303}, {4, 3.182}, {5, 2.776},
+		{11, 2.228}, {31, 2.042},
+		// Step buckets are conservative: each returns the value at its
+		// smallest df, never narrower than the exact interval.
+		{35, 2.042}, {50, 2.021}, {100, 2.000}, {200, 1.96},
+	}
+	for _, tc := range cases {
+		if got := TCritical95(tc.n); got != tc.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	// Conservative against the exact mid-range values the old buckets
+	// understated: t(31)=2.040, t(41)=2.020, t(61)=2.000.
+	for _, tc := range []struct {
+		n     int
+		exact float64
+	}{{32, 2.040}, {42, 2.020}, {62, 2.000}} {
+		if got := TCritical95(tc.n); got < tc.exact {
+			t.Errorf("TCritical95(%d) = %v, narrower than exact %v", tc.n, got, tc.exact)
+		}
+	}
+	// Monotone non-increasing in n: more replicates never widen the
+	// critical value.
+	prev := TCritical95(2)
+	for n := 3; n <= 300; n++ {
+		cur := TCritical95(n)
+		if cur > prev {
+			t.Fatalf("TCritical95 not monotone at n=%d: %v > %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestSummarizeSmallNUsesStudentT pins the CI switch: at n = 4 the
+// interval must use t(3) = 3.182, not the normal 1.96.
+func TestSummarizeSmallNUsesStudentT(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	wantHalf := 3.182 * w.StdErr()
+	if !almostEqual(s.CIHigh-s.Mean, wantHalf, 1e-12) || !almostEqual(s.Mean-s.CILow, wantHalf, 1e-12) {
+		t.Errorf("CI half-width = %v, want %v (Student-t)", s.CIHigh-s.Mean, wantHalf)
 	}
 }
 

@@ -42,8 +42,8 @@ type Aggregate struct {
 	// Median is the sample median — the statistic the scaling-law fits
 	// use, being robust to the heavy upper tails of dissemination times.
 	Median float64 `json:"median"`
-	// CILow and CIHigh bound the normal-approximation 95% confidence
-	// interval of the mean.
+	// CILow and CIHigh bound the Student-t 95% confidence interval of the
+	// mean (see stats.TCritical95).
 	CILow  float64 `json:"ci95_low"`
 	CIHigh float64 `json:"ci95_high"`
 	// Min and Max are the sample extremes.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"mobilenet/internal/obs"
 	"mobilenet/internal/scenario"
 )
 
@@ -340,5 +341,46 @@ func TestRunSerialMatchesParallel(t *testing.T) {
 	}
 	if roundTrip.Hash != serial.Hash {
 		t.Error("hash lost in round trip")
+	}
+}
+
+// TestRunCarriesObservedSeries: an observe block on the base scenario
+// rides every expanded point — per-rep series and the across-rep aggregate
+// land in each point's result, and the observe block participates in the
+// point hashes (an observed sweep is a different grid from an unobserved
+// one).
+func TestRunCarriesObservedSeries(t *testing.T) {
+	t.Parallel()
+	sp := Spec{
+		Base: scenario.Spec{Engine: scenario.EngineBroadcast, Nodes: 256, Agents: 4, Seed: 11, Reps: 2,
+			Observe: &obs.Spec{Observables: []string{obs.Informed}, MaxPoints: 64}},
+		Axes: []Axis{{Field: "agents", Values: []any{4, 8}}},
+	}
+	res, err := Run(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Points {
+		if len(p.Result.Series) == 0 {
+			t.Errorf("point %d lost the aggregated series", i)
+		}
+		for ri, r := range p.Result.Reps {
+			if r.Series == nil || len(r.Series.Steps) == 0 {
+				t.Errorf("point %d rep %d lost its series", i, ri)
+			}
+		}
+	}
+	plain := sp
+	plain.Base.Observe = nil
+	h1, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("observe block does not split the sweep hash")
 	}
 }

@@ -15,7 +15,10 @@
 // The same Spec drives mobilenet.RunSweep, `mobisim -sweep`, and the
 // simulation service's POST /v1/sweeps endpoint, where each point flows
 // through the hash-keyed result cache so repeated or overlapping sweeps
-// deduplicate point by point.
+// deduplicate point by point. A base scenario carrying an `observe` block
+// (internal/obs) rides unchanged: every expanded point records and
+// aggregates its per-step series, and — since observation is part of a
+// scenario's content identity — observed and unobserved grids hash apart.
 package sweep
 
 import (

@@ -130,10 +130,12 @@ func sweepTable() *Table {
 	t := NewTable("sweep 9f86d081884c",
 		"agents", "mobility", "reps", "mean_steps", "stddev", "median",
 		"ci95_low", "ci95_high", "all_completed", "hash")
-	t.AddRow(8, "lazy", 4, 2048.25, 101.5, 2040.0, 1948.78, 2147.72, true, "9f86d081884c")
-	t.AddRow(8, "ballistic", 4, 1765.5, 88.875, 1760.0, 1678.42, 1852.58, true, "60303ae22b99")
-	t.AddRow(32, "lazy", 4, 1024.75, 55.0625, 1020.0, 970.79, 1078.71, false, "fd61a03af4f7")
-	t.AddRow(32, "ballistic", 4, 880.0, 41.125, 876.5, 839.7, 920.3, true, "a4e624d686e0")
+	// CI cells use the Student-t critical value for n = 4 replicates
+	// (t(3) = 3.182), matching stats.Summarize.
+	t.AddRow(8, "lazy", 4, 2048.25, 101.5, 2040.0, 1886.76, 2209.74, true, "9f86d081884c")
+	t.AddRow(8, "ballistic", 4, 1765.5, 88.875, 1760.0, 1624.1, 1906.9, true, "60303ae22b99")
+	t.AddRow(32, "lazy", 4, 1024.75, 55.0625, 1020.0, 937.15, 1112.35, false, "fd61a03af4f7")
+	t.AddRow(32, "ballistic", 4, 880.0, 41.125, 876.5, 814.57, 945.43, true, "a4e624d686e0")
 	return t
 }
 

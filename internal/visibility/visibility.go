@@ -468,21 +468,28 @@ func Sizes(labels []int32, count int, buf []int32) []int32 {
 	return buf
 }
 
+// MaxSizeScratch returns the size of the largest component in a
+// labelling, computing the per-label sizes into buf (grown only when too
+// small) and returning the buffer for the caller to reuse — the
+// zero-steady-state-allocation variant of MaxSize that per-step observers
+// use.
+func MaxSizeScratch(labels []int32, count int, buf []int32) (int, []int32) {
+	buf = Sizes(labels, count, buf)
+	var max int32
+	for _, s := range buf {
+		if s > max {
+			max = s
+		}
+	}
+	return int(max), buf
+}
+
 // MaxSize returns the size of the largest component in a labelling, 0 for
 // empty input.
 func MaxSize(labels []int32, count int) int {
 	if count == 0 {
 		return 0
 	}
-	sizes := make([]int32, count)
-	for _, lb := range labels {
-		sizes[lb]++
-	}
-	var max int32
-	for _, s := range sizes {
-		if s > max {
-			max = s
-		}
-	}
-	return int(max)
+	m, _ := MaxSizeScratch(labels, count, nil)
+	return m
 }

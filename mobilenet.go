@@ -10,6 +10,7 @@ import (
 	"mobilenet/internal/frog"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/obs"
 	"mobilenet/internal/percolation"
 	"mobilenet/internal/predator"
 	"mobilenet/internal/rng"
@@ -34,6 +35,7 @@ type options struct {
 	source   int
 	maxSteps int
 	mobility mobility.Model
+	observe  *obs.Spec
 }
 
 // Option customises a Network.
@@ -273,6 +275,9 @@ type BroadcastResult struct {
 	// CoverageSteps is the coverage time T_C (first time informed agents
 	// have visited every node), or -1 when the run ended first.
 	CoverageSteps int
+	// Series holds the per-step observed series under WithObservations;
+	// nil otherwise.
+	Series *RepSeries
 }
 
 // Broadcast runs a single-rumor dissemination from the source agent and
@@ -282,17 +287,23 @@ func (nw *Network) Broadcast() (BroadcastResult, error) {
 	cfg := nw.coreConfig()
 	cfg.RecordCurve = true
 	cfg.TrackInformedArea = true
+	rec := nw.recorder("broadcast")
+	cfg.Observer = rec
 	r, err := core.RunBroadcast(cfg)
 	if err != nil {
 		return BroadcastResult{}, err
 	}
-	return BroadcastResult{
+	res := BroadcastResult{
 		Steps:         r.Steps,
 		Completed:     r.Completed,
 		Source:        r.Source,
 		InformedCurve: r.InformedCurve,
 		CoverageSteps: r.CoverageSteps,
-	}, nil
+	}
+	if rec != nil {
+		res.Series = fromSeriesSet(rec.Series())
+	}
+	return res, nil
 }
 
 // GossipResult reports the outcome of a gossip (all-to-all) simulation.
@@ -301,33 +312,44 @@ type GossipResult struct {
 	Steps int
 	// Completed is false when the step cap was reached first.
 	Completed bool
+	// Series holds the per-step observed series under WithObservations;
+	// nil otherwise.
+	Series *RepSeries
 }
 
 // Gossip runs the all-to-all problem: every agent starts with its own rumor
 // and the run ends when everyone knows everything.
 func (nw *Network) Gossip() (GossipResult, error) {
-	r, err := core.RunGossip(nw.coreConfig())
-	if err != nil {
-		return GossipResult{}, err
-	}
-	return GossipResult{Steps: r.Steps, Completed: r.Completed}, nil
+	return nw.gossip(0)
 }
 
 // GossipPartial runs the multi-rumor problem with the given number of
 // distinct rumors |M| ≤ k, held initially by distinct agents (the paper's
 // §2 general setting). Zero selects the classical |M| = k.
 func (nw *Network) GossipPartial(rumors int) (GossipResult, error) {
-	r, err := core.RunPartialGossip(nw.coreConfig(), rumors)
+	return nw.gossip(rumors)
+}
+
+func (nw *Network) gossip(rumors int) (GossipResult, error) {
+	cfg := nw.coreConfig()
+	rec := nw.recorder("gossip")
+	cfg.Observer = rec
+	r, err := core.RunPartialGossip(cfg, rumors)
 	if err != nil {
 		return GossipResult{}, err
 	}
-	return GossipResult{Steps: r.Steps, Completed: r.Completed}, nil
+	res := GossipResult{Steps: r.Steps, Completed: r.Completed}
+	if rec != nil {
+		res.Series = fromSeriesSet(rec.Series())
+	}
+	return res, nil
 }
 
 // FrogBroadcast runs the Frog-model variant: only informed agents move,
 // sleepers stay at their initial nodes until woken.
 func (nw *Network) FrogBroadcast() (BroadcastResult, error) {
 	src := nw.opt.source
+	rec := nw.recorder("frog")
 	r, err := frog.RunFrog(frog.Config{
 		Grid:     nw.g,
 		K:        nw.k,
@@ -336,11 +358,16 @@ func (nw *Network) FrogBroadcast() (BroadcastResult, error) {
 		Source:   src,
 		MaxSteps: nw.opt.maxSteps,
 		Mobility: nw.opt.mobility,
+		Observer: rec,
 	})
 	if err != nil {
 		return BroadcastResult{}, err
 	}
-	return BroadcastResult{Steps: r.Steps, Completed: r.Completed, Source: src, CoverageSteps: -1}, nil
+	res := BroadcastResult{Steps: r.Steps, Completed: r.Completed, Source: src, CoverageSteps: -1}
+	if rec != nil {
+		res.Series = fromSeriesSet(rec.Series())
+	}
+	return res, nil
 }
 
 // CoverResult reports a cover-time measurement.
@@ -351,22 +378,31 @@ type CoverResult struct {
 	Completed bool
 	// Covered is the number of nodes visited by the end of the run.
 	Covered int
+	// Series holds the per-step observed series under WithObservations;
+	// nil otherwise.
+	Series *RepSeries
 }
 
 // CoverTime measures how long the network's k agents (as plain independent
 // walks, no rumors) take to visit every grid node.
 func (nw *Network) CoverTime() (CoverResult, error) {
+	rec := nw.recorder("coverage")
 	r, err := coverage.Run(coverage.Config{
 		Grid:     nw.g,
 		Walkers:  nw.k,
 		Seed:     nw.opt.seed,
 		MaxSteps: nw.opt.maxSteps,
 		Mobility: nw.opt.mobility,
+		Observer: rec,
 	})
 	if err != nil {
 		return CoverResult{}, err
 	}
-	return CoverResult{Steps: r.Steps, Completed: r.Completed, Covered: r.Covered}, nil
+	res := CoverResult{Steps: r.Steps, Completed: r.Completed, Covered: r.Covered}
+	if rec != nil {
+		res.Series = fromSeriesSet(rec.Series())
+	}
+	return res, nil
 }
 
 // ExtinctionResult reports a predator-prey run.
@@ -377,12 +413,16 @@ type ExtinctionResult struct {
 	Completed bool
 	// Survivors is the number of preys alive at the end.
 	Survivors int
+	// Series holds the per-step observed series under WithObservations;
+	// nil otherwise.
+	Series *RepSeries
 }
 
 // Extinction runs a predator-prey system with the network's k agents as
 // predators chasing the given number of moving preys; capture happens
 // within the configured transmission radius.
 func (nw *Network) Extinction(preys int) (ExtinctionResult, error) {
+	rec := nw.recorder("predator")
 	r, err := predator.RunExtinction(predator.Config{
 		Grid:      nw.g,
 		Predators: nw.k,
@@ -391,11 +431,16 @@ func (nw *Network) Extinction(preys int) (ExtinctionResult, error) {
 		Seed:      nw.opt.seed,
 		MaxSteps:  nw.opt.maxSteps,
 		Mobility:  nw.opt.mobility,
+		Observer:  rec,
 	})
 	if err != nil {
 		return ExtinctionResult{}, err
 	}
-	return ExtinctionResult{Steps: r.Steps, Completed: r.Completed, Survivors: r.Survivors}, nil
+	res := ExtinctionResult{Steps: r.Steps, Completed: r.Completed, Survivors: r.Survivors}
+	if rec != nil {
+		res.Series = fromSeriesSet(rec.Series())
+	}
+	return res, nil
 }
 
 // ComponentCensus summarises the component structure of the initial

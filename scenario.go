@@ -43,6 +43,12 @@ type Scenario struct {
 	// Metrics requests extra measurements: "curve" (per-step progress) and
 	// "coverage" (broadcast coverage time T_C).
 	Metrics []string `json:"metrics,omitempty"`
+	// Observe requests per-step time-series observables (see Observation).
+	// The engine's supported subset is recorded per replicate and
+	// aggregated across replicates into ScenarioResult.Series. Unlike
+	// Parallelism, the observe block IS part of the content hash: the
+	// recorded series change the result payload.
+	Observe *Observation `json:"observe,omitempty"`
 	// Parallelism sets the component labeller's worker count for engines
 	// that rebuild visibility components each step (broadcast, gossip,
 	// frog): 0 selects the automatic policy, 1 forces sequential. Like
@@ -55,7 +61,7 @@ type Scenario struct {
 
 // spec converts the public Scenario to the internal spec, field for field.
 func (s Scenario) spec() scenario.Spec {
-	return scenario.Spec{
+	sp := scenario.Spec{
 		Label:       s.Label,
 		Engine:      s.Engine,
 		Nodes:       s.Nodes,
@@ -71,6 +77,10 @@ func (s Scenario) spec() scenario.Spec {
 		Metrics:     s.Metrics,
 		Parallelism: s.Parallelism,
 	}
+	if s.Observe != nil {
+		sp.Observe = s.Observe.spec()
+	}
+	return sp
 }
 
 func fromSpec(sp scenario.Spec) Scenario {
@@ -88,6 +98,7 @@ func fromSpec(sp scenario.Spec) Scenario {
 		Rumors:      sp.Rumors,
 		Mobility:    sp.Mobility,
 		Metrics:     sp.Metrics,
+		Observe:     fromObsSpec(sp.Observe),
 		Parallelism: sp.Parallelism,
 	}
 }
@@ -143,6 +154,9 @@ type ScenarioRep struct {
 	Survivors int `json:"survivors"`
 	// Curve is the per-step progress curve under the "curve" metric.
 	Curve []int `json:"curve,omitempty"`
+	// Series holds this replicate's observed time series under the
+	// scenario's observe block; nil when nothing was observed.
+	Series *RepSeries `json:"series,omitempty"`
 }
 
 // ScenarioResult is the uniform outcome of a scenario run: every replicate
@@ -159,6 +173,10 @@ type ScenarioResult struct {
 	MeanSteps float64 `json:"mean_steps"`
 	// AllCompleted reports whether every replicate finished under the cap.
 	AllCompleted bool `json:"all_completed"`
+	// Series aggregates the replicates' observed time series per
+	// observable; nil when the scenario observed nothing. Render with
+	// WriteSeriesNDJSON for the canonical wire form.
+	Series []Series `json:"series,omitempty"`
 }
 
 // RunScenario validates, canonicalises and executes a scenario through the

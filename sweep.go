@@ -95,7 +95,8 @@ type SweepAggregate struct {
 	StdDev float64 `json:"stddev"`
 	// Median is the sample median (the statistic scaling-law fits use).
 	Median float64 `json:"median"`
-	// CILow and CIHigh bound the 95% confidence interval of the mean.
+	// CILow and CIHigh bound the Student-t 95% confidence interval of the
+	// mean.
 	CILow  float64 `json:"ci95_low"`
 	CIHigh float64 `json:"ci95_high"`
 	// Min and Max are the sample extremes.
@@ -206,6 +207,7 @@ func fromScenarioResult(res *scenario.Result) *ScenarioResult {
 		Reps:         make([]ScenarioRep, len(res.Reps)),
 		MeanSteps:    res.MeanSteps,
 		AllCompleted: res.AllCompleted,
+		Series:       fromAggSeries(res.Series),
 	}
 	for i, r := range res.Reps {
 		out.Reps[i] = ScenarioRep{
@@ -217,6 +219,7 @@ func fromScenarioResult(res *scenario.Result) *ScenarioResult {
 			Covered:       r.Covered,
 			Survivors:     r.Survivors,
 			Curve:         r.Curve,
+			Series:        fromSeriesSet(r.Series),
 		}
 	}
 	return out

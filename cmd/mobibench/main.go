@@ -1,0 +1,633 @@
+// Command mobibench is a closed-loop load generator for the simulation
+// service: it drives a real mobiserved — an in-process instance by
+// default, or any running daemon via -addr — with a configurable number
+// of concurrent clients for a fixed duration per workload, measures
+// end-to-end request latency client-side on internal/telemetry histograms
+// (p50/p90/p99), reads the server's own request-lifecycle stage
+// histograms back off /metrics (queue wait, per-replicate execution, …)
+// for the same window, and writes the whole baseline into
+// BENCH_load.json — the standing traffic baseline every later scaling PR
+// must beat.
+//
+// Workloads (run as separate phases, so each gets its own quantiles):
+//
+//	cold    unique-seed broadcast scenarios; every request executes a
+//	        full simulation (cache miss by construction)
+//	cached  one fixed scenario submitted repeatedly; after warm-up every
+//	        request is answered from the hash-keyed result cache
+//	sweep   small two-point sweeps with unique base seeds, polled to
+//	        completion through /v1/sweeps
+//	series  NDJSON series fetches of a pre-warmed observed scenario
+//
+// The loop is closed: each client submits, waits for the result, then
+// submits again — so the reported throughput at concurrency -c is the
+// service's saturation throughput at that offered concurrency, and
+// latency includes queueing exactly as a real caller sees it.
+//
+// Usage:
+//
+//	go run ./cmd/mobibench -c 8 -d 3s -out BENCH_load.json
+//	go run ./cmd/mobibench -addr http://localhost:8080 -workloads cold,cached
+//	go run ./cmd/mobibench -smoke          # CI: seconds, schema-validated, no file written
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobilenet/internal/simserve"
+	"mobilenet/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobibench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchConfig is the parsed flag set.
+type benchConfig struct {
+	addr      string // base URL of a running mobiserved; "" = in-process
+	conc      int
+	duration  time.Duration
+	workloads []string
+	nodes     int
+	agents    int
+	out       string // "-" = stdout; "" = validate only
+	smoke     bool
+}
+
+// knownWorkloads in report order.
+var knownWorkloads = []string{"cold", "cached", "sweep", "series"}
+
+// normalizeAddr turns a bare host:port into a base URL, so
+// `-addr localhost:8080` and `-addr http://localhost:8080` both work.
+func normalizeAddr(addr string) string {
+	if addr == "" || strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mobibench", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "", "host:port or base URL of a running mobiserved (default: start one in-process)")
+		conc      = fs.Int("c", 8, "concurrent closed-loop clients per workload")
+		duration  = fs.Duration("d", 3*time.Second, "measured duration per workload phase")
+		workloads = fs.String("workloads", strings.Join(knownWorkloads, ","), "comma-separated workload phases to run")
+		nodes     = fs.Int("nodes", 256, "grid nodes of the probe scenario")
+		agents    = fs.Int("agents", 8, "agents of the probe scenario")
+		outPath   = fs.String("out", "BENCH_load.json", "baseline file to write ('-' = stdout)")
+		smoke     = fs.Bool("smoke", false, "CI smoke mode: in-process server, short phases, validate the report schema, write nothing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := benchConfig{
+		addr: normalizeAddr(*addr), conc: *conc, duration: *duration,
+		nodes: *nodes, agents: *agents, out: *outPath, smoke: *smoke,
+	}
+	if cfg.smoke {
+		// Seconds, not minutes: every workload path is exercised, but just
+		// long enough to produce non-degenerate quantiles.
+		cfg.addr = ""
+		cfg.conc = 4
+		cfg.duration = 250 * time.Millisecond
+		cfg.out = ""
+	}
+	if cfg.conc < 1 || cfg.duration <= 0 || cfg.nodes < 4 || cfg.agents < 1 {
+		return fmt.Errorf("c, d, nodes and agents must be positive (and nodes at least 4)")
+	}
+	for _, w := range strings.Split(*workloads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		known := false
+		for _, k := range knownWorkloads {
+			known = known || w == k
+		}
+		if !known {
+			return fmt.Errorf("unknown workload %q (want a subset of %s)", w, strings.Join(knownWorkloads, ","))
+		}
+		cfg.workloads = append(cfg.workloads, w)
+	}
+	if len(cfg.workloads) == 0 {
+		return fmt.Errorf("no workloads selected")
+	}
+
+	report, err := runBench(cfg, out)
+	if err != nil {
+		return err
+	}
+	if err := validateReport(report, cfg.workloads); err != nil {
+		return fmt.Errorf("report failed schema validation: %w", err)
+	}
+	encoded, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	encoded = append(encoded, '\n')
+	switch cfg.out {
+	case "":
+		fmt.Fprintf(out, "mobibench: schema ok, %d workloads validated, nothing written\n", len(report.Results))
+	case "-":
+		out.Write(encoded)
+	default:
+		if err := os.WriteFile(cfg.out, encoded, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mobibench: wrote %s\n", cfg.out)
+	}
+	return nil
+}
+
+// Report is the BENCH_load.json schema, following the repo's baseline-file
+// convention (description with the regeneration command, recorded date,
+// environment, per-key results).
+type Report struct {
+	Description string                    `json:"description"`
+	Recorded    string                    `json:"recorded"`
+	Environment Environment               `json:"environment"`
+	Config      RunConfig                 `json:"config"`
+	Results     map[string]WorkloadResult `json:"results"`
+	Notes       string                    `json:"notes,omitempty"`
+}
+
+// Environment records where the baseline was taken.
+type Environment struct {
+	Goos       string `json:"goos"`
+	Goarch     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+}
+
+// RunConfig records the offered load.
+type RunConfig struct {
+	Target      string  `json:"target"` // "in-process" or the -addr URL
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"` // per workload phase
+	Nodes       int     `json:"nodes"`
+	Agents      int     `json:"agents"`
+}
+
+// Quantiles are latency quantiles in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+}
+
+// WorkloadResult is one workload phase's outcome: client-side end-to-end
+// latency, saturation throughput at the offered concurrency, and the
+// server's own stage latencies recovered from /metrics for the same
+// window (scrape-resolution quantiles; absent for stages that did not
+// fire during the phase).
+type WorkloadResult struct {
+	Requests       uint64               `json:"requests"`
+	Errors         uint64               `json:"errors"`
+	ThroughputRPS  float64              `json:"throughput_rps"`
+	LatencyMS      Quantiles            `json:"latency_ms"`
+	ServerStagesMS map[string]Quantiles `json:"server_stages_ms,omitempty"`
+}
+
+// runBench stands up (or connects to) the service, runs every selected
+// workload phase, and assembles the report.
+func runBench(cfg benchConfig, progress io.Writer) (*Report, error) {
+	base := cfg.addr
+	if base == "" {
+		local, shutdown, err := startLocal()
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		base = local
+	}
+	cl := newClient(base, cfg.conc)
+	if err := cl.waitHealthy(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	target := "in-process"
+	if cfg.addr != "" {
+		target = cfg.addr
+	}
+	report := &Report{
+		Description: fmt.Sprintf(
+			"Service load baseline: closed-loop mobibench clients against a real mobiserved (%s), one phase per workload at concurrency %d for %s each. latency_ms is client-measured end-to-end (submit to result available) on log-bucketed telemetry histograms; server_stages_ms are the daemon's own mobiserved_stage_seconds histograms scraped off /metrics and differenced over the phase window; throughput_rps is completed requests over the phase wall-clock — the saturation throughput at this offered concurrency. Regenerate with: go run ./cmd/mobibench -c %d -d %s -out BENCH_load.json",
+			target, cfg.conc, cfg.duration, cfg.conc, cfg.duration),
+		Recorded: time.Now().Format("2006-01-02"),
+		Environment: Environment{
+			Goos: runtime.GOOS, Goarch: runtime.GOARCH,
+			GoVersion: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0),
+		},
+		Config: RunConfig{
+			Target: target, Concurrency: cfg.conc,
+			DurationS: cfg.duration.Seconds(), Nodes: cfg.nodes, Agents: cfg.agents,
+		},
+		Results: make(map[string]WorkloadResult, len(cfg.workloads)),
+		Notes:   "Workloads: cold = unique-seed scenarios (every request simulates), cached = one scenario re-submitted (LRU hit path), sweep = two-point sweeps with unique base seeds, series = NDJSON series fetches of one observed scenario. The cold/cached latency gap is the value of content-hash caching at the service level; queue_wait vs execute in server_stages_ms separates saturation from simulation cost.",
+	}
+	for _, name := range cfg.workloads {
+		fmt.Fprintf(progress, "mobibench: workload %s (c=%d, %s)\n", name, cfg.conc, cfg.duration)
+		res, err := runPhase(cl, name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", name, err)
+		}
+		report.Results[name] = res
+	}
+	return report, nil
+}
+
+// runPhase prepares one workload, scrapes the server's histograms, runs
+// the closed loop for the configured duration, scrapes again, and folds
+// both views into the result.
+func runPhase(cl *client, name string, cfg benchConfig) (WorkloadResult, error) {
+	request, err := makeWorkload(cl, name, cfg)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	before, err := cl.scrape()
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+
+	var (
+		hist     telemetry.Histogram
+		requests atomic.Uint64
+		errCount atomic.Uint64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := request(); err != nil {
+					errCount.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				hist.Since(t0)
+				requests.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := cl.scrape()
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	n := requests.Load()
+	if n == 0 {
+		if firstErr != nil {
+			return WorkloadResult{}, fmt.Errorf("no request succeeded; first error: %w", firstErr)
+		}
+		return WorkloadResult{}, fmt.Errorf("no request completed within %s", cfg.duration)
+	}
+
+	res := WorkloadResult{
+		Requests:      n,
+		Errors:        errCount.Load(),
+		ThroughputRPS: float64(n) / elapsed.Seconds(),
+		LatencyMS: Quantiles{
+			P50:  ms(hist.Quantile(0.50)),
+			P90:  ms(hist.Quantile(0.90)),
+			P99:  ms(hist.Quantile(0.99)),
+			Mean: hist.Sum().Seconds() * 1e3 / float64(n),
+		},
+		ServerStagesMS: make(map[string]Quantiles),
+	}
+	for _, stage := range []string{"admission", "queue_wait", "execute", "assemble", "cache_write", "sweep_expand", "series_render"} {
+		key := `mobiserved_stage_seconds{stage="` + stage + `"}`
+		a, okA := after[key]
+		if !okA {
+			continue
+		}
+		window := a
+		if b, okB := before[key]; okB {
+			if diff, ok := a.Sub(b); ok {
+				window = diff
+			}
+		}
+		if window.Count() == 0 {
+			continue
+		}
+		res.ServerStagesMS[stage] = Quantiles{
+			P50:  window.Quantile(0.50) * 1e3,
+			P90:  window.Quantile(0.90) * 1e3,
+			P99:  window.Quantile(0.99) * 1e3,
+			Mean: window.Sum / float64(window.Count()) * 1e3,
+		}
+	}
+	if len(res.ServerStagesMS) == 0 {
+		res.ServerStagesMS = nil
+	}
+	return res, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// makeWorkload returns the request function one closed-loop client calls
+// repeatedly, after any pre-warm the workload needs. Seeds come from a
+// package-level counter so every "unique" request is unique across the
+// whole bench run, phases included.
+func makeWorkload(cl *client, name string, cfg benchConfig) (func() error, error) {
+	spec := func(seed uint64) []byte {
+		return []byte(fmt.Sprintf(`{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d}`, cfg.nodes, cfg.agents, seed))
+	}
+	switch name {
+	case "cold":
+		return func() error {
+			_, err := cl.submitAndWait(spec(nextSeed()))
+			return err
+		}, nil
+	case "cached":
+		warm := spec(1)
+		if _, err := cl.submitAndWait(warm); err != nil {
+			return nil, fmt.Errorf("pre-warm: %w", err)
+		}
+		return func() error {
+			_, err := cl.submitAndWait(warm)
+			return err
+		}, nil
+	case "sweep":
+		return func() error {
+			seed := nextSeed()
+			body := fmt.Sprintf(
+				`{"base":{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d},"axes":[{"field":"agents","values":[%d,%d]}]}`,
+				cfg.nodes, cfg.agents, seed, cfg.agents, cfg.agents*2)
+			return cl.sweepAndWait([]byte(body))
+		}, nil
+	case "series":
+		observed := []byte(fmt.Sprintf(
+			`{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":2,"observe":{"observables":["informed"],"every":4}}`,
+			cfg.nodes, cfg.agents))
+		hash, err := cl.submitAndWait(observed)
+		if err != nil {
+			return nil, fmt.Errorf("pre-warm: %w", err)
+		}
+		return func() error { return cl.getSeries(hash) }, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+var seedCounter atomic.Uint64
+
+// nextSeed returns a seed no other request of this bench run has used.
+// The fixed offset keeps the generated specs clear of the small seeds the
+// warm workloads and the repo's examples pin.
+func nextSeed() uint64 { return 1_000_000 + seedCounter.Add(1) }
+
+// startLocal boots an in-process mobiserved-equivalent (the same
+// simserve.Server behind a plain http.Server on a loopback port) and
+// returns its base URL and a shutdown func.
+func startLocal() (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	svc := simserve.New(simserve.Config{})
+	hs := &http.Server{Handler: svc}
+	go hs.Serve(l)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		svc.Shutdown(ctx)
+	}
+	return "http://" + l.Addr().String(), shutdown, nil
+}
+
+// client is a thin HTTP client over the service API with the polling
+// loops the closed-loop workers run.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func newClient(base string, conc int) *client {
+	tr := &http.Transport{
+		MaxIdleConns:        conc * 2,
+		MaxIdleConnsPerHost: conc * 2,
+	}
+	return &client{base: strings.TrimRight(base, "/"), hc: &http.Client{Transport: tr, Timeout: 60 * time.Second}}
+}
+
+func (c *client) waitHealthy(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := c.hc.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s never became healthy", c.base)
+}
+
+// pollInterval paces job/sweep polling; well under the cold scenario's
+// execution time, so polling quantisation stays small against the
+// latencies being measured.
+const pollInterval = 300 * time.Microsecond
+
+// requestBudget caps one closed-loop request end to end, so a wedged
+// server fails the bench instead of hanging it.
+const requestBudget = 30 * time.Second
+
+var errJobFailed = errors.New("job failed")
+
+// submitAndWait POSTs a scenario and blocks until its result exists,
+// returning the content hash. A 200 is the cached fast path; a 202 is
+// polled through /v1/jobs/{id}.
+func (c *client) submitAndWait(spec []byte) (string, error) {
+	resp, err := c.hc.Post(c.base+"/v1/run", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("POST /v1/run: status %d: %.200s", resp.StatusCode, body)
+	}
+	var ticket struct {
+		JobID  string `json:"job_id"`
+		Hash   string `json:"hash"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &ticket); err != nil {
+		return "", err
+	}
+	if ticket.Cached {
+		return ticket.Hash, nil
+	}
+	deadline := time.Now().Add(requestBudget)
+	for time.Now().Before(deadline) {
+		resp, err := c.hc.Get(c.base + "/v1/jobs/" + ticket.JobID)
+		if err != nil {
+			return "", err
+		}
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch view.Status {
+		case "done":
+			return ticket.Hash, nil
+		case "failed":
+			return "", fmt.Errorf("%w: %s", errJobFailed, view.Error)
+		}
+		time.Sleep(pollInterval)
+	}
+	return "", fmt.Errorf("job %s did not finish within %s", ticket.JobID, requestBudget)
+}
+
+// sweepAndWait POSTs a sweep spec and polls /v1/sweeps/{id} to completion.
+func (c *client) sweepAndWait(spec []byte) error {
+	resp, err := c.hc.Post(c.base+"/v1/sweeps", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/sweeps: status %d: %.200s", resp.StatusCode, body)
+	}
+	var ticket struct {
+		SweepID string `json:"sweep_id"`
+	}
+	if err := json.Unmarshal(body, &ticket); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(requestBudget)
+	for time.Now().Before(deadline) {
+		resp, err := c.hc.Get(c.base + "/v1/sweeps/" + ticket.SweepID)
+		if err != nil {
+			return err
+		}
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch view.Status {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("sweep failed: %s", view.Error)
+		}
+		time.Sleep(pollInterval)
+	}
+	return fmt.Errorf("sweep %s did not finish within %s", ticket.SweepID, requestBudget)
+}
+
+// getSeries fetches a cached result's NDJSON series.
+func (c *client) getSeries(hash string) error {
+	resp, err := c.hc.Get(c.base + "/v1/results/" + hash + "/series")
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET series: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrape fetches /metrics and parses every histogram series out of it.
+func (c *client) scrape() (map[string]telemetry.ScrapedHistogram, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return telemetry.ParseHistograms(string(body)), nil
+}
+
+// validateReport checks the BENCH_load.json invariants every consumer
+// (and the CI smoke job) relies on: the regeneration command in the
+// description, and per requested workload a non-degenerate result with
+// ordered quantiles and no errors.
+func validateReport(r *Report, workloads []string) error {
+	if !strings.Contains(r.Description, "go run ./cmd/mobibench") {
+		return fmt.Errorf("description lacks the regeneration command")
+	}
+	if r.Recorded == "" {
+		return fmt.Errorf("recorded date missing")
+	}
+	for _, name := range workloads {
+		res, ok := r.Results[name]
+		if !ok {
+			return fmt.Errorf("workload %s missing from results", name)
+		}
+		switch {
+		case res.Requests == 0:
+			return fmt.Errorf("workload %s completed zero requests", name)
+		case res.Errors != 0:
+			return fmt.Errorf("workload %s had %d errors", name, res.Errors)
+		case res.ThroughputRPS <= 0:
+			return fmt.Errorf("workload %s throughput %g", name, res.ThroughputRPS)
+		case res.LatencyMS.P50 <= 0 || res.LatencyMS.P99 < res.LatencyMS.P50:
+			return fmt.Errorf("workload %s quantiles out of order: p50 %g p99 %g", name, res.LatencyMS.P50, res.LatencyMS.P99)
+		}
+	}
+	return nil
+}

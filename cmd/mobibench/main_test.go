@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-c", "0"},
+		{"-d", "0s"},
+		{"-nodes", "1"},
+		{"-agents", "0"},
+		{"-workloads", "cold,warmish"},
+		{"-workloads", ","},
+		{"-definitely-not-a-flag"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	t.Parallel()
+	for in, want := range map[string]string{
+		"":                      "",
+		"localhost:8080":        "http://localhost:8080",
+		"127.0.0.1:18080":       "http://127.0.0.1:18080",
+		"http://localhost:8080": "http://localhost:8080",
+		"https://bench.example": "https://bench.example",
+	} {
+		if got := normalizeAddr(in); got != want {
+			t.Errorf("normalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSmoke is the CI entry point's twin: the full in-process bench at
+// smoke scale, every workload phase exercised, the report schema
+// validated, and nothing written to disk.
+func TestSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-smoke"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "schema ok") {
+		t.Errorf("smoke output missing validation line:\n%s", out.String())
+	}
+}
+
+// TestWritesBaselineFile runs a tiny two-workload bench into a temp file
+// and checks the acceptance-criterion fields survive a JSON round trip:
+// p50/p99 latency and throughput for the cold and cached workloads, and
+// the regeneration command in the description.
+func TestWritesBaselineFile(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	var out bytes.Buffer
+	err := run([]string{"-c", "2", "-d", "200ms", "-workloads", "cold,cached", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Description, "go run ./cmd/mobibench") {
+		t.Error("description lacks the regeneration command")
+	}
+	for _, name := range []string{"cold", "cached"} {
+		res, ok := rep.Results[name]
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		if res.LatencyMS.P50 <= 0 || res.LatencyMS.P99 < res.LatencyMS.P50 || res.ThroughputRPS <= 0 {
+			t.Errorf("%s: degenerate result %+v", name, res)
+		}
+	}
+	// The cold workload must have recorded server-side queue-wait and
+	// execution stages for its window.
+	cold := rep.Results["cold"]
+	for _, stage := range []string{"queue_wait", "execute"} {
+		if q, ok := cold.ServerStagesMS[stage]; !ok || q.P99 <= 0 {
+			t.Errorf("cold workload missing server stage %q (got %+v)", stage, cold.ServerStagesMS)
+		}
+	}
+}
+
+func TestValidateReport(t *testing.T) {
+	t.Parallel()
+	good := func() *Report {
+		return &Report{
+			Description: "x. Regenerate with: go run ./cmd/mobibench",
+			Recorded:    time.Now().Format("2006-01-02"),
+			Results: map[string]WorkloadResult{
+				"cold": {Requests: 10, ThroughputRPS: 5, LatencyMS: Quantiles{P50: 1, P99: 2}},
+			},
+		}
+	}
+	if err := validateReport(good(), []string{"cold"}); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	for name, breakIt := range map[string]func(*Report){
+		"missing regen command": func(r *Report) { r.Description = "nope" },
+		"missing workload":      func(r *Report) { delete(r.Results, "cold") },
+		"zero requests":         func(r *Report) { r.Results["cold"] = WorkloadResult{} },
+		"errors": func(r *Report) {
+			w := r.Results["cold"]
+			w.Errors = 1
+			r.Results["cold"] = w
+		},
+		"inverted quantiles": func(r *Report) {
+			w := r.Results["cold"]
+			w.LatencyMS = Quantiles{P50: 5, P99: 1}
+			r.Results["cold"] = w
+		},
+	} {
+		r := good()
+		breakIt(r)
+		if err := validateReport(r, []string{"cold"}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

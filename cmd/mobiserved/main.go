@@ -17,9 +17,20 @@
 // NDJSON — byte-identical to a library or `mobisim -series-out -` render
 // of the same scenario, and cached through the same LRU.
 //
+// The daemon is observable end to end (internal/telemetry): /metrics
+// serves the service counters plus request-lifecycle latency histograms
+// (admission, queue wait, per-replicate execution, assembly, cache
+// writes, sweep expansion, series rendering) and per-route HTTP
+// latencies, alongside process uptime and build info. Every request is
+// logged through log/slog with a per-request id; requests slower than
+// -slow-ms are logged at warn level. -pprof mounts the standard
+// net/http/pprof handlers under /debug/pprof/ for live CPU and heap
+// profiling (off by default: profiles expose internals, so opt in).
+//
 // Usage:
 //
-//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024 -series-points 1048576
+//	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024 -series-points 1048576 \
+//	           -log-level info -slow-ms 1000 -pprof
 //
 // Quickstart:
 //
@@ -31,6 +42,7 @@
 //	curl -s localhost:8080/v1/sweeps -d '{"base":{"engine":"broadcast","nodes":16384,"agents":64,"seed":1},"axes":[{"field":"agents","values":[16,64,256]}]}'
 //	curl -s localhost:8080/v1/sweeps/sweep-1
 //	curl -s localhost:8080/metrics
+//	go tool pprof localhost:8080/debug/pprof/profile?seconds=10   # with -pprof
 //
 // SIGINT/SIGTERM drain the queue and shut the server down gracefully.
 package main
@@ -40,14 +52,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mobilenet/internal/simserve"
+	"mobilenet/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +75,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mobiserved:", err)
 		os.Exit(1)
 	}
+}
+
+// serveOpts bundles everything serve needs beyond the service config.
+type serveOpts struct {
+	cfg    simserve.Config
+	grace  time.Duration
+	pprof  bool          // mount /debug/pprof/
+	slow   time.Duration // warn-level threshold for request logs; 0 disables
+	logger *slog.Logger
 }
 
 func run(ctx context.Context, args []string, out *os.File) error {
@@ -69,30 +96,75 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		sweepPoints  = fs.Int("sweep-points", 0, "max expanded points per submitted sweep (0 = 1024)")
 		seriesPoints = fs.Int("series-points", 0, "max recorded series points per replicate of an observed scenario (0 = 1048576)")
 		grace        = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		logLevel     = fs.String("log-level", "info", "request-log level: debug, info, warn or error")
+		slowMS       = fs.Int("slow-ms", 1000, "log requests slower than this many milliseconds at warn level (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers < 0 || *queue < 0 || *cache < 0 || *sweepPoints < 0 || *seriesPoints < 0 {
-		return fmt.Errorf("workers, queue, cache, sweep-points and series-points must be non-negative")
+	if *workers < 0 || *queue < 0 || *cache < 0 || *sweepPoints < 0 || *seriesPoints < 0 || *slowMS < 0 {
+		return fmt.Errorf("workers, queue, cache, sweep-points, series-points and slow-ms must be non-negative")
+	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	return serve(ctx, l, simserve.Config{
-		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
-		MaxSweepPoints: *sweepPoints, MaxSeriesPoints: *seriesPoints,
-	}, *grace, out)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	return serve(ctx, l, serveOpts{
+		cfg: simserve.Config{
+			Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
+			MaxSweepPoints: *sweepPoints, MaxSeriesPoints: *seriesPoints,
+		},
+		grace:  *grace,
+		pprof:  *pprofFlag,
+		slow:   time.Duration(*slowMS) * time.Millisecond,
+		logger: logger,
+	}, out)
+}
+
+// parseLogLevel maps the -log-level flag onto a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
 }
 
 // serve runs the service on the given listener until ctx is cancelled,
 // then shuts down gracefully: in-flight HTTP requests finish, the queue
 // drains, and the worker pool exits, all within the grace budget.
-func serve(ctx context.Context, l net.Listener, cfg simserve.Config, grace time.Duration, out *os.File) error {
-	svc := simserve.New(cfg)
+func serve(ctx context.Context, l net.Listener, opts serveOpts, out *os.File) error {
+	svc := simserve.New(opts.cfg)
+	registerProcessMetrics(svc.Metrics())
+	var handler http.Handler = requestLogger(svc, opts.logger, opts.slow)
+	if opts.pprof {
+		// Explicit handler registration instead of the package's
+		// DefaultServeMux side effect: profiling stays opt-in per process,
+		// and the profiled mux bypasses the request logger (a 30-second
+		// CPU profile is not a slow request).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Handler: svc,
+		Handler: handler,
 		// The daemon faces untrusted clients: bound how long a connection
 		// may dribble its headers or sit idle, or slowloris-style clients
 		// exhaust goroutines and file descriptors.
@@ -110,7 +182,7 @@ func serve(ctx context.Context, l net.Listener, cfg simserve.Config, grace time.
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "mobiserved shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), opts.grace)
 	defer cancel()
 	err := httpSrv.Shutdown(shutCtx)
 	if serr := svc.Shutdown(shutCtx); err == nil {
@@ -120,4 +192,74 @@ func serve(ctx context.Context, l net.Listener, cfg simserve.Config, grace time.
 		err = nil
 	}
 	return err
+}
+
+// registerProcessMetrics adds the daemon-level gauges to the service's
+// /metrics exposition: uptime (computed at scrape) and build info (the
+// constant-1 Prometheus convention with the payload in labels).
+func registerProcessMetrics(m *telemetry.Registry) {
+	start := time.Now()
+	m.GaugeFunc("mobiserved_uptime_seconds", "Seconds since the process started serving.",
+		func() float64 { return time.Since(start).Seconds() })
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
+		}
+	}
+	m.Info("mobiserved_build_info", "Build metadata; the value is always 1.",
+		telemetry.Label{Name: "go_version", Value: runtime.Version()},
+		telemetry.Label{Name: "revision", Value: revision})
+}
+
+// statusWriter captures the status code and body size a handler wrote, for
+// the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestLogger wraps the service with structured per-request logging:
+// every request gets a process-unique id and an info-level line with
+// method, path, status, bytes and duration; requests at or above the slow
+// threshold are promoted to warn level so tail latency shows up in logs
+// even when /metrics is not being watched.
+func requestLogger(next http.Handler, log *slog.Logger, slow time.Duration) http.Handler {
+	var seq atomic.Uint64
+	base := time.Now().UnixNano()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%x-%d", base, seq.Add(1))
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		d := time.Since(t0)
+		attrs := []any{
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(d.Microseconds()) / 1000,
+			"remote", r.RemoteAddr,
+		}
+		if slow > 0 && d >= slow {
+			log.Warn("slow request", attrs...)
+		} else {
+			log.Info("request", attrs...)
+		}
+	})
 }

@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,6 +23,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-workers", "-1"},
 		{"-queue", "-1"},
 		{"-cache", "-1"},
+		{"-slow-ms", "-1"},
+		{"-log-level", "loud"},
 		{"-definitely-not-a-flag"},
 		{"-addr", "not-an-address:-1:-1"},
 	} {
@@ -28,6 +32,45 @@ func TestRunRejectsBadFlags(t *testing.T) {
 			t.Errorf("args %v accepted", args)
 		}
 	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	t.Parallel()
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := parseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("parseLogLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseLogLevel("verbose"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output
+// from the server's handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+func testLogger(buf *syncBuffer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(buf, &slog.HandlerOptions{Level: level}))
 }
 
 // TestServeEndToEnd boots the daemon on an ephemeral port, drives the whole
@@ -39,10 +82,17 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := "http://" + l.Addr().String()
+	var logs syncBuffer
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serve(ctx, l, simserve.Config{Workers: 2}, 30*time.Second, os.Stdout)
+		done <- serve(ctx, l, serveOpts{
+			cfg:    simserve.Config{Workers: 2},
+			grace:  30 * time.Second,
+			pprof:  true,
+			slow:   time.Nanosecond, // everything is "slow": exercises the warn path
+			logger: testLogger(&logs, slog.LevelInfo),
+		}, os.Stdout)
 	}()
 
 	waitHealthy(t, base)
@@ -84,6 +134,38 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("result payload: %s", result)
 	}
 
+	// The daemon's own telemetry: /metrics carries the process gauges and
+	// the lifecycle histograms the completed job recorded into.
+	metrics, code := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"mobiserved_uptime_seconds ",
+		`mobiserved_build_info{go_version="`,
+		`mobiserved_stage_seconds_bucket{stage="queue_wait"`,
+		`mobiserved_stage_seconds_bucket{stage="execute"`,
+		`mobiserved_http_request_seconds_bucket{route="run"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// -pprof mounted the profiling index.
+	if body, code := getBody(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profiles") {
+		t.Errorf("pprof index: status %d body %.80s", code, body)
+	}
+
+	// Every request was logged with an id; the 1 ns slow threshold forces
+	// the warn path.
+	logged := logs.String()
+	for _, want := range []string{"slow request", "id=", "path=/v1/run", "status=", "duration_ms="} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("request log missing %q:\n%s", want, logged)
+		}
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -93,6 +175,20 @@ func TestServeEndToEnd(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("serve did not shut down")
 	}
+}
+
+func getBody(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.StatusCode
 }
 
 func waitHealthy(t *testing.T, base string) {

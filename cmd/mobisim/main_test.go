@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -224,12 +225,17 @@ func TestRunSweepFile(t *testing.T) {
 	}
 }
 
+// exampleSweepFiles is the pinned list of sweep specs shipped under
+// examples/sweeps/; TestExampleSweepREADMECoversDirectory keeps it in
+// sync with the directory contents.
+var exampleSweepFiles = []string{"e1_k_sweep.json", "mobility_contrast.json", "observe_informed.json"}
+
 // TestExampleSweepFilesAreRunnable pins the sweep specs shipped under
 // examples/sweeps/ (and quoted in EXPERIMENTS.md) to the current grammar:
 // they must parse, validate and expand.
 func TestExampleSweepFilesAreRunnable(t *testing.T) {
 	t.Parallel()
-	for _, name := range []string{"e1_k_sweep.json", "mobility_contrast.json", "observe_informed.json"} {
+	for _, name := range exampleSweepFiles {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -249,5 +255,36 @@ func TestExampleSweepFilesAreRunnable(t *testing.T) {
 				t.Errorf("%s expands to %d points", name, len(points))
 			}
 		})
+	}
+}
+
+// TestExampleSweepREADMECoversDirectory pins examples/sweeps/README.md to
+// the directory: every shipped spec file must appear in the README's
+// table, and every spec file on disk must be in the pinned list above —
+// adding a spec without documenting it (or documenting one that was
+// removed) fails here.
+func TestExampleSweepREADMECoversDirectory(t *testing.T) {
+	t.Parallel()
+	readme, err := os.ReadFile("../../examples/sweeps/README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range exampleSweepFiles {
+		if !strings.Contains(string(readme), name) {
+			t.Errorf("examples/sweeps/README.md does not list %s", name)
+		}
+	}
+	entries, err := os.ReadDir("../../examples/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := make(map[string]bool, len(exampleSweepFiles))
+	for _, name := range exampleSweepFiles {
+		pinned[name] = true
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" && !pinned[e.Name()] {
+			t.Errorf("examples/sweeps/%s is not in exampleSweepFiles (and so neither run nor documented by these tests)", e.Name())
+		}
 	}
 }

@@ -99,6 +99,8 @@
 //
 //   - cmd/mobisim — single-run and sweep CLI (specs, tracing, profiling)
 //   - cmd/mobiserved — the HTTP simulation service (runs + sweep batches)
+//   - cmd/mobibench — closed-loop load generator for the service
+//     (BENCH_load.json baseline)
 //   - cmd/experiments, cmd/paperrepro — the E1–E17/X1–X8 validation suite
 //   - cmd/percmap, cmd/tracecat — percolation maps, trace inspection
 //   - cmd/doccheck — CI gate for godoc coverage and Markdown links
@@ -121,7 +123,11 @@
 //   - internal/scenario — declarative specs, canonicalisation, content
 //     hashes, the Runner registry
 //   - internal/sweep — declarative parameter sweeps over scenarios
-//   - internal/simserve — worker pool, result cache, HTTP service
+//   - internal/telemetry — dependency-free metrics kernel: atomic
+//     counters, gauges, log-bucketed latency histograms, Prometheus
+//     text exposition
+//   - internal/simserve — worker pool, result cache, HTTP service,
+//     request-lifecycle stage histograms
 //   - internal/experiments, internal/stats, internal/tableio,
 //     internal/plot, internal/theory — the validation suite and its
 //     statistics, rendering and closed-form envelopes

@@ -3,9 +3,9 @@ package simserve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"mobilenet/internal/scenario"
 	"mobilenet/internal/sweep"
@@ -31,15 +31,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func newMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
-	mux.HandleFunc("GET /v1/results/{hash}/series", s.handleSeries)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.timed("jobs", s.handleJob))
+	mux.HandleFunc("GET /v1/results/{hash}", s.timed("results", s.handleResult))
+	mux.HandleFunc("GET /v1/results/{hash}/series", s.timed("series", s.handleSeries))
+	mux.HandleFunc("POST /v1/sweeps", s.timed("sweep_submit", s.handleSweepSubmit))
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.timed("sweeps", s.handleSweep))
+	mux.HandleFunc("GET /healthz", s.timed("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
 	return mux
+}
+
+// timed wraps a handler with the route's HTTP latency histogram. The
+// route label is a registration-time constant — never a raw request path
+// — so the label set stays bounded no matter what clients send.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.httpHists[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		hist.Since(t0)
+	}
 }
 
 // httpError writes a JSON error body with the given status.
@@ -165,52 +177,4 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-// handleMetrics renders the service gauges and counters in the Prometheus
-// text exposition format (hand-rolled: the repo takes no dependencies).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits := s.cacheHits.Load()
-	misses := s.cacheMisses.Load()
-	hitRate := 0.0
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses)
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP mobiserved_queue_depth Replicate tasks waiting for a worker.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_queue_depth gauge\n")
-	fmt.Fprintf(w, "mobiserved_queue_depth %d\n", s.QueueDepth())
-	fmt.Fprintf(w, "# HELP mobiserved_workers Size of the worker pool.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_workers gauge\n")
-	fmt.Fprintf(w, "mobiserved_workers %d\n", s.cfg.Workers)
-	fmt.Fprintf(w, "# HELP mobiserved_jobs_served_total Jobs completed successfully.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_jobs_served_total counter\n")
-	fmt.Fprintf(w, "mobiserved_jobs_served_total %d\n", s.jobsServed.Load())
-	fmt.Fprintf(w, "# HELP mobiserved_jobs_failed_total Jobs that ended in an error.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_jobs_failed_total counter\n")
-	fmt.Fprintf(w, "mobiserved_jobs_failed_total %d\n", s.jobsFailed.Load())
-	fmt.Fprintf(w, "# HELP mobiserved_cache_hits_total Submissions answered from the result cache.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_cache_hits_total counter\n")
-	fmt.Fprintf(w, "mobiserved_cache_hits_total %d\n", hits)
-	fmt.Fprintf(w, "# HELP mobiserved_cache_misses_total Submissions that had to run.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_cache_misses_total counter\n")
-	fmt.Fprintf(w, "mobiserved_cache_misses_total %d\n", misses)
-	fmt.Fprintf(w, "# HELP mobiserved_cache_hit_rate Fraction of submissions answered from cache.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_cache_hit_rate gauge\n")
-	fmt.Fprintf(w, "mobiserved_cache_hit_rate %g\n", hitRate)
-	fmt.Fprintf(w, "# HELP mobiserved_cache_entries Results currently cached.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_cache_entries gauge\n")
-	fmt.Fprintf(w, "mobiserved_cache_entries %d\n", s.cache.Len())
-	fmt.Fprintf(w, "# HELP mobiserved_sweeps_served_total Sweeps completed successfully.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_sweeps_served_total counter\n")
-	fmt.Fprintf(w, "mobiserved_sweeps_served_total %d\n", s.sweepsServed.Load())
-	fmt.Fprintf(w, "# HELP mobiserved_sweeps_failed_total Sweeps that ended in an error.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_sweeps_failed_total counter\n")
-	fmt.Fprintf(w, "mobiserved_sweeps_failed_total %d\n", s.sweepsFailed.Load())
-	fmt.Fprintf(w, "# HELP mobiserved_sweep_points_cached_total Sweep points answered from the result cache.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_sweep_points_cached_total counter\n")
-	fmt.Fprintf(w, "mobiserved_sweep_points_cached_total %d\n", s.sweepPointsCached.Load())
-	fmt.Fprintf(w, "# HELP mobiserved_series_served_total Observed-series payloads served.\n")
-	fmt.Fprintf(w, "# TYPE mobiserved_series_served_total counter\n")
-	fmt.Fprintf(w, "mobiserved_series_served_total %d\n", s.seriesServed.Load())
 }

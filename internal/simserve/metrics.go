@@ -1,0 +1,98 @@
+package simserve
+
+import (
+	"net/http"
+
+	"mobilenet/internal/telemetry"
+)
+
+// Request-lifecycle stages recorded into the mobiserved_stage_seconds
+// histogram family. The taxonomy follows one submission through the
+// service: admission (parse-side validation, canonicalisation, hashing,
+// bounds and cache probes), queue wait (task enqueue to worker pickup),
+// per-replicate execution (Runner.RunRep), result assembly (Assemble plus
+// JSON encoding), and the cache write; sweep expansion/dedup and series
+// rendering are the two batch-side stages that happen outside the
+// single-run path. Keeping queue wait separate from execution is the
+// point of the split: a saturated server shows queue-wait p99 exploding
+// while execution stays flat, and no single end-to-end number can tell
+// those apart.
+const (
+	stageAdmission    = "admission"
+	stageQueueWait    = "queue_wait"
+	stageExecute      = "execute"
+	stageAssemble     = "assemble"
+	stageCacheWrite   = "cache_write"
+	stageSweepExpand  = "sweep_expand"
+	stageSeriesRender = "series_render"
+)
+
+// httpRoutes are the route labels of the mobiserved_http_request_seconds
+// histogram family, in registration (and therefore exposition) order.
+var httpRoutes = []string{"run", "jobs", "results", "series", "sweep_submit", "sweeps", "healthz", "metrics"}
+
+// initMetrics builds the server's telemetry registry. Registration order
+// is exposition order, and the first twelve families reproduce the
+// pre-telemetry hand-written /metrics body byte for byte (names, HELP and
+// TYPE lines pinned by TestMetricsGoldenExposition); the histogram
+// families follow and materialise lazily, series by series, as
+// instrumentation fires. The cache hit rate is derived from the two
+// counters at scrape time — the server stores only the counters.
+func (s *Server) initMetrics() {
+	m := telemetry.NewRegistry()
+	s.metrics = m
+	m.IntGaugeFunc("mobiserved_queue_depth", "Replicate tasks waiting for a worker.",
+		func() int64 { return int64(s.QueueDepth()) })
+	m.IntGaugeFunc("mobiserved_workers", "Size of the worker pool.",
+		func() int64 { return int64(s.cfg.Workers) })
+	s.jobsServed = m.Counter("mobiserved_jobs_served_total", "Jobs completed successfully.")
+	s.jobsFailed = m.Counter("mobiserved_jobs_failed_total", "Jobs that ended in an error.")
+	s.cacheHits = m.Counter("mobiserved_cache_hits_total", "Submissions answered from the result cache.")
+	s.cacheMisses = m.Counter("mobiserved_cache_misses_total", "Submissions that had to run.")
+	m.GaugeFunc("mobiserved_cache_hit_rate", "Fraction of submissions answered from cache.",
+		func() float64 {
+			hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+			if hits+misses == 0 {
+				return 0
+			}
+			return float64(hits) / float64(hits+misses)
+		})
+	m.IntGaugeFunc("mobiserved_cache_entries", "Results currently cached.",
+		func() int64 { return int64(s.cache.Len()) })
+	s.sweepsServed = m.Counter("mobiserved_sweeps_served_total", "Sweeps completed successfully.")
+	s.sweepsFailed = m.Counter("mobiserved_sweeps_failed_total", "Sweeps that ended in an error.")
+	s.sweepPointsCached = m.Counter("mobiserved_sweep_points_cached_total", "Sweep points answered from the result cache.")
+	s.seriesServed = m.Counter("mobiserved_series_served_total", "Observed-series payloads served.")
+
+	const stageHelp = "Request-lifecycle stage latency in seconds."
+	s.stages = make(map[string]*telemetry.Histogram)
+	for _, stage := range []string{
+		stageAdmission, stageQueueWait, stageExecute, stageAssemble,
+		stageCacheWrite, stageSweepExpand, stageSeriesRender,
+	} {
+		s.stages[stage] = m.Histogram("mobiserved_stage_seconds", stageHelp, telemetry.Label{Name: "stage", Value: stage})
+	}
+	s.httpHists = make(map[string]*telemetry.Histogram)
+	for _, route := range httpRoutes {
+		s.httpHists[route] = m.Histogram("mobiserved_http_request_seconds",
+			"HTTP request latency in seconds by route.", telemetry.Label{Name: "route", Value: route})
+	}
+}
+
+// Metrics returns the server's telemetry registry so the embedding daemon
+// can register process-level gauges (uptime, build info) into the same
+// /metrics exposition. Register before serving traffic; the registry's
+// write paths are concurrency-safe but registration is construction-time
+// API.
+func (s *Server) Metrics() *telemetry.Registry {
+	return s.metrics
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format (hand-rolled kernel: the repo takes no dependencies). The body
+// starts with the exact pre-telemetry metric families and appends the
+// stage and HTTP latency histograms as their series materialise.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}

@@ -17,10 +17,11 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"mobilenet/internal/obs"
 	"mobilenet/internal/scenario"
+	"mobilenet/internal/telemetry"
 	"mobilenet/internal/theory"
 )
 
@@ -177,10 +178,12 @@ type job struct {
 	done    chan struct{} // closed on done or failed
 }
 
-// task is the pool's unit of work: one replicate of one job.
+// task is the pool's unit of work: one replicate of one job. The enqueue
+// timestamp feeds the queue-wait histogram when a worker picks it up.
 type task struct {
-	job *job
-	rep int
+	job      *job
+	rep      int
+	enqueued time.Time
 }
 
 // Ticket is the service's answer to a submission.
@@ -231,14 +234,20 @@ type Server struct {
 	tasks chan task
 	wg    sync.WaitGroup
 
-	jobsServed        atomic.Uint64
-	jobsFailed        atomic.Uint64
-	cacheHits         atomic.Uint64
-	cacheMisses       atomic.Uint64
-	sweepsServed      atomic.Uint64
-	sweepsFailed      atomic.Uint64
-	sweepPointsCached atomic.Uint64
-	seriesServed      atomic.Uint64
+	// Service counters live in the telemetry registry (initMetrics) so the
+	// /metrics body is one WritePrometheus call; the fields are the write
+	// handles the request paths bump.
+	metrics           *telemetry.Registry
+	jobsServed        *telemetry.Counter
+	jobsFailed        *telemetry.Counter
+	cacheHits         *telemetry.Counter
+	cacheMisses       *telemetry.Counter
+	sweepsServed      *telemetry.Counter
+	sweepsFailed      *telemetry.Counter
+	sweepPointsCached *telemetry.Counter
+	seriesServed      *telemetry.Counter
+	stages            map[string]*telemetry.Histogram // stage name -> latency histogram
+	httpHists         map[string]*telemetry.Histogram // route -> latency histogram
 
 	mux *http.ServeMux
 }
@@ -254,6 +263,7 @@ func New(cfg Config) *Server {
 		sweeps:   make(map[string]*sweepJob),
 		tasks:    make(chan task, cfg.QueueDepth),
 	}
+	s.initMetrics()
 	s.mux = newMux(s)
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -265,7 +275,13 @@ func New(cfg Config) *Server {
 // Submit validates and canonicalises the spec, then answers from the cache,
 // coalesces onto an identical in-flight job, or enqueues a new job whose
 // replicates the pool executes under position-derived seeds.
+//
+// The whole call is the "admission" stage of the request lifecycle —
+// validation, canonicalisation, hashing, bounds checks, cache probes and
+// the enqueue itself — and lands in the stage histogram even when the
+// submission is rejected, so admission-path regressions are visible.
 func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
+	defer s.stages[stageAdmission].Since(time.Now())
 	c, err := spec.Canonical()
 	if err != nil {
 		return Ticket{}, err
@@ -323,10 +339,14 @@ func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
 	}
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
-	// Capacity was reserved above, so these sends cannot block.
+	// Capacity was reserved above, so these sends cannot block. One
+	// timestamp covers the whole fan-out: replicates of one job entered
+	// the queue together, and per-send clock reads would only smear the
+	// queue-wait histogram by the enqueue loop's own cost.
 	s.queued += c.Reps
+	now := time.Now()
 	for rep := 0; rep < c.Reps; rep++ {
-		s.tasks <- task{job: j, rep: rep}
+		s.tasks <- task{job: j, rep: rep, enqueued: now}
 	}
 	return Ticket{JobID: j.id, Hash: hash, Status: j.status}, nil
 }
@@ -354,6 +374,7 @@ func (s *Server) checkBounds(c scenario.Spec) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.tasks {
+		s.stages[stageQueueWait].Since(t.enqueued)
 		s.mu.Lock()
 		s.queued--
 		if t.job.status == StatusQueued {
@@ -379,7 +400,13 @@ func (s *Server) worker() {
 			// stacking labeller goroutines on top of busy workers.
 			spec := t.job.spec
 			spec.Parallelism = 1
+			// The execute stage times exactly the Runner.RunRep seam — the
+			// scenario runner's whole per-replicate simulation — so the
+			// histogram hook sits once per replicate, never inside the
+			// per-step hot loop.
+			t0 := time.Now()
 			rep, err = r.RunRep(spec, seed)
+			s.stages[stageExecute].Since(t0)
 		}
 		s.completeRep(t.job, t.rep, rep, err)
 	}
@@ -408,10 +435,12 @@ func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 	// marshals.
 	var payload []byte
 	if errMsg == "" {
+		t0 := time.Now()
 		res, aerr := scenario.Assemble(j.spec, j.hash, j.reps)
 		if aerr == nil {
 			payload, aerr = json.Marshal(res)
 		}
+		s.stages[stageAssemble].Since(t0)
 		if aerr != nil {
 			errMsg = aerr.Error()
 		}
@@ -422,7 +451,9 @@ func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 	if errMsg == "" {
 		j.status = StatusDone
 		j.payload = payload
+		t0 := time.Now()
 		s.cache.Put(j.hash, payload)
+		s.stages[stageCacheWrite].Since(t0)
 		s.jobsServed.Add(1)
 	} else {
 		j.status = StatusFailed
@@ -493,11 +524,13 @@ func (s *Server) Series(hash string) (payload []byte, ok bool, err error) {
 		return nil, true, ErrNoSeries
 	}
 	var buf bytes.Buffer
+	t0 := time.Now()
 	if err := obs.WriteNDJSON(&buf, decoded.Series); err != nil {
 		return nil, true, fmt.Errorf("simserve: %w", err)
 	}
 	b := buf.Bytes()
 	s.cache.Put(hash+seriesSuffix, b)
+	s.stages[stageSeriesRender].Since(t0)
 	s.seriesServed.Add(1)
 	return b, true, nil
 }

@@ -96,6 +96,9 @@ type SweepView struct {
 // pool, exactly as if it had been POSTed individually. Repeated or
 // overlapping sweeps therefore deduplicate point by point.
 func (s *Server) SubmitSweep(sp sweep.Spec) (SweepTicket, error) {
+	// Expansion, bounds checks and hashing are the sweep_expand stage of
+	// the lifecycle (the dispatcher's dedup pass lands there too).
+	t0 := time.Now()
 	points, err := sp.Expand()
 	if err != nil {
 		return SweepTicket{}, err
@@ -109,6 +112,7 @@ func (s *Server) SubmitSweep(sp sweep.Spec) (SweepTicket, error) {
 		}
 	}
 	hash := sweep.HashPoints(points)
+	s.stages[stageSweepExpand].Since(t0)
 
 	s.mu.Lock()
 	if s.closed {
@@ -149,7 +153,9 @@ func (s *Server) runSweep(j *sweepJob) {
 
 	// Duplicate points within one sweep share a single submission; the
 	// grouping is the library executor's, so both paths dedupe alike.
+	t0 := time.Now()
 	uniq := sweep.Distinct(j.points)
+	s.stages[stageSweepExpand].Since(t0)
 
 	s.mu.Lock()
 	j.status = StatusRunning

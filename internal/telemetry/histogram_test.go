@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	t.Parallel()
+	// Every representable value maps to a bucket whose bounds contain it,
+	// and indices are monotone in the value. Probe around every octave
+	// boundary plus the linear region.
+	var probes []int64
+	for v := int64(0); v < 64; v++ {
+		probes = append(probes, v)
+	}
+	for e := uint(3); e < 62; e++ {
+		base := int64(1) << e
+		probes = append(probes, base-1, base, base+1)
+	}
+	prevIdx := -1
+	prevVal := int64(-1)
+	for _, v := range probes {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d,%d)", v, i, lo, hi)
+		}
+		if v > prevVal && i < prevIdx {
+			t.Fatalf("bucket index not monotone: value %d bucket %d after value %d bucket %d", v, i, prevVal, prevIdx)
+		}
+		prevVal, prevIdx = v, i
+	}
+}
+
+// TestQuantileAccuracy pins the kernel's accuracy contract: against an
+// exact sorted-sample reference, every extracted quantile is within the
+// log-linear layout's 12.5% relative-error bound. The sample deliberately
+// spans the linear region, many octaves and exact bucket boundaries.
+func TestQuantileAccuracy(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	var vals []int64
+	add := func(v int64) {
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	// Log-uniform spread from 1 ns to ~17 s, crossing every octave.
+	for i := 0; i < 20000; i++ {
+		e := rng.Float64() * 34
+		add(int64(math.Pow(2, e)))
+	}
+	// Exact powers of two sit on bucket boundaries.
+	for e := uint(0); e <= 30; e++ {
+		add(int64(1) << e)
+	}
+	// Tiny values exercise the exact linear buckets.
+	for v := int64(0); v < 8; v++ {
+		add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	exact := func(q float64) int64 {
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		return vals[rank-1]
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		got := float64(h.Quantile(q))
+		want := float64(exact(q))
+		if diff := math.Abs(got - want); diff > want*0.125+1 {
+			t.Errorf("q=%g: histogram %v, exact %v (diff %.0f ns exceeds 12.5%%)", q, got, want, diff)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Parallel()
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Record(5 * time.Millisecond)
+	if h.Quantile(math.NaN()) != 0 {
+		t.Error("NaN quantile did not clamp to 0")
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := h.Quantile(q)
+		lo, hi := bucketBounds(bucketIndex(int64(5 * time.Millisecond)))
+		if int64(got) < lo || int64(got) > hi {
+			t.Errorf("q=%g: %v outside single observation's bucket [%d,%d]", q, got, lo, hi)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 5*time.Millisecond {
+		t.Errorf("count %d sum %v", h.Count(), h.Sum())
+	}
+	h.Record(-time.Second) // negative clamps to zero, never panics
+	if h.Count() != 2 {
+		t.Errorf("negative record lost: count %d", h.Count())
+	}
+}
+
+// TestHistogramConcurrentRecord drives concurrent writers against
+// concurrent readers; under -race this doubles as the data-race gate for
+// the whole kernel, and the final count checks that no increment was lost.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	t.Parallel()
+	const writers, perWriter = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: quantiles and counts mid-flight
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Quantile(0.99)
+				h.Count()
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("count %d after %d records", got, writers*perWriter)
+	}
+}
+
+// TestHistogramRecordZeroAlloc pins the allocation contract: Record (and
+// Since, and Quantile) allocate nothing in steady state, so request-path
+// instrumentation cannot create GC pressure.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	d := 3 * time.Millisecond
+	if allocs := testing.AllocsPerRun(1000, func() { h.Record(d) }); allocs != 0 {
+		t.Errorf("Record allocates %v per call", allocs)
+	}
+	t0 := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() { h.Since(t0) }); allocs != 0 {
+		t.Errorf("Since allocates %v per call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { h.Quantile(0.99) }); allocs != 0 {
+		t.Errorf("Quantile allocates %v per call", allocs)
+	}
+}
+
+func TestQuantileFromCumulative(t *testing.T) {
+	t.Parallel()
+	bounds := []float64{0.001, 0.01, 0.1}
+	cum := []uint64{10, 90, 100, 101} // one observation beyond the last bound
+	if got := QuantileFromCumulative(bounds, cum, 0.5); got <= 0.001 || got > 0.01 {
+		t.Errorf("p50 = %g, want inside (0.001, 0.01]", got)
+	}
+	if got := QuantileFromCumulative(bounds, cum, 1); got != 0.1 {
+		t.Errorf("p100 = %g, want last finite bound 0.1", got)
+	}
+	if got := QuantileFromCumulative(bounds, cum[:3], 0.5); got != 0 {
+		t.Errorf("malformed encoding returned %g, want 0", got)
+	}
+	if got := QuantileFromCumulative(bounds, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty encoding returned %g, want 0", got)
+	}
+}
+
+// TestExpositionRoundTrip records a known distribution, renders it through
+// a registry, re-parses the body, and checks the recovered quantiles agree
+// with the live histogram at scrape (octave) resolution.
+func TestExpositionRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("stage_seconds", "Stage latency.", Label{"stage", "execute"})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(1+rng.Int63n(int64(200 * time.Millisecond))))
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	parsed := ParseHistograms(sb.String())
+	s, ok := parsed[`stage_seconds{stage="execute"}`]
+	if !ok {
+		t.Fatalf("series not recovered; parsed keys: %v", keys(parsed))
+	}
+	if s.Count() != 5000 {
+		t.Fatalf("recovered count %d", s.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		live := h.Quantile(q).Seconds()
+		scraped := s.Quantile(q)
+		// Scrape resolution is one octave: the recovered quantile must be
+		// within a factor of two of the live one.
+		if scraped < live/2 || scraped > live*2 {
+			t.Errorf("q=%g: scraped %g vs live %g beyond octave resolution", q, scraped, live)
+		}
+	}
+	diff, ok := s.Sub(s)
+	if !ok || diff.Count() != 0 {
+		t.Errorf("self-subtraction: ok=%v count=%d", ok, diff.Count())
+	}
+}
+
+func keys(m map[string]ScrapedHistogram) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

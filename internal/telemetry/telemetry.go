@@ -1,0 +1,395 @@
+// Package telemetry is a dependency-free metrics kernel for the service
+// layer: atomic counters and gauges, log-bucketed latency histograms with
+// quantile extraction, and a registry that renders everything in the
+// Prometheus text exposition format (version 0.0.4). The repo takes no
+// dependencies, so the kernel is hand-rolled; it deliberately implements
+// only the subset the simulation service needs — monotone counters,
+// instantaneous gauges (stored or computed at scrape), and label-stamped
+// histogram families — with the same lazily-materialised-series convention
+// as the standard Prometheus clients: a labelled series appears in the
+// exposition only after its first observation, so migrating a hand-written
+// /metrics body onto the registry is byte-compatible.
+//
+// Everything here is safe for concurrent use, and the write paths
+// (Counter.Add, Gauge.Set, Histogram.Record) are lock- and
+// allocation-free: they may sit on request paths, though never inside
+// per-step simulation loops (the obs pipeline owns those).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Label is one name="value" pair stamped on a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// series is one exposed time series inside a metric family. Exactly one of
+// the value sources is set.
+type series struct {
+	labels  string // pre-rendered `{a="b",c="d"}`, or ""
+	counter *Counter
+	gauge   *Gauge
+	intFn   func() int64   // rendered %d
+	floatFn func() float64 // rendered %g
+	hist    *Histogram
+	info    bool // constant 1 (build-info style)
+}
+
+// family is one named metric family: HELP/TYPE rendered once, then every
+// series in registration order.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families in registration order and renders them as
+// Prometheus text. Registration is typically done once at construction
+// time; rendering may run concurrently with updates (scrapes see a racy
+// but monotone snapshot).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// renderLabels renders a label set as `{a="b",c="d"}` in the given order.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// add registers one series under a family, creating the family on first
+// use and checking that re-used names agree on HELP and TYPE.
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, existing := range f.series {
+		if existing.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), counter: c})
+	return c
+}
+
+// Gauge registers and returns a stored integer gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), gauge: g})
+	return g
+}
+
+// IntGaugeFunc registers a gauge computed at scrape time and rendered as
+// an integer (e.g. a queue depth read under the owner's lock).
+func (r *Registry) IntGaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), intFn: fn})
+}
+
+// GaugeFunc registers a gauge computed at scrape time and rendered as a
+// float (e.g. a hit rate derived from two counters in the scrape itself).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), floatFn: fn})
+}
+
+// Info registers a constant-1 gauge whose labels carry the payload
+// (build-info convention).
+func (r *Registry) Info(name, help string, labels ...Label) {
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), info: true})
+}
+
+// Histogram registers and returns a histogram series. Families are shared:
+// registering the same name with different labels (e.g. stage="queue_wait",
+// stage="execute") yields one family with one series per label set. A
+// series is omitted from the exposition until its first observation, like
+// an untouched labelled child in the standard Prometheus clients.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.add(name, help, "histogram", &series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// histLabel splices `le="bound"` (or the _sum/_count plain label set) into
+// a series' pre-rendered labels.
+func histLabel(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`{le="%s"}`, le)
+	}
+	return fmt.Sprintf(`%s,le="%s"}`, labels[:len(labels)-1], le)
+}
+
+// WritePrometheus renders every family in registration order. Histogram
+// series with zero observations are skipped (and a histogram family whose
+// series are all empty is skipped entirely, HELP/TYPE included), so a
+// registry migrated from a hand-written exposition body reproduces it
+// byte for byte until the new instrumentation actually fires.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		live := f.series
+		if f.typ == "histogram" {
+			live = nil
+			for _, s := range f.series {
+				if s.hist.Count() > 0 {
+					live = append(live, s)
+				}
+			}
+			if len(live) == 0 {
+				continue
+			}
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range live {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Load())
+			case s.gauge != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Load())
+			case s.intFn != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.intFn())
+			case s.floatFn != nil:
+				fmt.Fprintf(w, "%s%s %g\n", f.name, s.labels, s.floatFn())
+			case s.info:
+				fmt.Fprintf(w, "%s%s 1\n", f.name, s.labels)
+			case s.hist != nil:
+				cum := s.hist.cumulative()
+				for i, b := range expositionBounds {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, histLabel(s.labels, fmt.Sprintf("%g", b)), cum[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, histLabel(s.labels, "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, s.labels, s.hist.Sum().Seconds())
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, cum[len(cum)-1])
+			}
+		}
+	}
+}
+
+// ScrapedHistogram is one histogram series recovered from a Prometheus
+// text scrape: its exposition bounds (seconds), cumulative counts (with
+// the +Inf total appended) and sum. See ParseHistograms.
+type ScrapedHistogram struct {
+	// Bounds holds the finite le bounds in seconds, ascending.
+	Bounds []float64
+	// Cum holds one cumulative count per bound, then the +Inf total.
+	Cum []uint64
+	// Sum is the _sum sample in seconds.
+	Sum float64
+}
+
+// Count returns the total observation count (the +Inf bucket).
+func (s ScrapedHistogram) Count() uint64 {
+	if len(s.Cum) == 0 {
+		return 0
+	}
+	return s.Cum[len(s.Cum)-1]
+}
+
+// Quantile extracts the q-quantile in seconds at scrape resolution.
+func (s ScrapedHistogram) Quantile(q float64) float64 {
+	return QuantileFromCumulative(s.Bounds, s.Cum, q)
+}
+
+// Sub returns the histogram of observations recorded after the older
+// scrape: per-bound cumulative counts and the sum are subtracted pairwise.
+// This is how a load generator attributes a server's monotone histograms
+// to one measurement window. It returns false when the two scrapes have
+// different bounds (not the same series) or the counts went backwards
+// (server restart between scrapes).
+func (s ScrapedHistogram) Sub(older ScrapedHistogram) (ScrapedHistogram, bool) {
+	if len(s.Bounds) != len(older.Bounds) || len(s.Cum) != len(older.Cum) {
+		return ScrapedHistogram{}, false
+	}
+	out := ScrapedHistogram{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Cum:    make([]uint64, len(s.Cum)),
+		Sum:    s.Sum - older.Sum,
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != older.Bounds[i] {
+			return ScrapedHistogram{}, false
+		}
+	}
+	for i := range s.Cum {
+		if s.Cum[i] < older.Cum[i] {
+			return ScrapedHistogram{}, false
+		}
+		out.Cum[i] = s.Cum[i] - older.Cum[i]
+	}
+	return out, true
+}
+
+// ParseHistograms recovers every histogram series from a Prometheus text
+// exposition body. The map key is the series identity: the family name
+// followed by its non-le labels exactly as exposed (e.g.
+// `mobiserved_stage_seconds{stage="queue_wait"}`). The parser accepts the
+// subset of the format this package writes; unknown lines are ignored, so
+// it is safe on a scrape that also carries counters and gauges.
+func ParseHistograms(body string) map[string]ScrapedHistogram {
+	type acc struct {
+		bounds []float64
+		cum    []uint64
+		inf    uint64
+		hasInf bool
+		sum    float64
+	}
+	accs := make(map[string]*acc)
+	get := func(key string) *acc {
+		a, ok := accs[key]
+		if !ok {
+			a = &acc{}
+			accs[key] = a
+		}
+		return a
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, value := line[:sp], line[sp+1:]
+		switch {
+		case strings.Contains(name, "_bucket"):
+			key, le, ok := splitLE(name)
+			if !ok {
+				break
+			}
+			var n uint64
+			if _, err := fmt.Sscanf(value, "%d", &n); err != nil {
+				break
+			}
+			a := get(key)
+			if le == "+Inf" {
+				a.inf, a.hasInf = n, true
+				break
+			}
+			var b float64
+			if _, err := fmt.Sscanf(le, "%g", &b); err != nil {
+				break
+			}
+			a.bounds = append(a.bounds, b)
+			a.cum = append(a.cum, n)
+		case strings.Contains(name, "_sum"):
+			key := strings.Replace(name, "_sum", "", 1)
+			var s float64
+			if _, err := fmt.Sscanf(value, "%g", &s); err == nil {
+				get(key).sum = s
+			}
+		}
+	}
+	out := make(map[string]ScrapedHistogram, len(accs))
+	for key, a := range accs {
+		if !a.hasInf {
+			continue
+		}
+		sort.Sort(&boundSort{a.bounds, a.cum})
+		out[key] = ScrapedHistogram{Bounds: a.bounds, Cum: append(a.cum, a.inf), Sum: a.sum}
+	}
+	return out
+}
+
+// splitLE splits a `<family>_bucket{...,le="x"}` sample name into the
+// series key (family plus remaining labels) and the le value.
+func splitLE(name string) (key, le string, ok bool) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return "", "", false
+	}
+	fam := strings.Replace(name[:open], "_bucket", "", 1)
+	inner := name[open+1 : len(name)-1]
+	var rest []string
+	for _, part := range strings.Split(inner, ",") {
+		if v, found := strings.CutPrefix(part, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		rest = append(rest, part)
+	}
+	if le == "" {
+		return "", "", false
+	}
+	if len(rest) == 0 {
+		return fam, le, true
+	}
+	return fam + "{" + strings.Join(rest, ",") + "}", le, true
+}
+
+// boundSort sorts parsed bounds ascending, carrying the counts along.
+type boundSort struct {
+	bounds []float64
+	cum    []uint64
+}
+
+func (b *boundSort) Len() int           { return len(b.bounds) }
+func (b *boundSort) Less(i, j int) bool { return b.bounds[i] < b.bounds[j] }
+func (b *boundSort) Swap(i, j int) {
+	b.bounds[i], b.bounds[j] = b.bounds[j], b.bounds[i]
+	b.cum[i], b.cum[j] = b.cum[j], b.cum[i]
+}

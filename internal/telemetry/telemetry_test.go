@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusFormat pins the exposition grammar the registry
+// emits: HELP/TYPE once per family in registration order, counters and
+// integer gauges as %d, float gauges as %g, info gauges as a constant 1.
+func TestWritePrometheusFormat(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests handled.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("rate", "Hit rate.", func() float64 { return 0.75 })
+	r.IntGaugeFunc("workers", "Pool size.", func() int64 { return 4 })
+	r.Info("build_info", "Build metadata.", Label{"go_version", "go1.24.0"})
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP requests_total Requests handled.
+# TYPE requests_total counter
+requests_total 42
+# HELP depth Queue depth.
+# TYPE depth gauge
+depth 5
+# HELP rate Hit rate.
+# TYPE rate gauge
+rate 0.75
+# HELP workers Pool size.
+# TYPE workers gauge
+workers 4
+# HELP build_info Build metadata.
+# TYPE build_info gauge
+build_info{go_version="go1.24.0"} 1
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestHistogramLazySeries pins the lazily-materialised-series convention:
+// an untouched histogram family contributes nothing to the body (HELP and
+// TYPE included), touched series appear with buckets, sum and count, and
+// untouched siblings in the same family stay hidden.
+func TestHistogramLazySeries(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	a := r.Histogram("stage_seconds", "Stage latency.", Label{"stage", "a"})
+	r.Histogram("stage_seconds", "Stage latency.", Label{"stage", "b"})
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if sb.Len() != 0 {
+		t.Fatalf("untouched family rendered:\n%s", sb.String())
+	}
+	a.Record(time.Millisecond)
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	body := sb.String()
+	for _, want := range []string{
+		"# HELP stage_seconds Stage latency.",
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="a",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="a"} 0.001`,
+		`stage_seconds_count{stage="a"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `stage="b"`) {
+		t.Errorf("untouched series rendered:\n%s", body)
+	}
+	// Cumulative bucket counts must be monotone and end at the total.
+	parsed := ParseHistograms(body)
+	s, ok := parsed[`stage_seconds{stage="a"}`]
+	if !ok || s.Count() != 1 {
+		t.Fatalf("parse-back failed: %+v", parsed)
+	}
+	for i := 1; i < len(s.Cum); i++ {
+		if s.Cum[i] < s.Cum[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d: %v", i, s.Cum)
+		}
+	}
+}
+
+func TestRegistryMisusePanics(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	mustPanic(t, "type mismatch", func() { r.Gauge("x_total", "X.") })
+	mustPanic(t, "duplicate series", func() { r.Counter("x_total", "X.") })
+	r.Histogram("h_seconds", "H.", Label{"stage", "a"})
+	r.Histogram("h_seconds", "H.", Label{"stage", "b"}) // distinct labels: fine
+	mustPanic(t, "duplicate labelled series", func() { r.Histogram("h_seconds", "H.", Label{"stage", "a"}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestRegistryConcurrentScrape races scrapes against updates; the race
+// detector gates it, and the scraped value of a quiesced counter must be
+// exact.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	c := r.Counter("ops_total", "Ops.")
+	h := r.Histogram("lat_seconds", "Latency.")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Inc()
+				h.Record(time.Microsecond * time.Duration(i))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+		select {
+		case <-done:
+			var final strings.Builder
+			r.WritePrometheus(&final)
+			if !strings.Contains(final.String(), "ops_total 8000") {
+				t.Errorf("final scrape missing exact counter:\n%s", final.String())
+			}
+			return
+		default:
+		}
+	}
+}

@@ -29,6 +29,13 @@
 //	go run ./cmd/mobibench -c 8 -d 3s -out BENCH_load.json
 //	go run ./cmd/mobibench -addr http://localhost:8080 -workloads cold,cached
 //	go run ./cmd/mobibench -smoke          # CI: seconds, schema-validated, no file written
+//	go run ./cmd/mobibench -smoke -trace-out bench-trace.json   # plus a Perfetto-loadable trace
+//
+// -trace-out additionally records a client-side execution trace — one span
+// per request on a lane per (workload, client), capped per phase so long
+// runs stay loadable — validates it as Chrome trace-event JSON, and writes
+// it to the given file. Load it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing to see the closed loop's request pacing.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobilenet/internal/prof"
 	"mobilenet/internal/simserve"
 	"mobilenet/internal/telemetry"
 )
@@ -68,6 +76,7 @@ type benchConfig struct {
 	nodes     int
 	agents    int
 	out       string // "-" = stdout; "" = validate only
+	traceOut  string // "" = no trace export
 	smoke     bool
 }
 
@@ -93,14 +102,15 @@ func run(args []string, out io.Writer) error {
 		nodes     = fs.Int("nodes", 256, "grid nodes of the probe scenario")
 		agents    = fs.Int("agents", 8, "agents of the probe scenario")
 		outPath   = fs.String("out", "BENCH_load.json", "baseline file to write ('-' = stdout)")
-		smoke     = fs.Bool("smoke", false, "CI smoke mode: in-process server, short phases, validate the report schema, write nothing")
+		traceOut  = fs.String("trace-out", "", "export a client-side bench trace (Chrome trace-event JSON, validated before writing) to this file")
+		smoke     = fs.Bool("smoke", false, "CI smoke mode: in-process server, short phases, validate the report schema, write no baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := benchConfig{
 		addr: normalizeAddr(*addr), conc: *conc, duration: *duration,
-		nodes: *nodes, agents: *agents, out: *outPath, smoke: *smoke,
+		nodes: *nodes, agents: *agents, out: *outPath, traceOut: *traceOut, smoke: *smoke,
 	}
 	if cfg.smoke {
 		// Seconds, not minutes: every workload path is exercised, but just
@@ -244,21 +254,53 @@ func runBench(cfg benchConfig, progress io.Writer) (*Report, error) {
 		Results: make(map[string]WorkloadResult, len(cfg.workloads)),
 		Notes:   "Workloads: cold = unique-seed scenarios (every request simulates), cached = one scenario re-submitted (LRU hit path), sweep = two-point sweeps with unique base seeds, series = NDJSON series fetches of one observed scenario. The cold/cached latency gap is the value of content-hash caching at the service level; queue_wait vs execute in server_stages_ms separates saturation from simulation cost.",
 	}
-	for _, name := range cfg.workloads {
+	var tr *prof.Trace
+	if cfg.traceOut != "" {
+		tr = prof.NewTrace()
+	}
+	for i, name := range cfg.workloads {
 		fmt.Fprintf(progress, "mobibench: workload %s (c=%d, %s)\n", name, cfg.conc, cfg.duration)
-		res, err := runPhase(cl, name, cfg)
+		res, err := runPhase(cl, name, cfg, tr, i)
 		if err != nil {
 			return nil, fmt.Errorf("workload %s: %w", name, err)
 		}
 		report.Results[name] = res
 	}
+	if tr != nil {
+		if err := writeBenchTrace(tr, cfg.traceOut, progress); err != nil {
+			return nil, err
+		}
+	}
 	return report, nil
+}
+
+// traceSampleCap bounds the recorded request spans per workload phase, so
+// a long bench run exports a trace a viewer can still load; the cap is a
+// sample of the closed loop's steady state, not a census.
+const traceSampleCap = 2048
+
+// writeBenchTrace validates the bench trace as Chrome trace-event JSON
+// (the same validator the schema tests and CI use) and writes it out.
+func writeBenchTrace(tr *prof.Trace, path string, progress io.Writer) error {
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		return err
+	}
+	spans, err := prof.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("bench trace failed validation: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "mobibench: trace %s (%d spans, validated)\n", path, spans)
+	return nil
 }
 
 // runPhase prepares one workload, scrapes the server's histograms, runs
 // the closed loop for the configured duration, scrapes again, and folds
 // both views into the result.
-func runPhase(cl *client, name string, cfg benchConfig) (WorkloadResult, error) {
+func runPhase(cl *client, name string, cfg benchConfig, tr *prof.Trace, phase int) (WorkloadResult, error) {
 	request, err := makeWorkload(cl, name, cfg)
 	if err != nil {
 		return WorkloadResult{}, err
@@ -272,6 +314,7 @@ func runPhase(cl *client, name string, cfg benchConfig) (WorkloadResult, error) 
 		hist     telemetry.Histogram
 		requests atomic.Uint64
 		errCount atomic.Uint64
+		sampled  atomic.Uint64
 		errMu    sync.Mutex
 		firstErr error
 	)
@@ -279,6 +322,11 @@ func runPhase(cl *client, name string, cfg benchConfig) (WorkloadResult, error) 
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.conc; w++ {
+		// One trace lane per (workload, client): a closed loop's spans
+		// never overlap within a lane, which is what makes the exported
+		// timeline readable.
+		tid := int64(phase*cfg.conc+w) + 1
+		tr.NameThread(tid, fmt.Sprintf("%s client %d", name, w))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -293,7 +341,11 @@ func runPhase(cl *client, name string, cfg benchConfig) (WorkloadResult, error) 
 					errMu.Unlock()
 					continue
 				}
-				hist.Since(t0)
+				d := time.Since(t0)
+				hist.Record(d)
+				if tr != nil && sampled.Add(1) <= traceSampleCap {
+					tr.Add("request", name, tid, t0, d, nil)
+				}
 				requests.Add(1)
 			}
 		}()

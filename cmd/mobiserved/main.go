@@ -17,15 +17,23 @@
 // NDJSON — byte-identical to a library or `mobisim -series-out -` render
 // of the same scenario, and cached through the same LRU.
 //
-// The daemon is observable end to end (internal/telemetry): /metrics
-// serves the service counters plus request-lifecycle latency histograms
-// (admission, queue wait, per-replicate execution, assembly, cache
-// writes, sweep expansion, series rendering) and per-route HTTP
-// latencies, alongside process uptime and build info. Every request is
-// logged through log/slog with a per-request id; requests slower than
-// -slow-ms are logged at warn level. -pprof mounts the standard
-// net/http/pprof handlers under /debug/pprof/ for live CPU and heap
-// profiling (off by default: profiles expose internals, so opt in).
+// The daemon is observable end to end (internal/telemetry, internal/prof):
+// /metrics serves the service counters plus request-lifecycle latency
+// histograms (admission, queue wait, per-replicate execution, assembly,
+// cache writes, sweep expansion, series rendering), per-engine step-phase
+// histograms (mobiserved_engine_phase_seconds{engine,phase}) and per-route
+// HTTP latencies, alongside process uptime and build info. Every response
+// carries an X-Request-Id header (the client's own when it sent a sane
+// one, generated otherwise) that follows the request through logs, job
+// traces and sweep points; every request is logged through log/slog under
+// that id, and requests slower than -slow-ms are logged at warn level
+// with a per-stage stage_*_ms breakdown of where the time went. Finished
+// jobs export an execution trace (submit, per-replicate queue wait and
+// run with its phase split, assembly) as Chrome trace-event JSON on
+// GET /v1/jobs/{id}/trace — loadable in Perfetto or chrome://tracing.
+// -pprof mounts the standard net/http/pprof handlers under /debug/pprof/
+// for live CPU and heap profiling (off by default: profiles expose
+// internals, so opt in).
 //
 // Usage:
 //
@@ -41,6 +49,7 @@
 //	curl -s localhost:8080/v1/results/<hash>/series
 //	curl -s localhost:8080/v1/sweeps -d '{"base":{"engine":"broadcast","nodes":16384,"agents":64,"seed":1},"axes":[{"field":"agents","values":[16,64,256]}]}'
 //	curl -s localhost:8080/v1/sweeps/sweep-1
+//	curl -s localhost:8080/v1/jobs/job-1/trace > trace.json   # open in ui.perfetto.dev
 //	curl -s localhost:8080/metrics
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10   # with -pprof
 //
@@ -60,6 +69,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -234,19 +244,31 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // requestLogger wraps the service with structured per-request logging:
-// every request gets a process-unique id and an info-level line with
+// every line carries the request id the service echoed in X-Request-Id
+// (the client's own id when it sent one, generated otherwise), plus
 // method, path, status, bytes and duration; requests at or above the slow
 // threshold are promoted to warn level so tail latency shows up in logs
-// even when /metrics is not being watched.
+// even when /metrics is not being watched. Slow-request lines additionally
+// break the time down by lifecycle stage (stage_queue_wait_ms,
+// stage_execute_ms, stage_assemble_ms, ...) via the per-request stage
+// recorder the service fills in, so the log says WHERE a slow request's
+// time went, not just that it was slow.
 func requestLogger(next http.Handler, log *slog.Logger, slow time.Duration) http.Handler {
 	var seq atomic.Uint64
 	base := time.Now().UnixNano()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("%x-%d", base, seq.Add(1))
 		t0 := time.Now()
+		stages := simserve.NewStageRecorder()
+		r = r.WithContext(simserve.WithStageRecorder(r.Context(), stages))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
 		d := time.Since(t0)
+		id := sw.Header().Get("X-Request-Id")
+		if id == "" {
+			// Fallback for handlers outside the service (none today): the
+			// log line still gets a unique id even without the echo.
+			id = fmt.Sprintf("%x-%d", base, seq.Add(1))
+		}
 		attrs := []any{
 			"id", id,
 			"method", r.Method,
@@ -257,9 +279,28 @@ func requestLogger(next http.Handler, log *slog.Logger, slow time.Duration) http
 			"remote", r.RemoteAddr,
 		}
 		if slow > 0 && d >= slow {
-			log.Warn("slow request", attrs...)
+			log.Warn("slow request", append(attrs, stageAttrs(stages)...)...)
 		} else {
 			log.Info("request", attrs...)
 		}
 	})
+}
+
+// stageAttrs renders the recorder's per-stage durations as log attributes
+// in deterministic (sorted) order.
+func stageAttrs(rec *simserve.StageRecorder) []any {
+	stages := rec.Stages()
+	if len(stages) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	attrs := make([]any, 0, 2*len(names))
+	for _, name := range names {
+		attrs = append(attrs, "stage_"+name+"_ms", float64(stages[name].Microseconds())/1000)
+	}
+	return attrs
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mobilenet/internal/prof"
+)
+
+// TestBenchPhasesBaselineSchema pins the standing BENCH_phases.json at the
+// repo root: it must carry its own regeneration command, a parseable
+// recording date, and per-k phase splits over the fixed vocabulary whose
+// fractions sum to one — so the file stays a usable before-picture for the
+// incremental-CSR work it motivates.
+func TestBenchPhasesBaselineSchema(t *testing.T) {
+	t.Parallel()
+	data, err := os.ReadFile("../../BENCH_phases.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Description string `json:"description"`
+		Recorded    string `json:"recorded"`
+		Environment struct {
+			GoVersion string `json:"go_version"`
+		} `json:"environment"`
+		Config struct {
+			Engine  string `json:"engine"`
+			Density int    `json:"density_nodes_per_agent"`
+		} `json:"config"`
+		Results map[string]struct {
+			Nodes            int                `json:"nodes"`
+			Agents           int                `json:"agents"`
+			ProfiledSteps    int                `json:"profiled_steps"`
+			StepSecondsTotal float64            `json:"step_seconds_total"`
+			Seconds          map[string]float64 `json:"seconds"`
+			Fractions        map[string]float64 `json:"fractions"`
+		} `json:"results"`
+		Notes string `json:"notes"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []string{"Regenerate with:", "go run ./cmd/mobisim", "-profile"} {
+		if !strings.Contains(doc.Description, probe) {
+			t.Errorf("description lacks %q", probe)
+		}
+	}
+	if _, err := time.Parse("2006-01-02", doc.Recorded); err != nil {
+		t.Errorf("recorded date %q: %v", doc.Recorded, err)
+	}
+	if doc.Config.Engine != "broadcast" || doc.Config.Density <= 0 {
+		t.Errorf("config = %+v", doc.Config)
+	}
+	vocab := map[string]bool{}
+	for _, name := range prof.PhaseNames() {
+		vocab[name] = true
+	}
+	for _, k := range []string{"k=1000", "k=10000", "k=100000", "k=1000000"} {
+		r, ok := doc.Results[k]
+		if !ok {
+			t.Errorf("results misses %s", k)
+			continue
+		}
+		if r.Nodes != doc.Config.Density*r.Agents {
+			t.Errorf("%s: nodes %d break the recorded density %d", k, r.Nodes, doc.Config.Density)
+		}
+		if r.ProfiledSteps <= 0 || r.StepSecondsTotal <= 0 {
+			t.Errorf("%s: degenerate result %+v", k, r)
+		}
+		var ssum, fsum float64
+		for name, s := range r.Seconds {
+			if !vocab[name] {
+				t.Errorf("%s: phase %q outside the fixed vocabulary", k, name)
+			}
+			ssum += s
+		}
+		for _, f := range r.Fractions {
+			fsum += f
+		}
+		// The file rounds seconds to 1µs and fractions to 1e-4, so allow
+		// that much accumulation slack.
+		if math.Abs(ssum-r.StepSecondsTotal) > 1e-4 {
+			t.Errorf("%s: seconds sum %v != step_seconds_total %v", k, ssum, r.StepSecondsTotal)
+		}
+		if math.Abs(fsum-1) > 1e-3 {
+			t.Errorf("%s: fractions sum to %v", k, fsum)
+		}
+	}
+	if !strings.Contains(doc.Notes, "ROADMAP") {
+		t.Error("notes do not tie the baseline to its roadmap item")
+	}
+}

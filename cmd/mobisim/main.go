@@ -18,6 +18,8 @@
 //	mobisim -sweep sweep.json -json            # full sweep result as JSON
 //	mobisim -observe informed -series-out -    # per-step series as NDJSON to stdout
 //	mobisim -observe informed,coverage -observe-every 4 -reps 8 -series-out series.csv
+//	mobisim -profile                           # step-phase breakdown (move/index/label/spread/observe)
+//	mobisim -reps 4 -trace-out run.trace.json  # execution trace, loadable in Perfetto
 //
 // Observation (-observe) records per-step time series — the
 // dissemination-front curves behind the paper's figures — through the
@@ -58,6 +60,7 @@ import (
 	"mobilenet/internal/core"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/sweep"
 	"mobilenet/internal/trace"
 )
@@ -80,6 +83,7 @@ func run(args []string) error {
 		mobSpec  = fs.String("mobility", "lazy", "mobility model: lazy|waypoint[:pause=N]|levy[:alpha=F,max=N]|ballistic[:turn=F]|trace:FILE[,loop]")
 		preys    = fs.Int("preys", 0, "prey count for -model predator (default k)")
 		reps     = fs.Int("reps", 1, "replicates (position-derived seeds; prints the mean)")
+		maxSteps = fs.Int("max-steps", 0, "cap the run at this many steps (0 = engine's theory-derived default)")
 		curve    = fs.Bool("curve", false, "print the informed-count curve (broadcast only)")
 		observe  = fs.String("observe", "", "comma-separated per-step observables to record: informed|components|largest_component|coverage|meeting")
 		obsEvery = fs.Int("observe-every", 0, "observation cadence in steps (0 = every step; needs -observe)")
@@ -91,6 +95,8 @@ func run(args []string) error {
 		jsonOut  = fs.Bool("json", false, "print the full scenario (or sweep) result as JSON")
 		traceOut = fs.String("trace", "", "record the full trajectory to this file (broadcast only)")
 		par      = fs.Int("par", 0, "component-labeller workers: 0 = automatic, 1 = sequential (results identical)")
+		profFlag = fs.Bool("profile", false, "record step-phase timings (move/index/label/spread/observe) and print the breakdown")
+		execOut  = fs.String("trace-out", "", "export an execution trace of the run as Chrome trace-event JSON to this file (open in Perfetto); implies -profile")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -116,6 +122,8 @@ func run(args []string) error {
 			return fmt.Errorf("-trace is not supported with -sweep")
 		case *observe != "" || *series != "":
 			return fmt.Errorf("-observe/-series-out are single-scenario flags; put an observe block in the sweep's base scenario instead")
+		case *profFlag || *execOut != "":
+			return fmt.Errorf("-profile/-trace-out are single-scenario flags")
 		}
 		return runSweepFile(*sweepIn, *tableOut, *jsonOut)
 	}
@@ -136,6 +144,9 @@ func run(args []string) error {
 		if *observe != "" || *series != "" {
 			return fmt.Errorf("-observe/-series-out are not supported with -trace recording")
 		}
+		if *profFlag || *execOut != "" {
+			return fmt.Errorf("-profile/-trace-out are not supported with -trace recording")
+		}
 	}
 
 	if isTraceMobility(*mobSpec) {
@@ -153,18 +164,25 @@ func run(args []string) error {
 		if *observe != "" || *series != "" {
 			return fmt.Errorf("-observe/-series-out are not supported with trace mobility (observation is a scenario feature)")
 		}
+		if *profFlag || *execOut != "" {
+			return fmt.Errorf("-profile/-trace-out are not supported with trace mobility (profiling is a scenario feature)")
+		}
 		return runTraceMobility(engine, *n, *k, *r, *seed, *mobSpec, *preys, *curve, *traceOut)
 	}
 
-	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *par, *curve,
-		*observe, *obsEvery, *obsMax)
+	sc, err := buildScenario(fs, *specPath, engine, *n, *k, *r, *seed, *mobSpec, *preys, *reps, *maxSteps, *par, *curve,
+		*observe, *obsEvery, *obsMax, *profFlag || *execOut != "")
 	if err != nil {
 		return err
 	}
+	// Canonicalisation zeroes the execution-only knobs (they never split
+	// the content hash); re-apply them so the run honours the flags.
+	parallelism, profiled := sc.Parallelism, sc.Profile
 	sc, err = sc.Canonical()
 	if err != nil {
 		return err
 	}
+	sc.Parallelism, sc.Profile = parallelism, profiled
 	// -series-out conflicts are statically knowable from the canonical
 	// spec; fail before the (possibly long) run, next to the other guards.
 	if *series != "" {
@@ -205,9 +223,21 @@ func run(args []string) error {
 		return tracedBroadcast(net, sc.Seed, sc.Radius, mob, *traceOut)
 	}
 
-	res, err := mobilenet.RunScenario(sc)
-	if err != nil {
-		return err
+	var res *mobilenet.ScenarioResult
+	if *execOut != "" {
+		var tr *mobilenet.ExecTrace
+		res, tr, err = mobilenet.RunScenarioTraced(sc)
+		if err != nil {
+			return err
+		}
+		if err := writeExecTrace(tr, *execOut, *jsonOut); err != nil {
+			return err
+		}
+	} else {
+		res, err = mobilenet.RunScenario(sc)
+		if err != nil {
+			return err
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -224,8 +254,49 @@ func run(args []string) error {
 			fmt.Printf("reps: %d  mean steps: %.1f  all completed: %v\n",
 				len(res.Reps), res.MeanSteps, res.AllCompleted)
 		}
+		printPhases(res.Phases)
 	}
 	return writeSeriesOut(res, *series, false)
+}
+
+// writeExecTrace exports the run's execution trace as Chrome trace-event
+// JSON. quiet suppresses the confirmation line (-json keeps stdout clean).
+func writeExecTrace(tr *mobilenet.ExecTrace, path string, quiet bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tr.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("trace-out: %s (load in Perfetto or chrome://tracing)\n", path)
+	}
+	return nil
+}
+
+// printPhases renders the aggregated step-phase breakdown in the fixed
+// phase order; nil (profiling off) prints nothing.
+func printPhases(b *mobilenet.PhaseBreakdown) {
+	if b == nil {
+		return
+	}
+	var total float64
+	for _, sec := range b.Seconds {
+		total += sec
+	}
+	fmt.Printf("\nstep-phase profile (%d steps, %.4fs total):\n", b.Steps, total)
+	for _, name := range prof.PhaseNames() {
+		sec, ok := b.Seconds[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-8s %10.4fs  %5.1f%%\n", name, sec, b.Fractions[name]*100)
+	}
 }
 
 // writeSeriesOut renders the scenario's aggregated series per the
@@ -324,8 +395,8 @@ func runSweepFile(path, tableOut string, jsonOut bool) error {
 // buildScenario assembles the scenario from -spec or from the individual
 // flags. Flags explicitly set alongside -spec override the file's fields.
 func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed uint64,
-	mobSpec string, preys, reps, par int, curve bool,
-	observe string, obsEvery, obsMax int) (mobilenet.Scenario, error) {
+	mobSpec string, preys, reps, maxSteps, par int, curve bool,
+	observe string, obsEvery, obsMax int, profile bool) (mobilenet.Scenario, error) {
 	var observation *mobilenet.Observation
 	if observe != "" {
 		observation = &mobilenet.Observation{
@@ -343,8 +414,10 @@ func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed 
 		Mobility:    mobSpec,
 		Preys:       preys,
 		Reps:        reps,
+		MaxSteps:    maxSteps,
 		Observe:     observation,
 		Parallelism: par,
+		Profile:     profile,
 	}
 	if specPath != "" {
 		data, err := os.ReadFile(specPath)
@@ -381,12 +454,18 @@ func buildScenario(fs *flag.FlagSet, specPath, engine string, n, k, r int, seed 
 		if set["reps"] {
 			fromFile.Reps = reps
 		}
+		if set["max-steps"] {
+			fromFile.MaxSteps = maxSteps
+		}
 		if set["par"] {
 			fromFile.Parallelism = par
 		}
 		if set["observe"] {
 			fromFile.Observe = observation
 		}
+		// -profile (or -trace-out implying it) turns profiling on over a
+		// spec file; a file's own profile:true is honoured either way.
+		fromFile.Profile = fromFile.Profile || profile
 		sc = fromFile
 	}
 	if strings.EqualFold(strings.TrimSpace(sc.Engine), "broadcast") {

@@ -1,0 +1,47 @@
+// Command tracecheck validates Chrome trace-event JSON files against the
+// structural invariants the repository's exporters guarantee (see
+// internal/prof.ValidateChromeTrace): a traceEvents array whose entries
+// carry a name and a known phase, with non-negative timing on complete
+// spans. CI runs it over exported trace artifacts so a malformed export
+// fails the build instead of failing silently in a viewer.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+//
+// Exits non-zero on the first file that does not parse as a trace; on
+// success prints one line per file with its span count.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mobilenet/internal/prof"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+// run validates each named file, reporting span counts to out.
+func run(args []string, out *os.File) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: tracecheck <trace.json> [more.json ...]")
+	}
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		spans, err := prof.ValidateChromeTrace(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "%s: valid chrome trace (%d spans)\n", path, spans)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunValidatesTraces(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(good, []byte(`{"traceEvents":[{"name":"a","ph":"X","ts":1,"dur":2,"pid":1,"tid":0}]}`), 0o644)
+	os.WriteFile(bad, []byte(`{"traceEvents":[{"ph":"X","ts":1,"dur":2}]}`), 0o644)
+
+	if err := run([]string{good}, os.Stdout); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if err := run([]string{bad}, os.Stdout); err == nil {
+		t.Fatal("nameless event accepted")
+	} else if !strings.Contains(err.Error(), "missing name") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := run([]string{filepath.Join(dir, "absent.json")}, os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run(nil, os.Stdout); err == nil {
+		t.Fatal("empty argument list accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"mobilenet/internal/bitset"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/visibility"
 )
@@ -81,7 +82,10 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 		b.cells = newCellTracker(cfg.Grid, cfg.CellSide)
 		b.sourceCell = int(b.cells.tess.CellOf(pop.Position(b.src)))
 	}
-	// Time-0 exchange on the initial configuration.
+	// Time-0 exchange on the initial configuration. The mark anchors the
+	// profiler so the time-0 flood and record are attributed like any step
+	// (the labeller laps index/label internally).
+	cfg.Profile.Mark()
 	b.exchange()
 	b.record()
 	return b, nil
@@ -160,6 +164,9 @@ func (b *Broadcast) exchange() {
 			}
 		}
 	}
+	// Everything since the labeller's label lap (or the step's move lap
+	// when labelling was skipped) is dissemination work.
+	b.cfg.Profile.Lap(prof.Spread)
 }
 
 func (b *Broadcast) record() {
@@ -182,14 +189,19 @@ func (b *Broadcast) record() {
 			Nodes:      b.pop.Grid().N(),
 		})
 	}
+	b.cfg.Profile.Lap(prof.Observe)
 }
 
 // Step advances the system one time unit: all agents move synchronously,
 // then rumors flood the new components.
 func (b *Broadcast) Step() {
+	p := b.cfg.Profile
+	p.Mark()
 	b.pop.Step()
+	p.Lap(prof.Move)
 	b.exchange()
 	b.record()
+	p.StepDone()
 }
 
 // Done reports whether every agent is informed.

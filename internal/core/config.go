@@ -14,6 +14,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/theory"
 	"mobilenet/internal/visibility"
 )
@@ -81,6 +82,13 @@ type Config struct {
 	// growth (see obs.Recorder.Record).
 	Observer *obs.Recorder
 
+	// Profile, when non-nil, accumulates per-phase wall-clock time (move,
+	// index, label, spread, observe) across the run's steps. Purely an
+	// execution knob: results are identical with or without it, and a nil
+	// profile keeps the step loop allocation-free with only a branch per
+	// phase boundary. One replicate per profile; not reset by the engine.
+	Profile *prof.StepProfile
+
 	// Placement, when non-nil, overrides the mobility model's initial
 	// placement with explicit agent positions (len == K, all on-grid).
 	// Deterministic placements support scenario construction and
@@ -124,10 +132,11 @@ func (c *Config) validate() error {
 }
 
 // newLabeller builds the engine's component labeller with the configured
-// parallelism applied.
+// parallelism and profiler applied.
 func (c *Config) newLabeller() *visibility.Labeller {
 	l := visibility.NewLabeller(c.K)
 	l.SetParallelism(c.Parallelism)
+	l.SetProfile(c.Profile)
 	return l
 }
 

@@ -6,6 +6,7 @@ import (
 	"mobilenet/internal/agent"
 	"mobilenet/internal/bitset"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/visibility"
 )
@@ -77,6 +78,7 @@ func NewPartialGossip(cfg Config, rumors int) (*Gossip, error) {
 			g.haveAll++
 		}
 	}
+	cfg.Profile.Mark()
 	g.exchange()
 	return g, nil
 }
@@ -131,6 +133,7 @@ func (g *Gossip) exchange() {
 			}
 		}
 	}
+	g.cfg.Profile.Lap(prof.Spread)
 	if t := g.pop.Time(); g.obsr != nil && g.obsr.Wants(t) {
 		largest := 0
 		if g.obsr.NeedsComponents() {
@@ -146,12 +149,17 @@ func (g *Gossip) exchange() {
 			Largest:    largest,
 		})
 	}
+	g.cfg.Profile.Lap(prof.Observe)
 }
 
 // Step advances the system one time unit.
 func (g *Gossip) Step() {
+	p := g.cfg.Profile
+	p.Mark()
 	g.pop.Step()
+	p.Lap(prof.Move)
 	g.exchange()
+	p.StepDone()
 }
 
 // Done reports whether every agent knows every rumor.

@@ -12,6 +12,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 )
@@ -36,6 +37,10 @@ type Config struct {
 	// at the recorder's cadence: the covered-node count as "informed" and
 	// the covered fraction as "coverage".
 	Observer *obs.Recorder
+	// Profile, when non-nil, accumulates per-phase step timings. Coverage
+	// runs exercise only the move, spread (visit marking) and observe
+	// phases; a nil profile costs a branch per phase.
+	Profile *prof.StepProfile
 }
 
 func (c *Config) validate() error {
@@ -108,15 +113,19 @@ func Run(cfg Config) (Result, error) {
 				Nodes:    g.N(),
 			})
 		}
+		cfg.Profile.Lap(prof.Observe)
 	}
 	if cfg.RecordCurve {
 		res.Curve = append(res.Curve, visited.Len())
 	}
+	cfg.Profile.Mark()
 	observe(0)
 	stepCap := cfg.maxSteps()
 	t := 0
 	for visited.Len() < g.N() && t < stepCap {
+		cfg.Profile.Mark()
 		mob.Step(pos)
+		cfg.Profile.Lap(prof.Move)
 		for i := range pos {
 			visited.Add(int(g.ID(pos[i])))
 		}
@@ -124,7 +133,9 @@ func Run(cfg Config) (Result, error) {
 		if cfg.RecordCurve {
 			res.Curve = append(res.Curve, visited.Len())
 		}
+		cfg.Profile.Lap(prof.Spread)
 		observe(t)
+		cfg.Profile.StepDone()
 	}
 	res.Steps = t
 	res.Covered = visited.Len()

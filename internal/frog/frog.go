@@ -14,6 +14,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 	"mobilenet/internal/visibility"
@@ -47,6 +48,9 @@ type Config struct {
 	// observables when requested (which force labelling even after the
 	// last sleeper wakes).
 	Observer *obs.Recorder
+	// Profile, when non-nil, accumulates per-phase step timings (see
+	// core.Config.Profile); a nil profile costs only a branch per phase.
+	Profile *prof.StepProfile
 }
 
 func (c *Config) validate() error {
@@ -81,10 +85,12 @@ func (c *Config) maxSteps() int {
 	return v
 }
 
-// newLabeller builds the wake-up labeller with the configured parallelism.
+// newLabeller builds the wake-up labeller with the configured parallelism
+// and profiler.
 func newLabeller(cfg *Config) *visibility.Labeller {
 	l := visibility.NewLabeller(cfg.K)
 	l.SetParallelism(cfg.Parallelism)
+	l.SetProfile(cfg.Profile)
 	return l
 }
 
@@ -131,6 +137,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.active[source] = true
 	s.nAct = 1
+	cfg.Profile.Mark()
 	s.wake()
 	return s, nil
 }
@@ -170,6 +177,7 @@ func (s *System) wake() {
 			}
 		}
 	}
+	s.cfg.Profile.Lap(prof.Spread)
 	s.observe()
 }
 
@@ -183,18 +191,23 @@ func (s *System) observe() {
 			Largest:    s.lastLargest,
 		})
 	}
+	s.cfg.Profile.Lap(prof.Observe)
 }
 
 // Step advances one time unit: active agents walk, sleepers stay, then
 // wake-ups propagate.
 func (s *System) Step() {
+	p := s.cfg.Profile
+	p.Mark()
 	for i, a := range s.active {
 		if a {
 			s.pop.StepAgent(i)
 		}
 	}
 	s.pop.Tick()
+	p.Lap(prof.Move)
 	s.wake()
+	p.StepDone()
 }
 
 // Done reports whether every agent is active (equivalently, informed).

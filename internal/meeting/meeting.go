@@ -17,6 +17,7 @@ import (
 
 	"mobilenet/internal/grid"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/walk"
 )
@@ -93,6 +94,15 @@ func TrialRun(d int, seed uint64, horizon int) (steps int, met bool, err error) 
 // reproduces TrialRun exactly — there is one implementation of the trial
 // physics.
 func TrialRunObserved(d int, seed uint64, horizon int, rec *obs.Recorder) (steps int, met bool, err error) {
+	return TrialRunProfiled(d, seed, horizon, rec, nil)
+}
+
+// TrialRunProfiled is TrialRunObserved with a step-phase profiler: when p
+// is non-nil the two walk advances are charged to the move phase, the
+// lens/meeting check to spread, and the recorder work to observe. A nil p
+// costs one branch per phase, so TrialRun and TrialRunObserved delegate
+// here — there is still exactly one implementation of the trial physics.
+func TrialRunProfiled(d int, seed uint64, horizon int, rec *obs.Recorder, p *prof.StepProfile) (steps int, met bool, err error) {
 	if d < 1 {
 		return 0, false, fmt.Errorf("meeting: distance must be >= 1, got %d", d)
 	}
@@ -105,24 +115,34 @@ func TrialRunObserved(d int, seed uint64, horizon int, rec *obs.Recorder) (steps
 	g, a, b := arena(d)
 	a0, b0 := a, b
 	src := rng.New(seed)
+	p.Mark()
 	if rec != nil && rec.Wants(0) {
 		rec.Record(0, obs.Sample{Met: false})
 	}
+	p.Lap(prof.Observe)
 	for t := 1; t <= horizon; t++ {
+		p.Mark()
 		a = walk.Step(g, a, src)
 		b = walk.Step(g, b, src)
+		p.Lap(prof.Move)
 		if a == b && inLens(a, a0, b0, d) {
+			p.Lap(prof.Spread)
 			if rec != nil {
 				// The meeting step is always recorded, cadence or not: a
 				// series whose last sample still reads 0 would misreport
 				// the trial.
 				rec.Record(t, obs.Sample{Met: true})
 			}
+			p.Lap(prof.Observe)
+			p.StepDone()
 			return t, true, nil
 		}
+		p.Lap(prof.Spread)
 		if rec != nil && rec.Wants(t) {
 			rec.Record(t, obs.Sample{Met: false})
 		}
+		p.Lap(prof.Observe)
+		p.StepDone()
 	}
 	return horizon, false, nil
 }

@@ -13,6 +13,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/theory"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// as "informed" — the predator system's dissemination-progress
 	// analogue.
 	Observer *obs.Recorder
+	// Profile, when non-nil, accumulates per-phase step timings: the
+	// spatial-hash rebuild is the index phase and the prey scan the spread
+	// phase. A nil profile costs a branch per phase.
+	Profile *prof.StepProfile
 }
 
 func (c *Config) validate() error {
@@ -136,6 +141,7 @@ func New(cfg Config) (*System, error) {
 	for i := range s.preyAlive {
 		s.preyAlive[i] = true
 	}
+	cfg.Profile.Mark()
 	s.capture()
 	s.observe()
 	return s, nil
@@ -147,6 +153,7 @@ func (s *System) observe() {
 	if o := s.cfg.Observer; o != nil && o.Wants(s.t) {
 		o.Record(s.t, obs.Sample{Informed: s.cfg.Preys - s.alive})
 	}
+	s.cfg.Profile.Lap(prof.Observe)
 }
 
 func bucketKey(bx, by int32) uint64 {
@@ -156,6 +163,7 @@ func bucketKey(bx, by int32) uint64 {
 // capture removes every prey within the capture radius of some predator.
 func (s *System) capture() {
 	if s.alive == 0 {
+		s.cfg.Profile.Lap(prof.Spread)
 		return
 	}
 	r := s.cfg.Radius
@@ -181,6 +189,7 @@ func (s *System) capture() {
 		}
 		s.occupied[key] = append(b, int32(i))
 	}
+	s.cfg.Profile.Lap(prof.Index)
 	// Check each surviving prey against predators in its 3x3 cell
 	// neighbourhood. Caught preys are masked out rather than compacted so
 	// prey indices stay aligned with the mobility state's per-agent
@@ -203,6 +212,7 @@ func (s *System) capture() {
 			}
 		}
 	}
+	s.cfg.Profile.Lap(prof.Spread)
 }
 
 // Step advances one time unit: predators and surviving preys all move, then
@@ -210,6 +220,8 @@ func (s *System) capture() {
 // the relative order the pre-mask compacting implementation used, so
 // default-model runs consume randomness identically.
 func (s *System) Step() {
+	p := s.cfg.Profile
+	p.Mark()
 	s.predMob.Step(s.predators)
 	for i := range s.preys {
 		if s.preyAlive[i] {
@@ -217,8 +229,10 @@ func (s *System) Step() {
 		}
 	}
 	s.t++
+	p.Lap(prof.Move)
 	s.capture()
 	s.observe()
+	p.StepDone()
 }
 
 // Done reports whether all preys are extinct.

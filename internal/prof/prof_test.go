@@ -1,0 +1,145 @@
+package prof
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// spin keeps the CPU busy long enough for the monotonic clock to tick, so
+// laps accumulate strictly positive durations without sleeping.
+func spin() {
+	t0 := time.Now()
+	for time.Since(t0) < 50*time.Microsecond {
+	}
+}
+
+func TestNilProfileIsSafe(t *testing.T) {
+	var p *StepProfile
+	p.Mark()
+	p.Lap(Move)
+	p.StepDone()
+	p.Reset()
+	if p.Steps() != 0 || p.Total() != 0 || p.PhaseTotal(Spread) != 0 {
+		t.Fatal("nil profile reported nonzero accounting")
+	}
+	if p.Breakdown() != nil {
+		t.Fatal("nil profile produced a breakdown")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := PhaseNames()
+	want := []string{"move", "index", "label", "spread", "observe"}
+	if len(names) != len(want) || len(names) != int(NumPhases) {
+		t.Fatalf("PhaseNames() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("PhaseNames()[%d] = %q, want %q", i, names[i], n)
+		}
+		if Phase(i).String() != n {
+			t.Fatalf("Phase(%d).String() = %q, want %q", i, Phase(i).String(), n)
+		}
+	}
+}
+
+// TestLapsTileTheStep pins the accounting model: consecutive laps from one
+// Mark partition the elapsed time, so the per-phase totals sum to the
+// profile total and every lapped phase accumulates something positive.
+func TestLapsTileTheStep(t *testing.T) {
+	p := new(StepProfile)
+	for step := 0; step < 3; step++ {
+		p.Mark()
+		spin()
+		p.Lap(Move)
+		spin()
+		p.Lap(Spread)
+		spin()
+		p.Lap(Observe)
+		p.StepDone()
+	}
+	if p.Steps() != 3 {
+		t.Fatalf("Steps() = %d, want 3", p.Steps())
+	}
+	for _, ph := range []Phase{Move, Spread, Observe} {
+		if p.PhaseTotal(ph) <= 0 {
+			t.Errorf("phase %s accumulated nothing", ph)
+		}
+	}
+	for _, ph := range []Phase{Index, Label} {
+		if p.PhaseTotal(ph) != 0 {
+			t.Errorf("unlapped phase %s accumulated %v", ph, p.PhaseTotal(ph))
+		}
+	}
+	sum := p.PhaseTotal(Move) + p.PhaseTotal(Spread) + p.PhaseTotal(Observe)
+	if sum != p.Total() {
+		t.Fatalf("phase sum %v != Total() %v", sum, p.Total())
+	}
+
+	p.Reset()
+	if p.Steps() != 0 || p.Total() != 0 {
+		t.Fatal("Reset did not zero the profile")
+	}
+	if p.Breakdown() != nil {
+		t.Fatal("reset profile still produced a breakdown")
+	}
+}
+
+func TestBreakdownFractions(t *testing.T) {
+	p := new(StepProfile)
+	p.Mark()
+	spin()
+	p.Lap(Move)
+	spin()
+	p.Lap(Label)
+	p.StepDone()
+
+	b := p.Breakdown()
+	if b == nil {
+		t.Fatal("no breakdown from a recorded profile")
+	}
+	if b.Steps != 1 {
+		t.Fatalf("Steps = %d, want 1", b.Steps)
+	}
+	if len(b.Seconds) != 2 {
+		t.Fatalf("Seconds has %d phases, want 2 (zero phases must be omitted): %v", len(b.Seconds), b.Seconds)
+	}
+	var fsum float64
+	for name, f := range b.Fractions {
+		if f <= 0 || f >= 1 {
+			t.Errorf("fraction %s = %v outside (0,1)", name, f)
+		}
+		fsum += f
+	}
+	if math.Abs(fsum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v, want 1", fsum)
+	}
+	if math.Abs(b.TotalSeconds()-p.Total().Seconds()) > 1e-12 {
+		t.Fatalf("TotalSeconds %v != profile total %v", b.TotalSeconds(), p.Total().Seconds())
+	}
+}
+
+func TestMergeBreakdowns(t *testing.T) {
+	if MergeBreakdowns() != nil || MergeBreakdowns(nil, nil) != nil {
+		t.Fatal("merging nothing must stay nil so unprofiled results keep absent fields")
+	}
+	a := &Breakdown{Steps: 2, Seconds: map[string]float64{"move": 1, "label": 3}}
+	b := &Breakdown{Steps: 3, Seconds: map[string]float64{"move": 2, "spread": 2}}
+	m := MergeBreakdowns(a, nil, b)
+	if m == nil {
+		t.Fatal("merge of real breakdowns returned nil")
+	}
+	if m.Steps != 5 {
+		t.Fatalf("merged Steps = %d, want 5", m.Steps)
+	}
+	wantSec := map[string]float64{"move": 3, "label": 3, "spread": 2}
+	for name, want := range wantSec {
+		if got := m.Seconds[name]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("merged Seconds[%s] = %v, want %v", name, got, want)
+		}
+	}
+	if got := m.Fractions["move"]; math.Abs(got-3.0/8.0) > 1e-12 {
+		t.Errorf("merged Fractions[move] = %v, want %v", got, 3.0/8.0)
+	}
+}

@@ -1,0 +1,129 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", "cat", 0, time.Now(), time.Millisecond, nil)
+	tr.NameThread(0, "main")
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace recorded something")
+	}
+	if !tr.Epoch().IsZero() {
+		t.Fatal("nil trace has a nonzero epoch")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace on nil trace: %v", err)
+	}
+	spans, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("nil trace does not validate: %v", err)
+	}
+	if spans != 0 {
+		t.Fatalf("nil trace reports %d spans, want 0", spans)
+	}
+}
+
+// TestChromeTraceRoundTrip pins the export schema: spans and thread names go
+// in, a document with displayTimeUnit "ms", "M" metadata events and "X"
+// complete events with microsecond ts/dur comes out, and the shared
+// validator counts exactly the spans that were recorded.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.NameThread(0, "job")
+	tr.NameThread(2, "rep 1")
+	epoch := tr.Epoch()
+	tr.Add("submit", "job", 0, epoch, 500*time.Microsecond, map[string]string{"hash": "abc"})
+	tr.Add("queue_wait", "queue", 2, epoch.Add(time.Millisecond), 250*time.Microsecond, nil)
+	tr.Add("run broadcast", "rep", 2, epoch.Add(2*time.Millisecond), 3*time.Millisecond, map[string]string{"phase_move_ms": "1.250"})
+	if tr.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	spans, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v", err)
+	}
+	if spans != 3 {
+		t.Fatalf("validator counted %d spans, want 3", spans)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int64             `json:"pid"`
+			TID  int64             `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("%d events, want 5 (2 metadata + 3 spans)", len(doc.TraceEvents))
+	}
+	// Metadata first, in ascending tid order.
+	for i, wantTID := range []int64{0, 2} {
+		e := doc.TraceEvents[i]
+		if e.Ph != "M" || e.Name != "thread_name" || e.TID != wantTID {
+			t.Fatalf("event %d = %+v, want thread_name metadata for tid %d", i, e, wantTID)
+		}
+	}
+	if doc.TraceEvents[1].Args["name"] != "rep 1" {
+		t.Fatalf("tid 2 thread name = %q, want \"rep 1\"", doc.TraceEvents[1].Args["name"])
+	}
+	run := doc.TraceEvents[4]
+	if run.Name != "run broadcast" || run.Cat != "rep" || run.Ph != "X" || run.PID != 1 {
+		t.Fatalf("span event = %+v", run)
+	}
+	if run.TS != 2000 || run.Dur != 3000 {
+		t.Fatalf("ts/dur = %v/%v µs, want 2000/3000", run.TS, run.Dur)
+	}
+	if run.Args["phase_move_ms"] != "1.250" {
+		t.Fatalf("span args = %v", run.Args)
+	}
+}
+
+func TestValidateChromeTraceRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"not json", `{`, "unexpected end"},
+		{"no traceEvents", `{"displayTimeUnit":"ms"}`, "no traceEvents array"},
+		{"missing name", `{"traceEvents":[{"ph":"X","ts":1,"dur":1}]}`, "missing name"},
+		{"negative ts", `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"dur":1}]}`, "non-negative ts"},
+		{"missing dur", `{"traceEvents":[{"name":"a","ph":"X","ts":1}]}`, "non-negative dur"},
+		{"unknown ph", `{"traceEvents":[{"name":"a","ph":"B","ts":1}]}`, "unknown ph"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateChromeTrace([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: validated, want error containing %q", tc.name, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if n, err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err != nil || n != 0 {
+		t.Fatalf("empty traceEvents: n=%d err=%v, want 0 spans and no error", n, err)
+	}
+}

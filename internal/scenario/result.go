@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 )
 
 // Rep is the outcome of one replicate. Fields an engine does not produce
@@ -32,6 +33,11 @@ type Rep struct {
 	// Series holds this replicate's recorded time series under the
 	// spec's observe block; nil when the spec observes nothing.
 	Series *obs.SeriesSet `json:"series,omitempty"`
+	// Phases is the step-phase wall-clock breakdown recorded under
+	// Spec.Profile; nil when profiling was off. Timings are measurements
+	// of this machine, not simulation outcomes: the service strips them
+	// before assembly so cached payloads stay deterministic.
+	Phases *prof.Breakdown `json:"phases,omitempty"`
 }
 
 // Result is the uniform outcome of running a Spec: the canonical identity
@@ -55,6 +61,9 @@ type Result struct {
 	// observable (across-replicate mean and Student-t 95% CI at every
 	// sampled step); nil when the spec observes nothing.
 	Series []obs.AggSeries `json:"series,omitempty"`
+	// Phases merges the replicates' step-phase breakdowns (summed seconds,
+	// fractions over the merged total); nil when no replicate was profiled.
+	Phases *prof.Breakdown `json:"phases,omitempty"`
 }
 
 // Assemble builds the Result for a canonical spec from its per-replicate
@@ -88,5 +97,10 @@ func Assemble(canonical Spec, hash string, reps []Rep) (*Result, error) {
 		}
 		res.Series = obs.Aggregate(sets)
 	}
+	breakdowns := make([]*prof.Breakdown, len(reps))
+	for i := range reps {
+		breakdowns[i] = reps[i].Phases
+	}
+	res.Phases = prof.MergeBreakdowns(breakdowns...)
 	return res, nil
 }

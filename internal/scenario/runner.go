@@ -3,7 +3,9 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"mobilenet/internal/core"
 	"mobilenet/internal/coverage"
@@ -13,6 +15,7 @@ import (
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
 	"mobilenet/internal/predator"
+	"mobilenet/internal/prof"
 )
 
 // Runner adapts one engine to the uniform Spec contract. RunRep executes a
@@ -70,6 +73,15 @@ func Engines() []string {
 // produces the identical Result by fanning the same replicates across a
 // worker pool.
 func Run(spec Spec) (*Result, error) {
+	return RunWithTrace(spec, nil)
+}
+
+// RunWithTrace is Run with an optional span trace: when tr is non-nil,
+// every replicate's execution is recorded as a span on its own logical
+// trace thread, annotated with the replicate seed and — under Spec.Profile
+// — the per-phase breakdown. A nil tr makes RunWithTrace exactly Run; this
+// is the CLI's -trace-out path.
+func RunWithTrace(spec Spec, tr *prof.Trace) (*Result, error) {
 	c, err := spec.Canonical()
 	if err != nil {
 		return nil, err
@@ -82,19 +94,41 @@ func Run(spec Spec) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown engine %q", c.Engine)
 	}
-	// Parallelism is an execution-only knob: canonicalisation zeroed it so
-	// it cannot split the content hash, but the caller's setting still
-	// governs how these replicates execute.
+	// Parallelism and Profile are execution-only knobs: canonicalisation
+	// zeroed them so they cannot split the content hash, but the caller's
+	// settings still govern how these replicates execute.
 	c.Parallelism = spec.Parallelism
+	c.Profile = spec.Profile
 	reps := make([]Rep, c.Reps)
 	for i := range reps {
+		start := time.Now()
 		rep, err := r.RunRep(c, RepSeed(c.Seed, i))
 		if err != nil {
 			return nil, err
 		}
 		reps[i] = rep
+		if tr != nil {
+			tid := int64(i)
+			tr.NameThread(tid, "rep "+strconv.Itoa(i))
+			tr.Add("run "+c.Engine, "rep", tid, start, time.Since(start), repSpanArgs(rep))
+		}
 	}
 	return Assemble(c, hash, reps)
+}
+
+// repSpanArgs renders a replicate's outcome as trace-span annotations.
+func repSpanArgs(rep Rep) map[string]string {
+	args := map[string]string{
+		"seed":      strconv.FormatUint(rep.Seed, 10),
+		"steps":     strconv.Itoa(rep.Steps),
+		"completed": strconv.FormatBool(rep.Completed),
+	}
+	if rep.Phases != nil {
+		for name, s := range rep.Phases.Seconds {
+			args["phase_"+name+"_ms"] = strconv.FormatFloat(s*1e3, 'f', 3, 64)
+		}
+	}
+	return args
 }
 
 // buildGrid realises the spec's arena.
@@ -125,6 +159,21 @@ func attachSeries(rep *Rep, rec *obs.Recorder) {
 	}
 }
 
+// buildProfile allocates the replicate's step-phase profiler when the spec
+// asks for profiling, nil otherwise (the engines' zero-overhead default).
+func buildProfile(spec Spec) *prof.StepProfile {
+	if !spec.Profile {
+		return nil
+	}
+	return &prof.StepProfile{}
+}
+
+// attachPhases freezes the profiler into the replicate outcome; a nil
+// profiler leaves Phases nil.
+func attachPhases(rep *Rep, p *prof.StepProfile) {
+	rep.Phases = p.Breakdown()
+}
+
 // buildMobility parses the spec's mobility model; validation has already
 // vetted the string, so errors here are defensive.
 func buildMobility(spec Spec) (mobility.Model, error) {
@@ -152,6 +201,7 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		return Rep{}, err
 	}
 	rec := buildRecorder(spec)
+	p := buildProfile(spec)
 	res, err := core.RunBroadcast(core.Config{
 		Grid:              g,
 		K:                 spec.Agents,
@@ -164,6 +214,7 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		RecordCurve:       spec.HasMetric(MetricCurve),
 		TrackInformedArea: spec.HasMetric(MetricCoverage),
 		Observer:          rec,
+		Profile:           p,
 	})
 	if err != nil {
 		return Rep{}, err
@@ -177,6 +228,7 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Curve:         res.InformedCurve,
 	}
 	attachSeries(&rep, rec)
+	attachPhases(&rep, p)
 	return rep, nil
 }
 
@@ -194,6 +246,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		return Rep{}, err
 	}
 	rec := buildRecorder(spec)
+	p := buildProfile(spec)
 	cfg := core.Config{
 		Grid:        g,
 		K:           spec.Agents,
@@ -203,6 +256,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Mobility:    m,
 		Parallelism: spec.Parallelism,
 		Observer:    rec,
+		Profile:     p,
 	}
 	var res core.GossipResult
 	if spec.Rumors == 0 {
@@ -215,6 +269,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}
 	attachSeries(&rep, rec)
+	attachPhases(&rep, p)
 	return rep, nil
 }
 
@@ -232,6 +287,7 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		return Rep{}, err
 	}
 	rec := buildRecorder(spec)
+	p := buildProfile(spec)
 	res, err := frog.RunFrog(frog.Config{
 		Grid:        g,
 		K:           spec.Agents,
@@ -242,12 +298,14 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Mobility:    m,
 		Parallelism: spec.Parallelism,
 		Observer:    rec,
+		Profile:     p,
 	})
 	if err != nil {
 		return Rep{}, err
 	}
 	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Source: spec.Source, CoverageSteps: -1}
 	attachSeries(&rep, rec)
+	attachPhases(&rep, p)
 	return rep, nil
 }
 
@@ -265,6 +323,7 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		return Rep{}, err
 	}
 	rec := buildRecorder(spec)
+	p := buildProfile(spec)
 	res, err := coverage.Run(coverage.Config{
 		Grid:        g,
 		Walkers:     spec.Agents,
@@ -273,6 +332,7 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Mobility:    m,
 		RecordCurve: spec.HasMetric(MetricCurve),
 		Observer:    rec,
+		Profile:     p,
 	})
 	if err != nil {
 		return Rep{}, err
@@ -286,6 +346,7 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Curve:         res.Curve,
 	}
 	attachSeries(&rep, rec)
+	attachPhases(&rep, p)
 	return rep, nil
 }
 
@@ -299,12 +360,14 @@ func (meetingRunner) Engine() string { return EngineMeeting }
 // lemma's probability p(d).
 func (meetingRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	rec := buildRecorder(spec)
-	steps, met, err := meeting.TrialRunObserved(spec.Radius, seed, spec.MaxSteps, rec)
+	p := buildProfile(spec)
+	steps, met, err := meeting.TrialRunProfiled(spec.Radius, seed, spec.MaxSteps, rec, p)
 	if err != nil {
 		return Rep{}, fmt.Errorf("scenario: %w", err)
 	}
 	rep := Rep{Seed: seed, Steps: steps, Completed: met, CoverageSteps: -1}
 	attachSeries(&rep, rec)
+	attachPhases(&rep, p)
 	return rep, nil
 }
 
@@ -326,6 +389,7 @@ func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		preys = spec.Agents
 	}
 	rec := buildRecorder(spec)
+	p := buildProfile(spec)
 	res, err := predator.RunExtinction(predator.Config{
 		Grid:      g,
 		Predators: spec.Agents,
@@ -335,11 +399,13 @@ func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		MaxSteps:  spec.MaxSteps,
 		Mobility:  m,
 		Observer:  rec,
+		Profile:   p,
 	})
 	if err != nil {
 		return Rep{}, err
 	}
 	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Survivors: res.Survivors, CoverageSteps: -1}
 	attachSeries(&rep, rec)
+	attachPhases(&rep, p)
 	return rep, nil
 }

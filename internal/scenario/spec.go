@@ -118,6 +118,16 @@ type Spec struct {
 	// worker pool already fans replicates across every core and pins each
 	// replicate to sequential labelling.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Profile enables per-replicate step-phase profiling (internal/prof):
+	// each replicate's Rep carries a phases breakdown (move, index, label,
+	// spread, observe) and the Result aggregates them. Like Parallelism it
+	// is an execution-only knob — simulation outcomes are identical either
+	// way and the measured timings are non-deterministic — so
+	// canonicalisation zeroes it and it never splits the content hash. The
+	// simulation service strips the per-rep breakdowns before assembly
+	// (feeding them to telemetry and traces instead), keeping cached
+	// payloads byte-identical to unprofiled runs.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // Parse decodes a Spec from JSON, rejecting unknown fields and trailing
@@ -246,6 +256,7 @@ func (s Spec) Canonical() (Spec, error) {
 	c := s
 	c.Label = ""
 	c.Parallelism = 0 // execution-only: identical results at every setting
+	c.Profile = false // execution-only: timings never split the cache
 	c.Engine = strings.ToLower(strings.TrimSpace(s.Engine))
 	g, err := grid.FromNodes(s.Nodes)
 	if err != nil {

@@ -19,20 +19,31 @@ const maxSpecBytes = 1 << 20
 //
 //	POST /v1/run                   submit a scenario spec (JSON body)
 //	GET  /v1/jobs/{id}             poll a job
+//	GET  /v1/jobs/{id}/trace       export a finished job's trace (Chrome trace-event JSON)
 //	GET  /v1/results/{hash}        fetch a cached result payload
 //	GET  /v1/results/{hash}/series stream the result's observed series (NDJSON)
 //	POST /v1/sweeps                submit a sweep spec (JSON body)
 //	GET  /v1/sweeps/{id}           poll a sweep (per-point progress, then result)
 //	GET  /healthz                  liveness probe
 //	GET  /metrics                  Prometheus-style service metrics
+//
+// Every response carries an X-Request-Id header: the client's own id when
+// the request supplied one, a generated process-unique id otherwise. The
+// id is threaded through the work a request creates — the jobs a run or a
+// sweep's points spawn record it, and their exported traces annotate their
+// submit spans with it — so one id correlates a client log line, the
+// daemon's request log, and a trace.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := s.requestID(r)
+	w.Header().Set(requestIDHeader, id)
+	s.mux.ServeHTTP(w, r.WithContext(withRequestID(r.Context(), id)))
 }
 
 func newMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.timed("jobs", s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.timed("trace", s.handleTrace))
 	mux.HandleFunc("GET /v1/results/{hash}", s.timed("results", s.handleResult))
 	mux.HandleFunc("GET /v1/results/{hash}/series", s.timed("series", s.handleSeries))
 	mux.HandleFunc("POST /v1/sweeps", s.timed("sweep_submit", s.handleSweepSubmit))
@@ -78,7 +89,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ticket, err := s.Submit(spec)
+	t0 := time.Now()
+	ticket, err := s.SubmitWithRequestID(spec, requestIDFrom(r.Context()))
+	stageRecorderFrom(r.Context()).Add(stageAdmission, time.Since(t0))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -112,7 +125,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ticket, err := s.SubmitSweep(sp)
+	ticket, err := s.SubmitSweepWithRequestID(sp, requestIDFrom(r.Context()))
 	switch {
 	case errors.Is(err, errShutdown):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -134,12 +147,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	v, ok := s.Job(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job")
 		return
 	}
+	// The poll that observes a finished job carries the job's own stage
+	// breakdown to the request log: a slow poll is almost always slow
+	// because the job it waited on was, and the breakdown says where.
+	if v.Status == StatusDone || v.Status == StatusFailed {
+		if rec := stageRecorderFrom(r.Context()); rec != nil {
+			for stage, d := range s.jobStages(id) {
+				rec.Add(stage, d)
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleTrace exports a finished job's trace in the Chrome trace-event
+// format: load the body in Perfetto (ui.perfetto.dev) or chrome://tracing
+// to see submit, per-replicate queue wait and execution (with the
+// step-phase split in span args), and assembly on a shared timeline.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, ok, err := s.JobTrace(r.PathValue("id"))
+	switch {
+	case !ok:
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	case err != nil:
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	tr.WriteChromeTrace(w)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

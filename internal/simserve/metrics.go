@@ -2,7 +2,10 @@ package simserve
 
 import (
 	"net/http"
+	"time"
 
+	"mobilenet/internal/prof"
+	"mobilenet/internal/scenario"
 	"mobilenet/internal/telemetry"
 )
 
@@ -29,7 +32,7 @@ const (
 
 // httpRoutes are the route labels of the mobiserved_http_request_seconds
 // histogram family, in registration (and therefore exposition) order.
-var httpRoutes = []string{"run", "jobs", "results", "series", "sweep_submit", "sweeps", "healthz", "metrics"}
+var httpRoutes = []string{"run", "jobs", "results", "series", "sweep_submit", "sweeps", "healthz", "metrics", "trace"}
 
 // initMetrics builds the server's telemetry registry. Registration order
 // is exposition order, and the first twelve families reproduce the
@@ -76,6 +79,39 @@ func (s *Server) initMetrics() {
 	for _, route := range httpRoutes {
 		s.httpHists[route] = m.Histogram("mobiserved_http_request_seconds",
 			"HTTP request latency in seconds by route.", telemetry.Label{Name: "route", Value: route})
+	}
+	// Step-phase histograms: one series per (engine, phase) pair. The label
+	// set is fixed at construction — the engine registry crossed with the
+	// prof phase vocabulary — never derived from request content, so its
+	// cardinality is bounded by design. Workers feed each replicate's
+	// profiled per-phase total here, so the unit is seconds per replicate:
+	// compare phases within an engine family to see where step time goes.
+	s.phaseHists = make(map[string]map[string]*telemetry.Histogram)
+	for _, engine := range scenario.Engines() {
+		byPhase := make(map[string]*telemetry.Histogram, int(prof.NumPhases))
+		for _, phase := range prof.PhaseNames() {
+			byPhase[phase] = m.Histogram("mobiserved_engine_phase_seconds",
+				"Per-replicate step-phase wall-clock seconds by engine.",
+				telemetry.Label{Name: "engine", Value: engine},
+				telemetry.Label{Name: "phase", Value: phase})
+		}
+		s.phaseHists[engine] = byPhase
+	}
+}
+
+// recordPhases feeds one replicate's profiled per-phase totals into the
+// mobiserved_engine_phase_seconds family. Phases the replicate never
+// spent time in are absent from the breakdown and observe nothing, so
+// their series stay unmaterialised.
+func (s *Server) recordPhases(engine string, b *prof.Breakdown) {
+	byPhase := s.phaseHists[engine]
+	if b == nil || byPhase == nil {
+		return
+	}
+	for phase, sec := range b.Seconds {
+		if h := byPhase[phase]; h != nil {
+			h.Record(time.Duration(sec * float64(time.Second)))
+		}
 	}
 }
 

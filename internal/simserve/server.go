@@ -16,10 +16,13 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobilenet/internal/obs"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/scenario"
 	"mobilenet/internal/telemetry"
 	"mobilenet/internal/theory"
@@ -165,17 +168,29 @@ var ErrQueueFull = errors.New("simserve: run queue full")
 var errShutdown = errors.New("simserve: server is shutting down")
 
 // job is the internal record of one submitted scenario. All mutable fields
-// are guarded by Server.mu.
+// are guarded by Server.mu; trace carries its own lock.
 type job struct {
-	id      string
-	hash    string
-	spec    scenario.Spec // canonical
-	status  string
-	errMsg  string
-	reps    []scenario.Rep
-	pending int
-	payload []byte        // encoded Result, set when status == done
-	done    chan struct{} // closed on done or failed
+	id        string
+	hash      string
+	spec      scenario.Spec // canonical
+	requestID string        // id of the request that created the job
+	status    string
+	errMsg    string
+	reps      []scenario.Rep
+	pending   int
+	payload   []byte        // encoded Result, set when status == done
+	done      chan struct{} // closed on done or failed
+
+	// trace spans the job's lifecycle (submit, per-replicate queue wait
+	// and execution, assembly) for GET /v1/jobs/{id}/trace.
+	trace *prof.Trace
+	// waitTotal, execTotal and assembleTotal accumulate the job's own
+	// share of the lifecycle stages — queue wait and execution summed
+	// over replicates, assembly once — for per-request slow-log
+	// breakdowns (see StageRecorder).
+	waitTotal     time.Duration
+	execTotal     time.Duration
+	assembleTotal time.Duration
 }
 
 // task is the pool's unit of work: one replicate of one job. The enqueue
@@ -248,6 +263,12 @@ type Server struct {
 	seriesServed      *telemetry.Counter
 	stages            map[string]*telemetry.Histogram // stage name -> latency histogram
 	httpHists         map[string]*telemetry.Histogram // route -> latency histogram
+	phaseHists        map[string]map[string]*telemetry.Histogram // engine -> phase -> histogram
+
+	// Request-id generation state: start-time base plus a sequence, so
+	// generated ids are process-unique without any global state.
+	reqBase int64
+	reqSeq  atomic.Uint64
 
 	mux *http.ServeMux
 }
@@ -262,6 +283,7 @@ func New(cfg Config) *Server {
 		inflight: make(map[string]*job),
 		sweeps:   make(map[string]*sweepJob),
 		tasks:    make(chan task, cfg.QueueDepth),
+		reqBase:  time.Now().UnixNano(),
 	}
 	s.initMetrics()
 	s.mux = newMux(s)
@@ -281,7 +303,18 @@ func New(cfg Config) *Server {
 // the enqueue itself — and lands in the stage histogram even when the
 // submission is rejected, so admission-path regressions are visible.
 func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
-	defer s.stages[stageAdmission].Since(time.Now())
+	return s.SubmitWithRequestID(spec, "")
+}
+
+// SubmitWithRequestID is Submit carrying the originating request id, which
+// the created job records and its exported trace annotates — one id
+// threads HTTP request -> job -> replicate spans (and, via sweep
+// dispatchers, sweep -> point jobs). A submission that coalesces onto an
+// in-flight job keeps that job's original id: the job's identity is its
+// content hash, and the first requester named it.
+func (s *Server) SubmitWithRequestID(spec scenario.Spec, requestID string) (Ticket, error) {
+	t0 := time.Now()
+	defer s.stages[stageAdmission].Since(t0)
 	c, err := spec.Canonical()
 	if err != nil {
 		return Ticket{}, err
@@ -329,14 +362,17 @@ func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
 	s.cacheMisses.Add(1)
 	s.nextID++
 	j := &job{
-		id:      fmt.Sprintf("job-%d", s.nextID),
-		hash:    hash,
-		spec:    c,
-		status:  StatusQueued,
-		reps:    make([]scenario.Rep, c.Reps),
-		pending: c.Reps,
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		hash:      hash,
+		spec:      c,
+		requestID: requestID,
+		status:    StatusQueued,
+		reps:      make([]scenario.Rep, c.Reps),
+		pending:   c.Reps,
+		done:      make(chan struct{}),
+		trace:     prof.NewTrace(),
 	}
+	j.trace.NameThread(0, "job")
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
 	// Capacity was reserved above, so these sends cannot block. One
@@ -348,6 +384,14 @@ func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
 	for rep := 0; rep < c.Reps; rep++ {
 		s.tasks <- task{job: j, rep: rep, enqueued: now}
 	}
+	// The submit span starts at the trace epoch (spans never precede it)
+	// and covers the admission work from t0, so the trace timeline opens
+	// with how long admission took and who asked.
+	args := map[string]string{"hash": hash, "reps": strconv.Itoa(c.Reps)}
+	if requestID != "" {
+		args["request_id"] = requestID
+	}
+	j.trace.Add("submit "+c.Engine, "job", 0, j.trace.Epoch(), time.Since(t0), args)
 	return Ticket{JobID: j.id, Hash: hash, Status: j.status}, nil
 }
 
@@ -374,12 +418,14 @@ func (s *Server) checkBounds(c scenario.Spec) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.tasks {
-		s.stages[stageQueueWait].Since(t.enqueued)
+		wait := time.Since(t.enqueued)
+		s.stages[stageQueueWait].Record(wait)
 		s.mu.Lock()
 		s.queued--
 		if t.job.status == StatusQueued {
 			t.job.status = StatusRunning
 		}
+		t.job.waitTotal += wait
 		s.mu.Unlock()
 
 		seed := scenario.RepSeed(t.job.spec.Seed, t.rep)
@@ -400,16 +446,53 @@ func (s *Server) worker() {
 			// stacking labeller goroutines on top of busy workers.
 			spec := t.job.spec
 			spec.Parallelism = 1
+			// The service always profiles: phase breakdowns cost a few
+			// clock reads per step and feed the engine-phase histograms
+			// and the job trace. Like Parallelism this is execution-only —
+			// canonicalisation zeroed it, so it never splits the cache.
+			spec.Profile = true
 			// The execute stage times exactly the Runner.RunRep seam — the
 			// scenario runner's whole per-replicate simulation — so the
 			// histogram hook sits once per replicate, never inside the
 			// per-step hot loop.
 			t0 := time.Now()
 			rep, err = r.RunRep(spec, seed)
-			s.stages[stageExecute].Since(t0)
+			exec := time.Since(t0)
+			s.stages[stageExecute].Record(exec)
+			s.mu.Lock()
+			t.job.execTotal += exec
+			s.mu.Unlock()
+			// Replicate spans live on thread rep+1 (thread 0 is the job's
+			// own lane): the queue wait, then the run annotated with the
+			// per-phase split.
+			tid := int64(t.rep) + 1
+			t.job.trace.NameThread(tid, "rep "+strconv.Itoa(t.rep))
+			t.job.trace.Add("queue_wait", "queue", tid, t.enqueued, wait, nil)
+			t.job.trace.Add("run "+spec.Engine, "rep", tid, t0, exec, phaseArgs(rep.Phases))
+			// Harvest the phase breakdown into telemetry, then strip it:
+			// timings are measurements of this machine, and the assembled
+			// payload must stay byte-identical to an unprofiled library
+			// run of the same spec for hash-keyed caching to be sound.
+			if err == nil && rep.Phases != nil {
+				s.recordPhases(spec.Engine, rep.Phases)
+				rep.Phases = nil
+			}
 		}
 		s.completeRep(t.job, t.rep, rep, err)
 	}
+}
+
+// phaseArgs renders a replicate's phase breakdown as trace span arguments
+// (milliseconds, matching the trace viewer's display unit).
+func phaseArgs(b *prof.Breakdown) map[string]string {
+	if b == nil {
+		return nil
+	}
+	args := make(map[string]string, len(b.Seconds))
+	for phase, sec := range b.Seconds {
+		args["phase_"+phase+"_ms"] = strconv.FormatFloat(sec*1000, 'f', 3, 64)
+	}
+	return args
 }
 
 // completeRep records one replicate outcome and finalises the job when it
@@ -434,13 +517,16 @@ func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 	// with curves) must not stall every Submit/Job/metrics call while it
 	// marshals.
 	var payload []byte
+	var assembleDur time.Duration
 	if errMsg == "" {
 		t0 := time.Now()
 		res, aerr := scenario.Assemble(j.spec, j.hash, j.reps)
 		if aerr == nil {
 			payload, aerr = json.Marshal(res)
 		}
-		s.stages[stageAssemble].Since(t0)
+		assembleDur = time.Since(t0)
+		s.stages[stageAssemble].Record(assembleDur)
+		j.trace.Add("assemble", "job", 0, t0, assembleDur, nil)
 		if aerr != nil {
 			errMsg = aerr.Error()
 		}
@@ -448,6 +534,7 @@ func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 
 	s.mu.Lock()
 	j.errMsg = errMsg
+	j.assembleTotal = assembleDur
 	if errMsg == "" {
 		j.status = StatusDone
 		j.payload = payload
@@ -483,6 +570,52 @@ func (s *Server) Job(id string) (JobView, bool) {
 		v.Result = j.payload
 	}
 	return v, true
+}
+
+// ErrJobNotDone reports a trace request for a job still queued or running
+// (HTTP 409: the trace only settles once the last replicate lands).
+var ErrJobNotDone = errors.New("simserve: job has not finished; poll the job until done and retry")
+
+// JobTrace returns a finished job's span trace — submit, per-replicate
+// queue wait and execution (annotated with the step-phase split), and
+// assembly. ok is false for unknown jobs; ErrJobNotDone is returned while
+// the job is still queued or running. Failed jobs still export their
+// trace: a trace of where a failure spent its time is exactly what the
+// requester wants next.
+func (s *Server) JobTrace(id string) (tr *prof.Trace, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, found := s.jobs[id]
+	if !found {
+		return nil, false, nil
+	}
+	if j.status != StatusDone && j.status != StatusFailed {
+		return nil, true, ErrJobNotDone
+	}
+	return j.trace, true, nil
+}
+
+// jobStages returns a job's accumulated lifecycle-stage durations — queue
+// wait and execution summed over replicates, assembly once — for the
+// per-request slow-log breakdown.
+func (s *Server) jobStages(id string) map[string]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]time.Duration, 3)
+	if j.waitTotal > 0 {
+		out[stageQueueWait] = j.waitTotal
+	}
+	if j.execTotal > 0 {
+		out[stageExecute] = j.execTotal
+	}
+	if j.assembleTotal > 0 {
+		out[stageAssemble] = j.assembleTotal
+	}
+	return out
 }
 
 // Result returns the cached payload for a scenario hash.

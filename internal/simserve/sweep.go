@@ -21,10 +21,11 @@ const queueFullRetry = 2 * time.Millisecond
 // sweepJob is the internal record of one submitted sweep. All mutable
 // fields are guarded by Server.mu.
 type sweepJob struct {
-	id     string
-	hash   string
-	spec   sweep.Spec
-	points []sweep.Point
+	id        string
+	hash      string
+	spec      sweep.Spec
+	points    []sweep.Point
+	requestID string // id of the request that created the sweep
 
 	status      string
 	pointStatus []string // per point: queued/running/done/failed
@@ -96,6 +97,13 @@ type SweepView struct {
 // pool, exactly as if it had been POSTed individually. Repeated or
 // overlapping sweeps therefore deduplicate point by point.
 func (s *Server) SubmitSweep(sp sweep.Spec) (SweepTicket, error) {
+	return s.SubmitSweepWithRequestID(sp, "")
+}
+
+// SubmitSweepWithRequestID is SubmitSweep carrying the originating request
+// id; the dispatcher propagates it into every per-point job submission, so
+// the point jobs' traces all name the sweep's request.
+func (s *Server) SubmitSweepWithRequestID(sp sweep.Spec, requestID string) (SweepTicket, error) {
 	// Expansion, bounds checks and hashing are the sweep_expand stage of
 	// the lifecycle (the dispatcher's dedup pass lands there too).
 	t0 := time.Now()
@@ -125,6 +133,7 @@ func (s *Server) SubmitSweep(sp sweep.Spec) (SweepTicket, error) {
 		hash:        hash,
 		spec:        sp,
 		points:      points,
+		requestID:   requestID,
 		status:      StatusQueued,
 		pointStatus: make([]string, len(points)),
 		pointCached: make([]bool, len(points)),
@@ -213,7 +222,7 @@ dispatch:
 			err    error
 		)
 		for attempt := 0; ; attempt++ {
-			ticket, err = s.submitPoint(u.Spec, cancelled)
+			ticket, err = s.submitPoint(u.Spec, j.requestID, cancelled)
 			if err != nil || !ticket.Cached {
 				break
 			}
@@ -249,12 +258,12 @@ dispatch:
 	s.finishSweep(j)
 }
 
-// submitPoint submits one point spec, absorbing transient queue-full
-// rejections by backing off until the queue has room, the sweep is
-// cancelled, or the server shuts down.
-func (s *Server) submitPoint(spec scenario.Spec, cancelled func() bool) (Ticket, error) {
+// submitPoint submits one point spec under the sweep's request id,
+// absorbing transient queue-full rejections by backing off until the
+// queue has room, the sweep is cancelled, or the server shuts down.
+func (s *Server) submitPoint(spec scenario.Spec, requestID string, cancelled func() bool) (Ticket, error) {
 	for {
-		t, err := s.Submit(spec)
+		t, err := s.SubmitWithRequestID(spec, requestID)
 		if err == nil {
 			return t, nil
 		}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"mobilenet/internal/grid"
+	"mobilenet/internal/prof"
 	"mobilenet/internal/unionfind"
 )
 
@@ -72,6 +73,11 @@ type Labeller struct {
 	// up to p workers.
 	par int
 
+	// prof, when non-nil, receives the index/label phase laps from
+	// Components; laps are recorded on the calling goroutine even when the
+	// union phase fans out. See SetProfile.
+	prof *prof.StepProfile
+
 	// shards holds per-worker union scratch for the parallel path,
 	// allocated lazily on first parallel call.
 	shards []shard
@@ -108,6 +114,16 @@ func (l *Labeller) SetParallelism(p int) {
 		p = 0
 	}
 	l.par = p
+}
+
+// SetProfile attaches a step-phase profiler: each Components call laps the
+// CSR index build into prof.Index and the union plus dense label pass into
+// prof.Label. A nil profile (the default) disables phase timing; the lap
+// calls then compile to a branch, preserving the labeller's zero-allocation
+// steady state. The caller is responsible for marking the profile before
+// Components so the index lap starts from the right instant.
+func (l *Labeller) SetProfile(p *prof.StepProfile) {
+	l.prof = p
 }
 
 // workers resolves the worker count for a population of k agents on a
@@ -415,6 +431,7 @@ func (l *Labeller) Components(pos []grid.Point, r int) (labels []int32, count in
 
 	if r >= 0 && k > 1 {
 		l.buildIndex(pos, r)
+		l.prof.Lap(prof.Index)
 		if nw := l.workers(k, l.gridH); nw > 1 {
 			l.unionParallel(pos, r, nw)
 		} else {
@@ -439,6 +456,7 @@ func (l *Labeller) Components(pos []grid.Point, r int) (labels []int32, count in
 		}
 		out[i] = rl[root]
 	}
+	l.prof.Lap(prof.Label)
 	return out, int(next)
 }
 

@@ -1,6 +1,9 @@
 package mobilenet
 
 import (
+	"io"
+
+	"mobilenet/internal/prof"
 	"mobilenet/internal/scenario"
 )
 
@@ -57,6 +60,14 @@ type Scenario struct {
 	// it: its worker pool already fans replicates across every core, so
 	// each replicate labels sequentially there.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Profile enables per-replicate step-phase profiling: every replicate
+	// reports a wall-clock breakdown over the fixed phase vocabulary
+	// (move, index, label, spread, observe) in ScenarioRep.Phases, and the
+	// result aggregates them in ScenarioResult.Phases. Like Parallelism it
+	// is execution-only: outcomes are identical either way, profiling adds
+	// only a few clock reads per step, and the flag never affects the
+	// content hash.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // spec converts the public Scenario to the internal spec, field for field.
@@ -76,6 +87,7 @@ func (s Scenario) spec() scenario.Spec {
 		Mobility:    s.Mobility,
 		Metrics:     s.Metrics,
 		Parallelism: s.Parallelism,
+		Profile:     s.Profile,
 	}
 	if s.Observe != nil {
 		sp.Observe = s.Observe.spec()
@@ -100,6 +112,7 @@ func fromSpec(sp scenario.Spec) Scenario {
 		Metrics:     sp.Metrics,
 		Observe:     fromObsSpec(sp.Observe),
 		Parallelism: sp.Parallelism,
+		Profile:     sp.Profile,
 	}
 }
 
@@ -157,6 +170,32 @@ type ScenarioRep struct {
 	// Series holds this replicate's observed time series under the
 	// scenario's observe block; nil when nothing was observed.
 	Series *RepSeries `json:"series,omitempty"`
+	// Phases is this replicate's step-phase wall-clock breakdown under
+	// Scenario.Profile; nil when profiling was off.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
+}
+
+// PhaseBreakdown reports where a run's step time went, split over the fixed
+// phase vocabulary: "move" (motion stepping), "index" (spatial-index
+// build), "label" (connectivity resolution), "spread" (information
+// propagation) and "observe" (measurement). Only phases with nonzero time
+// appear; timings are wall-clock measurements of the executing machine, not
+// simulation outcomes.
+type PhaseBreakdown struct {
+	// Steps is the number of profiled steps the breakdown covers.
+	Steps int `json:"steps"`
+	// Seconds maps phase name to accumulated wall-clock seconds.
+	Seconds map[string]float64 `json:"seconds"`
+	// Fractions maps phase name to its share of the profiled total.
+	Fractions map[string]float64 `json:"fractions,omitempty"`
+}
+
+// fromBreakdown converts the internal breakdown to its public mirror.
+func fromBreakdown(b *prof.Breakdown) *PhaseBreakdown {
+	if b == nil {
+		return nil
+	}
+	return &PhaseBreakdown{Steps: b.Steps, Seconds: b.Seconds, Fractions: b.Fractions}
 }
 
 // ScenarioResult is the uniform outcome of a scenario run: every replicate
@@ -177,6 +216,9 @@ type ScenarioResult struct {
 	// observable; nil when the scenario observed nothing. Render with
 	// WriteSeriesNDJSON for the canonical wire form.
 	Series []Series `json:"series,omitempty"`
+	// Phases merges the replicates' step-phase breakdowns under
+	// Scenario.Profile; nil when profiling was off.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // RunScenario validates, canonicalises and executes a scenario through the
@@ -188,4 +230,29 @@ func RunScenario(s Scenario) (*ScenarioResult, error) {
 		return nil, err
 	}
 	return fromScenarioResult(res), nil
+}
+
+// ExecTrace is the execution trace of a scenario run: one span per
+// replicate (annotated with its step-phase breakdown when the scenario
+// profiled), on a shared timeline starting at the run's submission.
+// Traces record wall-clock facts about one execution of this machine —
+// they are observability artifacts, never part of the result.
+type ExecTrace struct {
+	tr *prof.Trace
+}
+
+// WriteChromeTrace writes the trace in the Chrome trace-event JSON format,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *ExecTrace) WriteChromeTrace(w io.Writer) error { return t.tr.WriteChromeTrace(w) }
+
+// RunScenarioTraced is RunScenario recording an execution trace: per-
+// replicate spans with wall-clock timings, plus the per-phase split when
+// s.Profile is set. The result is identical to an untraced run.
+func RunScenarioTraced(s Scenario) (*ScenarioResult, *ExecTrace, error) {
+	tr := prof.NewTrace()
+	res, err := scenario.RunWithTrace(s.spec(), tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromScenarioResult(res), &ExecTrace{tr: tr}, nil
 }

@@ -208,6 +208,7 @@ func fromScenarioResult(res *scenario.Result) *ScenarioResult {
 		MeanSteps:    res.MeanSteps,
 		AllCompleted: res.AllCompleted,
 		Series:       fromAggSeries(res.Series),
+		Phases:       fromBreakdown(res.Phases),
 	}
 	for i, r := range res.Reps {
 		out.Reps[i] = ScenarioRep{
@@ -220,6 +221,7 @@ func fromScenarioResult(res *scenario.Result) *ScenarioResult {
 			Survivors:     r.Survivors,
 			Curve:         r.Curve,
 			Series:        fromSeriesSet(r.Series),
+			Phases:        fromBreakdown(r.Phases),
 		}
 	}
 	return out

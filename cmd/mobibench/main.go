@@ -18,6 +18,9 @@
 //	sweep   small two-point sweeps with unique base seeds, polled to
 //	        completion through /v1/sweeps
 //	series  NDJSON series fetches of a pre-warmed observed scenario
+//	chaos   opt-in: cold-style submissions retried with capped
+//	        exponential backoff + jitter against a fault-injecting
+//	        server (-chaos, or an external daemon started with one)
 //
 // The loop is closed: each client submits, waits for the result, then
 // submits again — so the reported throughput at concurrency -c is the
@@ -30,6 +33,7 @@
 //	go run ./cmd/mobibench -addr http://localhost:8080 -workloads cold,cached
 //	go run ./cmd/mobibench -smoke          # CI: seconds, schema-validated, no file written
 //	go run ./cmd/mobibench -smoke -trace-out bench-trace.json   # plus a Perfetto-loadable trace
+//	go run ./cmd/mobibench -smoke -workloads chaos -chaos 'worker-panic:0.05'   # retry-path smoke
 //
 // -trace-out additionally records a client-side execution trace — one span
 // per request on a lane per (workload, client), capped per phase so long
@@ -46,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobilenet/internal/chaos"
 	"mobilenet/internal/prof"
 	"mobilenet/internal/simserve"
 	"mobilenet/internal/telemetry"
@@ -75,13 +81,20 @@ type benchConfig struct {
 	workloads []string
 	nodes     int
 	agents    int
-	out       string // "-" = stdout; "" = validate only
-	traceOut  string // "" = no trace export
+	out       string  // "-" = stdout; "" = validate only
+	traceOut  string  // "" = no trace export
 	smoke     bool
+	chaosSpec string  // fault-injection spec for the in-process server
+	rateLimit float64 // per-client rate limit for the in-process server
 }
 
-// knownWorkloads in report order.
-var knownWorkloads = []string{"cold", "cached", "sweep", "series"}
+// knownWorkloads in report order. chaos is opt-in (not part of
+// defaultWorkloads): it expects a fault-injecting server and measures the
+// retry path, which would only muddy the standing baseline.
+var knownWorkloads = []string{"cold", "cached", "sweep", "series", "chaos"}
+
+// defaultWorkloads are the phases a plain run benches.
+var defaultWorkloads = []string{"cold", "cached", "sweep", "series"}
 
 // normalizeAddr turns a bare host:port into a base URL, so
 // `-addr localhost:8080` and `-addr http://localhost:8080` both work.
@@ -98,12 +111,14 @@ func run(args []string, out io.Writer) error {
 		addr      = fs.String("addr", "", "host:port or base URL of a running mobiserved (default: start one in-process)")
 		conc      = fs.Int("c", 8, "concurrent closed-loop clients per workload")
 		duration  = fs.Duration("d", 3*time.Second, "measured duration per workload phase")
-		workloads = fs.String("workloads", strings.Join(knownWorkloads, ","), "comma-separated workload phases to run")
+		workloads = fs.String("workloads", strings.Join(defaultWorkloads, ","), "comma-separated workload phases to run (chaos is opt-in)")
 		nodes     = fs.Int("nodes", 256, "grid nodes of the probe scenario")
 		agents    = fs.Int("agents", 8, "agents of the probe scenario")
 		outPath   = fs.String("out", "BENCH_load.json", "baseline file to write ('-' = stdout)")
 		traceOut  = fs.String("trace-out", "", "export a client-side bench trace (Chrome trace-event JSON, validated before writing) to this file")
-		smoke     = fs.Bool("smoke", false, "CI smoke mode: in-process server, short phases, validate the report schema, write no baseline")
+		smoke     = fs.Bool("smoke", false, "CI smoke mode: short phases, validate the report schema, write no baseline (honours -addr)")
+		chaosSpec = fs.String("chaos", "", "arm the in-process server with this fault-injection spec (see internal/chaos; ignored with -addr)")
+		rateLim   = fs.Float64("rate-limit", 0, "per-client rate limit for the in-process server (ignored with -addr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,11 +126,12 @@ func run(args []string, out io.Writer) error {
 	cfg := benchConfig{
 		addr: normalizeAddr(*addr), conc: *conc, duration: *duration,
 		nodes: *nodes, agents: *agents, out: *outPath, traceOut: *traceOut, smoke: *smoke,
+		chaosSpec: *chaosSpec, rateLimit: *rateLim,
 	}
 	if cfg.smoke {
 		// Seconds, not minutes: every workload path is exercised, but just
-		// long enough to produce non-degenerate quantiles.
-		cfg.addr = ""
+		// long enough to produce non-degenerate quantiles. -addr is
+		// honoured so CI can smoke a chaos-armed external daemon.
 		cfg.conc = 4
 		cfg.duration = 250 * time.Millisecond
 		cfg.out = ""
@@ -222,7 +238,7 @@ type WorkloadResult struct {
 func runBench(cfg benchConfig, progress io.Writer) (*Report, error) {
 	base := cfg.addr
 	if base == "" {
-		local, shutdown, err := startLocal()
+		local, shutdown, err := startLocal(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -447,8 +463,48 @@ func makeWorkload(cl *client, name string, cfg benchConfig) (func() error, error
 			return nil, fmt.Errorf("pre-warm: %w", err)
 		}
 		return func() error { return cl.getSeries(hash) }, nil
+	case "chaos":
+		// The resilience workload: cold-style submissions against a
+		// fault-injecting server, retried the way a well-behaved client
+		// should — capped exponential backoff with jitter. One logical
+		// request keeps one spec across its attempts (a real client
+		// retries the same work), and counts as an error only when every
+		// attempt fails.
+		return func() error {
+			s := spec(nextSeed())
+			var lastErr error
+			backoff := chaosRetryBase
+			for attempt := 0; attempt < chaosRetryAttempts; attempt++ {
+				if attempt > 0 {
+					time.Sleep(jitter(backoff))
+					if backoff *= 2; backoff > chaosRetryCap {
+						backoff = chaosRetryCap
+					}
+				}
+				if _, err := cl.submitAndWait(s); err == nil {
+					return nil
+				} else {
+					lastErr = err
+				}
+			}
+			return fmt.Errorf("%d attempts exhausted: %w", chaosRetryAttempts, lastErr)
+		}, nil
 	}
 	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// Chaos-workload retry policy: a handful of attempts, exponential backoff
+// from a few milliseconds, capped well under the request budget.
+const (
+	chaosRetryAttempts = 4
+	chaosRetryBase     = 5 * time.Millisecond
+	chaosRetryCap      = 200 * time.Millisecond
+)
+
+// jitter spreads a backoff uniformly over [d/2, 3d/2), so a fleet of
+// retrying clients does not resubmit in lockstep.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
 }
 
 var seedCounter atomic.Uint64
@@ -460,13 +516,26 @@ func nextSeed() uint64 { return 1_000_000 + seedCounter.Add(1) }
 
 // startLocal boots an in-process mobiserved-equivalent (the same
 // simserve.Server behind a plain http.Server on a loopback port) and
-// returns its base URL and a shutdown func.
-func startLocal() (string, func(), error) {
+// returns its base URL and a shutdown func. -chaos and -rate-limit arm
+// the local server so the chaos workload can bench the retry path
+// without an external daemon.
+func startLocal(cfg benchConfig) (string, func(), error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	svc := simserve.New(simserve.Config{})
+	injector, err := chaos.Parse(cfg.chaosSpec)
+	if err != nil {
+		return "", nil, err
+	}
+	// The deadline machinery is always armed, at the client's own request
+	// budget — hardening on, at a level the bench never trips, which is
+	// exactly the regime BENCH_load.json records.
+	svc := simserve.New(simserve.Config{
+		Chaos:           injector,
+		RateLimit:       cfg.rateLimit,
+		DefaultDeadline: requestBudget,
+	})
 	hs := &http.Server{Handler: svc}
 	go hs.Serve(l)
 	shutdown := func() {
@@ -567,6 +636,8 @@ func (c *client) submitAndWait(spec []byte) (string, error) {
 			return ticket.Hash, nil
 		case "failed":
 			return "", fmt.Errorf("%w: %s", errJobFailed, view.Error)
+		case "cancelled":
+			return "", fmt.Errorf("%w (cancelled): %s", errJobFailed, view.Error)
 		}
 		time.Sleep(pollInterval)
 	}
@@ -654,10 +725,17 @@ func (c *client) scrape() (map[string]telemetry.ScrapedHistogram, error) {
 	return telemetry.ParseHistograms(string(body)), nil
 }
 
+// chaosErrorBudget is the error fraction the chaos workload tolerates:
+// its retries are expected to absorb injected faults, but a server
+// injecting panics at a high rate can legitimately exhaust a few retry
+// chains. Every other workload still requires zero errors.
+const chaosErrorBudget = 0.2
+
 // validateReport checks the BENCH_load.json invariants every consumer
 // (and the CI smoke job) relies on: the regeneration command in the
 // description, and per requested workload a non-degenerate result with
-// ordered quantiles and no errors.
+// ordered quantiles and no errors (chaos alone gets a bounded error
+// budget — surviving injected faults is its whole point).
 func validateReport(r *Report, workloads []string) error {
 	if !strings.Contains(r.Description, "go run ./cmd/mobibench") {
 		return fmt.Errorf("description lacks the regeneration command")
@@ -670,10 +748,13 @@ func validateReport(r *Report, workloads []string) error {
 		if !ok {
 			return fmt.Errorf("workload %s missing from results", name)
 		}
+		total := res.Requests + res.Errors
 		switch {
 		case res.Requests == 0:
 			return fmt.Errorf("workload %s completed zero requests", name)
-		case res.Errors != 0:
+		case name == "chaos" && float64(res.Errors) > chaosErrorBudget*float64(total):
+			return fmt.Errorf("workload chaos exhausted retries on %d of %d requests (budget %g%%)", res.Errors, total, chaosErrorBudget*100)
+		case name != "chaos" && res.Errors != 0:
 			return fmt.Errorf("workload %s had %d errors", name, res.Errors)
 		case res.ThroughputRPS <= 0:
 			return fmt.Errorf("workload %s throughput %g", name, res.ThroughputRPS)

@@ -35,10 +35,28 @@
 // for live CPU and heap profiling (off by default: profiles expose
 // internals, so opt in).
 //
+// The daemon is hardened for untrusted, impatient clients. Every job can
+// carry a deadline (X-Deadline-Ms header, bounded by -max-deadline, with
+// -default-deadline applied to jobs that ask for none); a job past its
+// deadline stops mid-replicate within one engine check interval and
+// reports status "cancelled". Engine panics are confined to the job that
+// triggered them (mobiserved_panics_recovered_total counts them). Workers
+// drain a weighted fair queue keyed by client id (X-Client-Id header, or
+// the remote host), so one client's batch flood cannot starve another's
+// interactive submission, and -rate-limit/-rate-burst shed over-limit
+// clients with 429 + Retry-After before their specs are even parsed
+// (mobiserved_shed_total{reason} counts queue-full and rate-limit sheds).
+// -chaos arms the internal/chaos fault-injection harness — injected
+// worker panics, engine step stalls, dropped cache writes, dequeue
+// latency — for resilience testing against a live daemon; see
+// EXPERIMENTS.md, "Breaking the server on purpose".
+//
 // Usage:
 //
 //	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024 -series-points 1048576 \
-//	           -log-level info -slow-ms 1000 -pprof
+//	           -log-level info -slow-ms 1000 -pprof \
+//	           -default-deadline 0 -max-deadline 0 -rate-limit 0 -rate-burst 0 \
+//	           -shutdown-timeout 0 -chaos ''
 //
 // Quickstart:
 //
@@ -74,6 +92,7 @@ import (
 	"syscall"
 	"time"
 
+	"mobilenet/internal/chaos"
 	"mobilenet/internal/simserve"
 	"mobilenet/internal/telemetry"
 )
@@ -89,11 +108,12 @@ func main() {
 
 // serveOpts bundles everything serve needs beyond the service config.
 type serveOpts struct {
-	cfg    simserve.Config
-	grace  time.Duration
-	pprof  bool          // mount /debug/pprof/
-	slow   time.Duration // warn-level threshold for request logs; 0 disables
-	logger *slog.Logger
+	cfg      simserve.Config
+	grace    time.Duration // drain budget: HTTP requests finish, queue drains
+	shutdown time.Duration // hard bound: past this, in-flight jobs are cancelled; 0 = grace
+	pprof    bool          // mount /debug/pprof/
+	slow     time.Duration // warn-level threshold for request logs; 0 disables
+	logger   *slog.Logger
 }
 
 func run(ctx context.Context, args []string, out *os.File) error {
@@ -105,10 +125,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		cache        = fs.Int("cache", 0, "result-cache entries (0 = 256)")
 		sweepPoints  = fs.Int("sweep-points", 0, "max expanded points per submitted sweep (0 = 1024)")
 		seriesPoints = fs.Int("series-points", 0, "max recorded series points per replicate of an observed scenario (0 = 1048576)")
-		grace        = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget")
+		grace        = fs.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests and queue drain")
+		shutdownTO   = fs.Duration("shutdown-timeout", 0, "hard shutdown bound: past this, in-flight jobs are cancelled mid-replicate (0 = same as -grace)")
 		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 		logLevel     = fs.String("log-level", "info", "request-log level: debug, info, warn or error")
 		slowMS       = fs.Int("slow-ms", 1000, "log requests slower than this many milliseconds at warn level (0 disables)")
+		defDeadline  = fs.Duration("default-deadline", 0, "deadline applied to jobs that request none (0 = unbounded)")
+		maxDeadline  = fs.Duration("max-deadline", 0, "cap on every job's effective deadline, including deadline-less jobs (0 = no cap)")
+		rateLimit    = fs.Float64("rate-limit", 0, "per-client submissions per second; over-limit requests get 429 + Retry-After (0 disables)")
+		rateBurst    = fs.Int("rate-burst", 0, "per-client submission burst (0 = one second's worth of -rate-limit)")
+		chaosSpec    = fs.String("chaos", "", "fault-injection spec, e.g. 'worker-panic:0.05,slow-step:0.02:1ms' (see internal/chaos; empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,7 +142,14 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if *workers < 0 || *queue < 0 || *cache < 0 || *sweepPoints < 0 || *seriesPoints < 0 || *slowMS < 0 {
 		return fmt.Errorf("workers, queue, cache, sweep-points, series-points and slow-ms must be non-negative")
 	}
+	if *defDeadline < 0 || *maxDeadline < 0 || *shutdownTO < 0 || *rateLimit < 0 || *rateBurst < 0 {
+		return fmt.Errorf("default-deadline, max-deadline, shutdown-timeout, rate-limit and rate-burst must be non-negative")
+	}
 	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	injector, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		return err
 	}
@@ -129,11 +162,15 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		cfg: simserve.Config{
 			Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
 			MaxSweepPoints: *sweepPoints, MaxSeriesPoints: *seriesPoints,
+			DefaultDeadline: *defDeadline, MaxDeadline: *maxDeadline,
+			RateLimit: *rateLimit, RateBurst: *rateBurst,
+			Chaos: injector,
 		},
-		grace:  *grace,
-		pprof:  *pprofFlag,
-		slow:   time.Duration(*slowMS) * time.Millisecond,
-		logger: logger,
+		grace:    *grace,
+		shutdown: *shutdownTO,
+		pprof:    *pprofFlag,
+		slow:     time.Duration(*slowMS) * time.Millisecond,
+		logger:   logger,
 	}, out)
 }
 
@@ -195,8 +232,19 @@ func serve(ctx context.Context, l net.Listener, opts serveOpts, out *os.File) er
 	shutCtx, cancel := context.WithTimeout(context.Background(), opts.grace)
 	defer cancel()
 	err := httpSrv.Shutdown(shutCtx)
-	if serr := svc.Shutdown(shutCtx); err == nil {
-		err = serr
+	// The service gets its own drain budget (-shutdown-timeout, defaulting
+	// to -grace): once it expires, in-flight jobs are cancelled
+	// mid-replicate and finish as cancelled instead of being waited out.
+	// That escalation is expected behaviour under a hard deadline, so it
+	// is logged rather than surfaced as a daemon error.
+	svcBudget := opts.shutdown
+	if svcBudget <= 0 {
+		svcBudget = opts.grace
+	}
+	svcCtx, svcCancel := context.WithTimeout(context.Background(), svcBudget)
+	defer svcCancel()
+	if serr := svc.Shutdown(svcCtx); serr != nil {
+		opts.logger.Warn("shutdown budget expired; in-flight jobs cancelled", "budget", svcBudget.String())
 	}
 	if errors.Is(err, http.ErrServerClosed) {
 		err = nil

@@ -1,0 +1,142 @@
+package cancel
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNilCheckNeverStops(t *testing.T) {
+	var c *Check
+	for i := 0; i < 1000; i++ {
+		if c.Stop() {
+			t.Fatal("nil Check stopped")
+		}
+	}
+	if c.Stopped() {
+		t.Fatal("nil Check reports Stopped")
+	}
+}
+
+func TestNewReturnsNilForUncancellableContext(t *testing.T) {
+	if c := New(context.Background(), 8); c != nil {
+		t.Errorf("New(Background) = %v, want nil", c)
+	}
+	if c := New(nil, 8); c != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Errorf("New(nil) = %v, want nil", c)
+	}
+}
+
+func TestStopWithinOneInterval(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	const every = 16
+	c := New(ctx, every)
+	if c == nil {
+		t.Fatal("New returned nil for a cancellable context")
+	}
+	// Not cancelled: never stops, regardless of call count.
+	for i := 0; i < 10*every; i++ {
+		if c.Stop() {
+			t.Fatalf("stopped at call %d with live context", i)
+		}
+	}
+	cancelCtx()
+	// Cancelled: stops within one interval of calls.
+	calls := 0
+	for ; calls <= every; calls++ {
+		if c.Stop() {
+			break
+		}
+	}
+	if calls > every {
+		t.Fatalf("did not stop within %d calls of cancellation", every)
+	}
+	if !c.Stopped() {
+		t.Error("Stopped() false after Stop observed cancellation")
+	}
+	// Sticky: stays stopped.
+	if !c.Stop() {
+		t.Error("Stop() reverted to false")
+	}
+}
+
+func TestDefaultEvery(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	defer cancelCtx()
+	c := New(ctx, 0)
+	if c.every != DefaultEvery {
+		t.Errorf("every = %d, want DefaultEvery (%d)", c.every, DefaultEvery)
+	}
+}
+
+// TestHookRunsOncePerInterval pins the amortization contract the chaos
+// slow-step point relies on: the hook fires exactly once every `every`
+// Stop calls, never on the fast path.
+func TestHookRunsOncePerInterval(t *testing.T) {
+	const every = 8
+	calls := 0
+	ctx := WithHook(context.Background(), func() { calls++ })
+	c := New(ctx, every)
+	if c == nil {
+		t.Fatal("New returned nil for a hook-carrying context")
+	}
+	for i := 0; i < 5*every; i++ {
+		c.Stop()
+	}
+	if calls != 5 {
+		t.Errorf("hook ran %d times over %d calls, want 5", calls, 5*every)
+	}
+}
+
+func TestHookAndCancellationCompose(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	hooked := 0
+	c := New(WithHook(ctx, func() { hooked++ }), 4)
+	cancelCtx()
+	stopped := false
+	for i := 0; i < 8 && !stopped; i++ {
+		stopped = c.Stop()
+	}
+	if !stopped || hooked == 0 {
+		t.Errorf("stopped=%v hooked=%d, want both", stopped, hooked)
+	}
+}
+
+func TestWithHookNilIsIdentity(t *testing.T) {
+	ctx := context.Background()
+	if got := WithHook(ctx, nil); got != ctx {
+		t.Error("WithHook(ctx, nil) wrapped the context")
+	}
+}
+
+// TestStopAllocs pins the zero-alloc contract: Stop must be safe to
+// call inside engine step loops that promise 0 allocs/op.
+func TestStopAllocs(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	defer cancelCtx()
+	c := New(ctx, 4)
+	if avg := testing.AllocsPerRun(1000, func() { c.Stop() }); avg != 0 {
+		t.Errorf("Stop allocates %.1f per call, want 0", avg)
+	}
+	var nilC *Check
+	if avg := testing.AllocsPerRun(1000, func() { nilC.Stop() }); avg != 0 {
+		t.Errorf("nil Stop allocates %.1f per call, want 0", avg)
+	}
+}
+
+func BenchmarkStop(b *testing.B) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	defer cancelCtx()
+	c := New(ctx, DefaultEvery)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Stop()
+	}
+}
+
+func BenchmarkStopNil(b *testing.B) {
+	var c *Check
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Stop()
+	}
+}

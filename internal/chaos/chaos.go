@@ -1,0 +1,233 @@
+// Package chaos is the fault-injection harness for the simulation
+// service. Production code declares named injection points; an Injector
+// parsed from a -chaos spec decides, per ask, whether the fault fires.
+// With no injector configured every probe is a nil-receiver call that
+// compiles down to a constant-false branch, so the harness costs
+// nothing when it is off — the same discipline as prof.StepProfile and
+// cancel.Check.
+//
+// A spec is a comma-separated list of faults:
+//
+//	point:rate[xCount][:duration]
+//
+//	worker-panic:0.01           panic in ~1% of replicate executions
+//	worker-panic:1x1            panic exactly once, then disarm
+//	slow-step:0.05:2ms          2ms stall at ~5% of cancellation polls
+//	queue-latency:0.2:500us     500µs stall after ~20% of dequeues
+//	cache-write-error:0.1       drop ~10% of result-cache writes
+//
+// rate is a probability in [0, 1]; xCount caps the total number of
+// firings; duration (required for the delay points, rejected elsewhere)
+// is the injected stall. Draws come from a deterministic counter-hash
+// sequence so a seeded run is reproducible and the injector is safe for
+// concurrent use without locks.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The named injection points. Production code asks for them by
+// constant; Parse rejects anything else so a typo in a -chaos spec is
+// a startup error, not a silently inert fault.
+const (
+	// SlowStep stalls a replicate inside its engine step loop, at the
+	// amortized cancellation poll (see cancel.WithHook).
+	SlowStep = "slow-step"
+	// WorkerPanic panics in the worker immediately before a replicate
+	// executes, exercising the recover boundary.
+	WorkerPanic = "worker-panic"
+	// CacheWriteError drops the result-cache write of a finished job:
+	// the job still completes, later fetches by hash miss.
+	CacheWriteError = "cache-write-error"
+	// QueueLatency stalls a worker after it dequeues a task, inflating
+	// queue wait for everyone behind it.
+	QueueLatency = "queue-latency"
+)
+
+// delayPoints are the points that carry (and require) a duration.
+var delayPoints = map[string]bool{SlowStep: true, QueueLatency: true}
+
+// Points returns the registered injection-point names, sorted.
+func Points() []string {
+	pts := []string{SlowStep, WorkerPanic, CacheWriteError, QueueLatency}
+	sort.Strings(pts)
+	return pts
+}
+
+type fault struct {
+	rate      float64
+	delay     time.Duration
+	remaining atomic.Int64 // firings left; negative = unlimited
+	draws     atomic.Uint64
+}
+
+// Injector holds the parsed fault set. A nil *Injector is valid and
+// never fires. All methods are safe for concurrent use.
+type Injector struct {
+	faults map[string]*fault
+	seed   uint64
+	onFire atomic.Pointer[func(point string)]
+}
+
+// Parse builds an Injector from a -chaos spec. An empty spec returns
+// (nil, nil): chaos off.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := &Injector{faults: make(map[string]*fault), seed: 0x9e3779b97f4a7c15}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if err := in.parseFault(part); err != nil {
+			return nil, fmt.Errorf("chaos: fault %q: %w", part, err)
+		}
+	}
+	if len(in.faults) == 0 {
+		return nil, fmt.Errorf("chaos: spec %q declares no faults", spec)
+	}
+	return in, nil
+}
+
+func (in *Injector) parseFault(part string) error {
+	fields := strings.Split(part, ":")
+	if len(fields) < 2 {
+		return fmt.Errorf("want point:rate[xCount][:duration]")
+	}
+	point := fields[0]
+	known := false
+	for _, p := range Points() {
+		if p == point {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown injection point %q (have %s)", point, strings.Join(Points(), ", "))
+	}
+	if _, dup := in.faults[point]; dup {
+		return fmt.Errorf("point %q declared twice", point)
+	}
+
+	rateField := fields[1]
+	count := int64(-1)
+	if i := strings.IndexByte(rateField, 'x'); i >= 0 {
+		n, err := strconv.ParseInt(rateField[i+1:], 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad count %q", rateField[i+1:])
+		}
+		count = n
+		rateField = rateField[:i]
+	}
+	rate, err := strconv.ParseFloat(rateField, 64)
+	if err != nil || math.IsNaN(rate) || rate < 0 || rate > 1 {
+		return fmt.Errorf("rate %q not a probability in [0, 1]", rateField)
+	}
+
+	f := &fault{rate: rate}
+	f.remaining.Store(count)
+	if len(fields) >= 3 {
+		if !delayPoints[point] {
+			return fmt.Errorf("point %q takes no duration", point)
+		}
+		d, err := time.ParseDuration(fields[2])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad duration %q", fields[2])
+		}
+		f.delay = d
+	} else if delayPoints[point] {
+		return fmt.Errorf("point %q requires a duration (e.g. %s:%g:1ms)", point, point, rate)
+	}
+	if len(fields) > 3 {
+		return fmt.Errorf("trailing fields after duration")
+	}
+	in.faults[point] = f
+	return nil
+}
+
+// OnFire registers an observer called with the point name each time a
+// fault fires (the service hooks its chaos-injection counter here).
+// Later registrations replace earlier ones.
+func (in *Injector) OnFire(fn func(point string)) {
+	if in == nil || fn == nil {
+		return
+	}
+	in.onFire.Store(&fn)
+}
+
+// Active reports whether the injector carries a fault for point,
+// regardless of rate or remaining count. The service uses it to avoid
+// installing hooks for points that can never fire.
+func (in *Injector) Active(point string) bool {
+	if in == nil {
+		return false
+	}
+	_, ok := in.faults[point]
+	return ok
+}
+
+// Fire reports whether the fault at point fires on this ask. It
+// consumes one draw from the deterministic sequence and one unit of the
+// fault's count cap when it fires.
+func (in *Injector) Fire(point string) bool {
+	if in == nil {
+		return false
+	}
+	f, ok := in.faults[point]
+	if !ok || f.rate == 0 {
+		return false
+	}
+	if u := splitmix64(f.draws.Add(1) ^ in.seed); float64(u>>11)/(1<<53) >= f.rate {
+		return false
+	}
+	// Probabilistic hit: spend one unit of the cap, if any remains.
+	for {
+		left := f.remaining.Load()
+		if left < 0 {
+			break // unlimited
+		}
+		if left == 0 {
+			return false // cap exhausted, fault disarmed
+		}
+		if f.remaining.CompareAndSwap(left, left-1) {
+			break
+		}
+	}
+	if fn := in.onFire.Load(); fn != nil {
+		(*fn)(point)
+	}
+	return true
+}
+
+// Delay returns the configured stall when the fault at point fires on
+// this ask, zero otherwise. Callers sleep for the returned duration.
+func (in *Injector) Delay(point string) time.Duration {
+	if in == nil {
+		return 0
+	}
+	f, ok := in.faults[point]
+	if !ok || !in.Fire(point) {
+		return 0
+	}
+	return f.delay
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective mixer good enough
+// to turn a counter into uniform draws, with no state beyond the
+// counter itself (hence lock-free).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseEmptyIsOff(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		in, err := Parse(spec)
+		if err != nil || in != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		"worker-panic",                  // no rate
+		"worker-panic:2",                // rate out of range
+		"worker-panic:-0.1",             // negative rate
+		"worker-panic:nope",             // unparsable rate
+		"worker-panic:0.5x0",            // zero count
+		"worker-panic:0.5:2ms",          // duration on a non-delay point
+		"slow-step:0.5",                 // delay point without duration
+		"slow-step:0.5:-2ms",            // negative duration
+		"slow-step:0.5:2ms:extra",       // trailing field
+		"teleport:0.5",                  // unknown point
+		"worker-panic:1,worker-panic:1", // duplicate point
+		",",                             // nothing declared
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseFullGrammar(t *testing.T) {
+	in, err := Parse(" worker-panic:1x1, slow-step:0.25:2ms ,queue-latency:0.5:500us,cache-write-error:0 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Points() {
+		if !in.Active(p) {
+			t.Errorf("point %s not active", p)
+		}
+	}
+	if in.Active("teleport") {
+		t.Error("unknown point reported active")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for _, p := range Points() {
+		if in.Fire(p) || in.Delay(p) != 0 || in.Active(p) {
+			t.Errorf("nil injector fired at %s", p)
+		}
+	}
+	in.OnFire(func(string) {}) // must not panic
+}
+
+func TestRateOneAlwaysFiresRateZeroNever(t *testing.T) {
+	in, err := Parse("worker-panic:1,cache-write-error:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !in.Fire(WorkerPanic) {
+			t.Fatal("rate-1 fault did not fire")
+		}
+		if in.Fire(CacheWriteError) {
+			t.Fatal("rate-0 fault fired")
+		}
+	}
+}
+
+func TestCountCapDisarms(t *testing.T) {
+	in, err := Parse("worker-panic:1x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if in.Fire(WorkerPanic) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("x3 cap fired %d times", fired)
+	}
+}
+
+func TestRateIsApproximatelyHonoured(t *testing.T) {
+	in, err := Parse("worker-panic:0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.Fire(WorkerPanic) {
+			fired++
+		}
+	}
+	if got := float64(fired) / n; got < 0.15 || got > 0.25 {
+		t.Errorf("rate 0.2 fired at %.3f over %d draws", got, n)
+	}
+}
+
+func TestDelayReturnsConfiguredStall(t *testing.T) {
+	in, err := Parse("slow-step:1:2ms,queue-latency:0:1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Delay(SlowStep); d != 2*time.Millisecond {
+		t.Errorf("Delay(slow-step) = %v", d)
+	}
+	if d := in.Delay(QueueLatency); d != 0 {
+		t.Errorf("rate-0 Delay = %v, want 0", d)
+	}
+	if d := in.Delay(WorkerPanic); d != 0 {
+		t.Errorf("Delay on a delay-free point = %v, want 0", d)
+	}
+}
+
+func TestOnFireObserverSeesEveryFiring(t *testing.T) {
+	in, err := Parse("worker-panic:1x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	counts := map[string]int{}
+	in.OnFire(func(p string) { mu.Lock(); counts[p]++; mu.Unlock() })
+	for i := 0; i < 20; i++ {
+		in.Fire(WorkerPanic)
+	}
+	if counts[WorkerPanic] != 5 {
+		t.Errorf("observer saw %d firings, want 5", counts[WorkerPanic])
+	}
+}
+
+// TestConcurrentFire exercises the lock-free draw path under -race and
+// verifies a shared count cap is never overspent.
+func TestConcurrentFire(t *testing.T) {
+	in, err := Parse("worker-panic:1x100,slow-step:0.5:1us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired sync.Map
+	var total int64
+	var mu sync.Mutex
+	in.OnFire(func(p string) { fired.Store(p, true); mu.Lock(); total++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.Fire(WorkerPanic)
+				in.Delay(SlowStep)
+			}
+		}()
+	}
+	wg.Wait()
+	panics := 0
+	for i := 0; i < 100; i++ {
+		if in.Fire(WorkerPanic) {
+			panics++
+		}
+	}
+	if panics != 0 {
+		t.Errorf("cap of 100 not exhausted after 1600 concurrent draws")
+	}
+}
+
+func TestPointsSortedAndComplete(t *testing.T) {
+	pts := Points()
+	want := []string{CacheWriteError, QueueLatency, SlowStep, WorkerPanic}
+	if strings.Join(pts, ",") != strings.Join(want, ",") {
+		t.Errorf("Points() = %v, want %v", pts, want)
+	}
+}

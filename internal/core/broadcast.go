@@ -264,7 +264,7 @@ type BroadcastResult struct {
 // measure T_C), still subject to the step cap.
 func (b *Broadcast) Run() BroadcastResult {
 	stepCap := b.cfg.maxSteps()
-	for !b.Done() && b.pop.Time() < stepCap {
+	for !b.Done() && b.pop.Time() < stepCap && !b.cfg.Cancel.Stop() {
 		b.Step()
 	}
 	res := BroadcastResult{
@@ -282,7 +282,7 @@ func (b *Broadcast) Run() BroadcastResult {
 	// semantics (no continuation past full dissemination, CoverageSteps
 	// stays -1).
 	if b.cfg.TrackInformedArea || b.cfg.RecordFrontier {
-		for b.coverageStep < 0 && b.pop.Time() < stepCap {
+		for b.coverageStep < 0 && b.pop.Time() < stepCap && !b.cfg.Cancel.Stop() {
 			b.Step()
 		}
 		res.CoverageSteps = b.coverageStep

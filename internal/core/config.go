@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"mobilenet/internal/cancel"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
@@ -88,6 +89,15 @@ type Config struct {
 	// profile keeps the step loop allocation-free with only a branch per
 	// phase boundary. One replicate per profile; not reset by the engine.
 	Profile *prof.StepProfile
+
+	// Cancel, when non-nil, is consulted in the run loop's condition: once
+	// it reports stopped (it polls its context with amortized cost, see
+	// internal/cancel) the run halts at the next step boundary and the
+	// result reports Completed false at the current step count. Purely an
+	// execution knob — a run that finishes without the check firing is
+	// bit-for-bit identical to an uncancellable one — and a nil check
+	// keeps the loop condition a constant-false branch.
+	Cancel *cancel.Check
 
 	// Placement, when non-nil, overrides the mobility model's initial
 	// placement with explicit agent positions (len == K, all on-grid).

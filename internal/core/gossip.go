@@ -188,7 +188,7 @@ type GossipResult struct {
 // Run advances until gossip completes or the step cap is reached.
 func (g *Gossip) Run() GossipResult {
 	stepCap := g.cfg.maxSteps()
-	for !g.Done() && g.pop.Time() < stepCap {
+	for !g.Done() && g.pop.Time() < stepCap && !g.cfg.Cancel.Stop() {
 		g.Step()
 	}
 	return GossipResult{Steps: g.pop.Time(), Completed: g.Done()}

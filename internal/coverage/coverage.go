@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mobilenet/internal/bitset"
+	"mobilenet/internal/cancel"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
@@ -41,6 +42,10 @@ type Config struct {
 	// runs exercise only the move, spread (visit marking) and observe
 	// phases; a nil profile costs a branch per phase.
 	Profile *prof.StepProfile
+	// Cancel, when non-nil, halts the run loop at a step boundary once its
+	// context is cancelled (see core.Config.Cancel); nil costs a
+	// constant-false branch.
+	Cancel *cancel.Check
 }
 
 func (c *Config) validate() error {
@@ -122,7 +127,7 @@ func Run(cfg Config) (Result, error) {
 	observe(0)
 	stepCap := cfg.maxSteps()
 	t := 0
-	for visited.Len() < g.N() && t < stepCap {
+	for visited.Len() < g.N() && t < stepCap && !cfg.Cancel.Stop() {
 		cfg.Profile.Mark()
 		mob.Step(pos)
 		cfg.Profile.Lap(prof.Move)

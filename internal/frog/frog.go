@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mobilenet/internal/agent"
+	"mobilenet/internal/cancel"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
@@ -51,6 +52,10 @@ type Config struct {
 	// Profile, when non-nil, accumulates per-phase step timings (see
 	// core.Config.Profile); a nil profile costs only a branch per phase.
 	Profile *prof.StepProfile
+	// Cancel, when non-nil, halts the run loop at a step boundary once its
+	// context is cancelled (see core.Config.Cancel); nil costs a
+	// constant-false branch.
+	Cancel *cancel.Check
 }
 
 func (c *Config) validate() error {
@@ -233,7 +238,7 @@ type Result struct {
 // Run advances until all agents are active or the cap is reached.
 func (s *System) Run() Result {
 	stepCap := s.cfg.maxSteps()
-	for !s.Done() && s.pop.Time() < stepCap {
+	for !s.Done() && s.pop.Time() < stepCap && !s.cfg.Cancel.Stop() {
 		s.Step()
 	}
 	return Result{Steps: s.pop.Time(), Completed: s.Done()}

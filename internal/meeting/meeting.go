@@ -15,6 +15,7 @@ package meeting
 import (
 	"fmt"
 
+	"mobilenet/internal/cancel"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/obs"
 	"mobilenet/internal/prof"
@@ -103,6 +104,17 @@ func TrialRunObserved(d int, seed uint64, horizon int, rec *obs.Recorder) (steps
 // costs one branch per phase, so TrialRun and TrialRunObserved delegate
 // here — there is still exactly one implementation of the trial physics.
 func TrialRunProfiled(d int, seed uint64, horizon int, rec *obs.Recorder, p *prof.StepProfile) (steps int, met bool, err error) {
+	return TrialRunCancellable(d, seed, horizon, rec, p, nil)
+}
+
+// TrialRunCancellable is TrialRunProfiled with an amortized cancellation
+// check: when stop is non-nil and reports stopped, the trial halts at the
+// next step boundary and returns the step it stopped at with met false —
+// the caller distinguishes "aborted" from "never met" via stop.Stopped().
+// A nil stop costs a constant-false branch, so the profiled variants
+// delegate here — there is still exactly one implementation of the trial
+// physics.
+func TrialRunCancellable(d int, seed uint64, horizon int, rec *obs.Recorder, p *prof.StepProfile, stop *cancel.Check) (steps int, met bool, err error) {
 	if d < 1 {
 		return 0, false, fmt.Errorf("meeting: distance must be >= 1, got %d", d)
 	}
@@ -121,6 +133,9 @@ func TrialRunProfiled(d int, seed uint64, horizon int, rec *obs.Recorder, p *pro
 	}
 	p.Lap(prof.Observe)
 	for t := 1; t <= horizon; t++ {
+		if stop.Stop() {
+			return t - 1, false, nil
+		}
 		p.Mark()
 		a = walk.Step(g, a, src)
 		b = walk.Step(g, b, src)

@@ -10,6 +10,7 @@ package predator
 import (
 	"fmt"
 
+	"mobilenet/internal/cancel"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
 	"mobilenet/internal/obs"
@@ -45,6 +46,10 @@ type Config struct {
 	// spatial-hash rebuild is the index phase and the prey scan the spread
 	// phase. A nil profile costs a branch per phase.
 	Profile *prof.StepProfile
+	// Cancel, when non-nil, halts the run loop at a step boundary once its
+	// context is cancelled (see core.Config.Cancel); nil costs a
+	// constant-false branch.
+	Cancel *cancel.Check
 }
 
 func (c *Config) validate() error {
@@ -257,7 +262,7 @@ type Result struct {
 // Run advances until extinction or the step cap.
 func (s *System) Run() Result {
 	stepCap := s.cfg.maxSteps()
-	for !s.Done() && s.t < stepCap {
+	for !s.Done() && s.t < stepCap && !s.cfg.Cancel.Stop() {
 		s.Step()
 	}
 	return Result{Steps: s.t, Completed: s.Done(), Survivors: s.alive}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunRepHonoursCancelledContext pins the cancellation contract for
+// every registered engine: a replicate started under an already-cancelled
+// context aborts within one check interval and returns an error wrapping
+// ErrCancelled, never a partial Rep.
+func TestRunRepHonoursCancelledContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	cancelCtx()
+	for _, engine := range Engines() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			// Long enough that every engine's run loop reaches the first
+			// amortized poll instead of finishing outright.
+			spec := Spec{Engine: engine, Nodes: 4096, Agents: 4, Seed: 11, MaxSteps: 1 << 20}
+			if engine == EngineMeeting {
+				spec.Radius = 64 // horizon d^2 = 4096 steps
+			}
+			c, err := spec.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := Lookup(engine)
+			if !ok {
+				t.Fatalf("engine %s not registered", engine)
+			}
+			t0 := time.Now()
+			_, err = r.RunRep(ctx, c, c.Seed)
+			if !errors.Is(err, ErrCancelled) {
+				t.Fatalf("RunRep under cancelled context: err = %v, want ErrCancelled", err)
+			}
+			if wall := time.Since(t0); wall > 5*time.Second {
+				t.Errorf("cancelled replicate ran %v before stopping", wall)
+			}
+		})
+	}
+}
+
+// TestRunRepBackgroundContextUnchanged: threading an uncancellable context
+// must not perturb results — the library path's replicates stay bit-for-bit
+// identical to the pre-context behaviour (Run itself passes Background).
+func TestRunRepBackgroundContextUnchanged(t *testing.T) {
+	t.Parallel()
+	spec := Spec{Engine: EngineBroadcast, Nodes: 256, Agents: 8, Seed: 3}
+	c, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Lookup(EngineBroadcast)
+	rep1, err := r.RunRep(context.Background(), c, c.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithTimeout(context.Background(), time.Hour)
+	defer cancelCtx()
+	rep2, err := r.RunRep(ctx, c, c.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Steps != rep2.Steps || rep1.Completed != rep2.Completed || rep1.Seed != rep2.Seed {
+		t.Errorf("cancellable context changed the run: %+v vs %+v", rep1, rep2)
+	}
+}

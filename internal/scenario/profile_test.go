@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -41,7 +42,7 @@ func TestPhaseSumsMatchStepWallClock(t *testing.T) {
 				t.Fatalf("engine %s not registered", engine)
 			}
 			t0 := time.Now()
-			rep, err := r.RunRep(c, c.Seed)
+			rep, err := r.RunRep(context.Background(), c, c.Seed)
 			wall := time.Since(t0).Seconds()
 			if err != nil {
 				t.Fatal(err)

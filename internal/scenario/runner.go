@@ -1,12 +1,15 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"mobilenet/internal/cancel"
 	"mobilenet/internal/core"
 	"mobilenet/internal/coverage"
 	"mobilenet/internal/frog"
@@ -26,8 +29,23 @@ import (
 type Runner interface {
 	// Engine returns the canonical engine name the runner serves.
 	Engine() string
-	// RunRep runs one replicate of the spec under the given seed.
-	RunRep(spec Spec, seed uint64) (Rep, error)
+	// RunRep runs one replicate of the spec under the given seed. The
+	// context's cancellation is honoured mid-run with amortized per-step
+	// cost (see internal/cancel): a cancelled replicate returns an error
+	// wrapping ErrCancelled within one check interval. An uncancellable
+	// context (context.Background()) costs the step loop nothing.
+	RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error)
+}
+
+// ErrCancelled is wrapped by the error a Runner returns when its context
+// is cancelled mid-replicate; test with errors.Is. The replicate's partial
+// state is discarded — a cancelled run never yields a Rep.
+var ErrCancelled = errors.New("scenario: run cancelled")
+
+// cancelled builds the ErrCancelled-wrapping error for a stopped check,
+// carrying the context's cancellation cause (deadline, shutdown, ...).
+func cancelled(ctx context.Context) error {
+	return fmt.Errorf("%w: %v", ErrCancelled, context.Cause(ctx))
 }
 
 // runners is the engine registry. It is populated at init time and
@@ -102,7 +120,7 @@ func RunWithTrace(spec Spec, tr *prof.Trace) (*Result, error) {
 	reps := make([]Rep, c.Reps)
 	for i := range reps {
 		start := time.Now()
-		rep, err := r.RunRep(c, RepSeed(c.Seed, i))
+		rep, err := r.RunRep(context.Background(), c, RepSeed(c.Seed, i))
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +209,7 @@ type broadcastRunner struct{}
 
 func (broadcastRunner) Engine() string { return EngineBroadcast }
 
-func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+func (broadcastRunner) RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error) {
 	g, err := buildGrid(spec)
 	if err != nil {
 		return Rep{}, err
@@ -202,6 +220,7 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	rec := buildRecorder(spec)
 	p := buildProfile(spec)
+	chk := cancel.New(ctx, cancel.DefaultEvery)
 	res, err := core.RunBroadcast(core.Config{
 		Grid:              g,
 		K:                 spec.Agents,
@@ -215,9 +234,13 @@ func (broadcastRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		TrackInformedArea: spec.HasMetric(MetricCoverage),
 		Observer:          rec,
 		Profile:           p,
+		Cancel:            chk,
 	})
 	if err != nil {
 		return Rep{}, err
+	}
+	if chk.Stopped() {
+		return Rep{}, cancelled(ctx)
 	}
 	rep := Rep{
 		Seed:          seed,
@@ -236,7 +259,7 @@ type gossipRunner struct{}
 
 func (gossipRunner) Engine() string { return EngineGossip }
 
-func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+func (gossipRunner) RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error) {
 	g, err := buildGrid(spec)
 	if err != nil {
 		return Rep{}, err
@@ -247,6 +270,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	rec := buildRecorder(spec)
 	p := buildProfile(spec)
+	chk := cancel.New(ctx, cancel.DefaultEvery)
 	cfg := core.Config{
 		Grid:        g,
 		K:           spec.Agents,
@@ -257,6 +281,7 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Parallelism: spec.Parallelism,
 		Observer:    rec,
 		Profile:     p,
+		Cancel:      chk,
 	}
 	var res core.GossipResult
 	if spec.Rumors == 0 {
@@ -266,6 +291,9 @@ func (gossipRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	if err != nil {
 		return Rep{}, err
+	}
+	if chk.Stopped() {
+		return Rep{}, cancelled(ctx)
 	}
 	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, CoverageSteps: -1}
 	attachSeries(&rep, rec)
@@ -277,7 +305,7 @@ type frogRunner struct{}
 
 func (frogRunner) Engine() string { return EngineFrog }
 
-func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+func (frogRunner) RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error) {
 	g, err := buildGrid(spec)
 	if err != nil {
 		return Rep{}, err
@@ -288,6 +316,7 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	rec := buildRecorder(spec)
 	p := buildProfile(spec)
+	chk := cancel.New(ctx, cancel.DefaultEvery)
 	res, err := frog.RunFrog(frog.Config{
 		Grid:        g,
 		K:           spec.Agents,
@@ -299,9 +328,13 @@ func (frogRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Parallelism: spec.Parallelism,
 		Observer:    rec,
 		Profile:     p,
+		Cancel:      chk,
 	})
 	if err != nil {
 		return Rep{}, err
+	}
+	if chk.Stopped() {
+		return Rep{}, cancelled(ctx)
 	}
 	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Source: spec.Source, CoverageSteps: -1}
 	attachSeries(&rep, rec)
@@ -313,7 +346,7 @@ type coverageRunner struct{}
 
 func (coverageRunner) Engine() string { return EngineCoverage }
 
-func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+func (coverageRunner) RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error) {
 	g, err := buildGrid(spec)
 	if err != nil {
 		return Rep{}, err
@@ -324,6 +357,7 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	rec := buildRecorder(spec)
 	p := buildProfile(spec)
+	chk := cancel.New(ctx, cancel.DefaultEvery)
 	res, err := coverage.Run(coverage.Config{
 		Grid:        g,
 		Walkers:     spec.Agents,
@@ -333,9 +367,13 @@ func (coverageRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		RecordCurve: spec.HasMetric(MetricCurve),
 		Observer:    rec,
 		Profile:     p,
+		Cancel:      chk,
 	})
 	if err != nil {
 		return Rep{}, err
+	}
+	if chk.Stopped() {
+		return Rep{}, cancelled(ctx)
 	}
 	rep := Rep{
 		Seed:          seed,
@@ -358,12 +396,16 @@ func (meetingRunner) Engine() string { return EngineMeeting }
 // (the horizon when the walks never met) and Completed reports a meeting
 // inside the lens, so the mean of Completed over replicates estimates the
 // lemma's probability p(d).
-func (meetingRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+func (meetingRunner) RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error) {
 	rec := buildRecorder(spec)
 	p := buildProfile(spec)
-	steps, met, err := meeting.TrialRunProfiled(spec.Radius, seed, spec.MaxSteps, rec, p)
+	chk := cancel.New(ctx, cancel.DefaultEvery)
+	steps, met, err := meeting.TrialRunCancellable(spec.Radius, seed, spec.MaxSteps, rec, p, chk)
 	if err != nil {
 		return Rep{}, fmt.Errorf("scenario: %w", err)
+	}
+	if chk.Stopped() {
+		return Rep{}, cancelled(ctx)
 	}
 	rep := Rep{Seed: seed, Steps: steps, Completed: met, CoverageSteps: -1}
 	attachSeries(&rep, rec)
@@ -375,7 +417,7 @@ type predatorRunner struct{}
 
 func (predatorRunner) Engine() string { return EnginePredator }
 
-func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
+func (predatorRunner) RunRep(ctx context.Context, spec Spec, seed uint64) (Rep, error) {
 	g, err := buildGrid(spec)
 	if err != nil {
 		return Rep{}, err
@@ -390,6 +432,7 @@ func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 	}
 	rec := buildRecorder(spec)
 	p := buildProfile(spec)
+	chk := cancel.New(ctx, cancel.DefaultEvery)
 	res, err := predator.RunExtinction(predator.Config{
 		Grid:      g,
 		Predators: spec.Agents,
@@ -400,9 +443,13 @@ func (predatorRunner) RunRep(spec Spec, seed uint64) (Rep, error) {
 		Mobility:  m,
 		Observer:  rec,
 		Profile:   p,
+		Cancel:    chk,
 	})
 	if err != nil {
 		return Rep{}, err
+	}
+	if chk.Stopped() {
+		return Rep{}, cancelled(ctx)
 	}
 	rep := Rep{Seed: seed, Steps: res.Steps, Completed: res.Completed, Survivors: res.Survivors, CoverageSteps: -1}
 	attachSeries(&rep, rec)

@@ -3,8 +3,11 @@ package simserve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"mobilenet/internal/scenario"
@@ -78,7 +81,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// checkRate applies the per-client rate limit, writing the 429 (with a
+// Retry-After telling the client when a token accrues) and bumping the
+// shed counter itself. Returns false when the request was shed. Sits
+// before any body read or spec parsing: shedding exists to protect the
+// server, so a shed request must cost as close to nothing as possible.
+func (s *Server) checkRate(w http.ResponseWriter, client string) bool {
+	ok, wait := s.limiter.allow(client, time.Now())
+	if ok {
+		return true
+	}
+	s.shed[shedRateLimited].Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+	httpError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("simserve: client %q is over the submission rate limit; retry after %v", client, wait.Round(time.Millisecond)))
+	return false
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	client := clientID(r)
+	if !s.checkRate(w, client) {
+		return
+	}
+	deadline, err := deadlineFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -90,10 +119,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	ticket, err := s.SubmitWithRequestID(spec, requestIDFrom(r.Context()))
+	ticket, err := s.SubmitWithOptions(spec, SubmitOptions{
+		RequestID: requestIDFrom(r.Context()),
+		Client:    client,
+		Deadline:  deadline,
+	})
 	stageRecorderFrom(r.Context()).Add(stageAdmission, time.Since(t0))
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Shed: the queue cannot hold the submission right now. One
+		// second is an honest hint — workers drain replicates in well
+		// under that except when the server is truly drowning.
+		s.shed[shedQueueFull].Add(1)
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, errShutdown):
@@ -115,6 +153,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // assembled by the dispatcher, and the first poll observes it done with
 // every point cached.
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	client := clientID(r)
+	if !s.checkRate(w, client) {
+		return
+	}
+	deadline, err := deadlineFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -125,7 +172,11 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ticket, err := s.SubmitSweepWithRequestID(sp, requestIDFrom(r.Context()))
+	ticket, err := s.SubmitSweepWithOptions(sp, SubmitOptions{
+		RequestID: requestIDFrom(r.Context()),
+		Client:    client,
+		Deadline:  deadline,
+	})
 	switch {
 	case errors.Is(err, errShutdown):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -156,7 +207,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// The poll that observes a finished job carries the job's own stage
 	// breakdown to the request log: a slow poll is almost always slow
 	// because the job it waited on was, and the breakdown says where.
-	if v.Status == StatusDone || v.Status == StatusFailed {
+	if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCancelled {
 		if rec := stageRecorderFrom(r.Context()); rec != nil {
 			for stage, d := range s.jobStages(id) {
 				rec.Add(stage, d)

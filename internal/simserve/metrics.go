@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"mobilenet/internal/chaos"
 	"mobilenet/internal/prof"
 	"mobilenet/internal/scenario"
 	"mobilenet/internal/telemetry"
@@ -34,11 +35,20 @@ const (
 // histogram family, in registration (and therefore exposition) order.
 var httpRoutes = []string{"run", "jobs", "results", "series", "sweep_submit", "sweeps", "healthz", "metrics", "trace"}
 
+// Load-shedding reasons, the label values of mobiserved_shed_total. Shed
+// counters are bumped only at the HTTP layer: a sweep dispatcher's
+// internal queue-full retries are flow control, not shed client work.
+const (
+	shedQueueFull   = "queue_full"
+	shedRateLimited = "rate_limited"
+)
+
 // initMetrics builds the server's telemetry registry. Registration order
-// is exposition order, and the first twelve families reproduce the
-// pre-telemetry hand-written /metrics body byte for byte (names, HELP and
-// TYPE lines pinned by TestMetricsGoldenExposition); the histogram
-// families follow and materialise lazily, series by series, as
+// is exposition order: the original hand-written /metrics families come
+// first (byte for byte — names, HELP and TYPE lines pinned by
+// TestMetricsGoldenExposition), then the hardening counters (panics
+// recovered, cancellations, shed, chaos injections), then the histogram
+// families, which materialise lazily, series by series, as
 // instrumentation fires. The cache hit rate is derived from the two
 // counters at scrape time — the server stores only the counters.
 func (s *Server) initMetrics() {
@@ -66,6 +76,35 @@ func (s *Server) initMetrics() {
 	s.sweepsFailed = m.Counter("mobiserved_sweeps_failed_total", "Sweeps that ended in an error.")
 	s.sweepPointsCached = m.Counter("mobiserved_sweep_points_cached_total", "Sweep points answered from the result cache.")
 	s.seriesServed = m.Counter("mobiserved_series_served_total", "Observed-series payloads served.")
+	s.panicsRecovered = m.Counter("mobiserved_panics_recovered_total",
+		"Engine panics caught at the worker's replicate boundary.")
+	s.jobsCancelled = m.Counter("mobiserved_jobs_cancelled_total",
+		"Jobs stopped before completion (deadline expiry or shutdown).")
+	s.shed = make(map[string]*telemetry.Counter)
+	for _, reason := range []string{shedQueueFull, shedRateLimited} {
+		s.shed[reason] = m.Counter("mobiserved_shed_total",
+			"Submissions shed at the HTTP layer by reason.",
+			telemetry.Label{Name: "reason", Value: reason})
+	}
+	// Chaos-injection counters exist only for the points the injector
+	// arms, so a production /metrics body never mentions chaos. The
+	// OnFire observer is the injector's single notification seam.
+	if s.chaos != nil {
+		fired := make(map[string]*telemetry.Counter)
+		for _, point := range chaos.Points() {
+			if !s.chaos.Active(point) {
+				continue
+			}
+			fired[point] = m.Counter("mobiserved_chaos_injections_total",
+				"Chaos faults injected by point.",
+				telemetry.Label{Name: "point", Value: point})
+		}
+		s.chaos.OnFire(func(point string) {
+			if c := fired[point]; c != nil {
+				c.Add(1)
+			}
+		})
+	}
 
 	const stageHelp = "Request-lifecycle stage latency in seconds."
 	s.stages = make(map[string]*telemetry.Histogram)

@@ -12,14 +12,16 @@ import (
 )
 
 // TestMetricsGoldenExposition pins the full /metrics body, byte for byte,
-// with every counter forced to a known value. The golden text below IS the
-// pre-telemetry hand-written exposition (names, HELP lines, TYPE lines,
-// value formatting and family order), so this test proves the migration
-// onto internal/telemetry preserved the whole pre-existing surface: any
-// renamed metric, reworded HELP, retyped family or reordered line fails
-// the comparison. Histogram families materialise lazily, and nothing has
-// recorded into them yet at scrape time, so they are absent here by
-// design — TestMetricsStageHistogramsAppear covers their appearance.
+// with every counter forced to a known value. The golden text opens with
+// the pre-telemetry hand-written exposition (names, HELP lines, TYPE
+// lines, value formatting and family order), so this test proves the
+// migration onto internal/telemetry preserved that surface, and continues
+// with the hardening counters (panics recovered, cancellations, shed):
+// any renamed metric, reworded HELP, retyped family or reordered line
+// fails the comparison. Chaos-injection counters are absent because the
+// server runs without an injector, and histogram families materialise
+// lazily with nothing recorded yet at scrape time —
+// TestMetricsStageHistogramsAppear covers their appearance.
 func TestMetricsGoldenExposition(t *testing.T) {
 	t.Parallel()
 	s := New(Config{Workers: 3})
@@ -32,6 +34,10 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	s.sweepsFailed.Add(1)
 	s.sweepPointsCached.Add(7)
 	s.seriesServed.Add(4)
+	s.panicsRecovered.Add(2)
+	s.jobsCancelled.Add(3)
+	s.shed[shedQueueFull].Add(6)
+	s.shed[shedRateLimited].Add(8)
 
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
@@ -74,6 +80,16 @@ mobiserved_sweep_points_cached_total 7
 # HELP mobiserved_series_served_total Observed-series payloads served.
 # TYPE mobiserved_series_served_total counter
 mobiserved_series_served_total 4
+# HELP mobiserved_panics_recovered_total Engine panics caught at the worker's replicate boundary.
+# TYPE mobiserved_panics_recovered_total counter
+mobiserved_panics_recovered_total 2
+# HELP mobiserved_jobs_cancelled_total Jobs stopped before completion (deadline expiry or shutdown).
+# TYPE mobiserved_jobs_cancelled_total counter
+mobiserved_jobs_cancelled_total 3
+# HELP mobiserved_shed_total Submissions shed at the HTTP layer by reason.
+# TYPE mobiserved_shed_total counter
+mobiserved_shed_total{reason="queue_full"} 6
+mobiserved_shed_total{reason="rate_limited"} 8
 `
 	if rec.Body.String() != want {
 		t.Errorf("exposition body diverged from the pinned pre-telemetry format:\ngot:\n%s\nwant:\n%s", rec.Body.String(), want)

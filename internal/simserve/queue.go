@@ -1,0 +1,129 @@
+package simserve
+
+import "sync"
+
+// fairQueue is the worker pool's run queue: a bounded multi-lane queue
+// with weighted fair dequeuing across clients. Each client id owns a FIFO
+// lane; workers drain lanes in deficit-round-robin order, so a client
+// that floods the queue delays its own later tasks, not everyone else's —
+// a small interactive submission lands at the back of its OWN (empty)
+// lane and is served within one round of the ring.
+//
+// The queue replaces the previous single buffered channel. The channel
+// was strictly FIFO across clients, which let one batch submitter park
+// hundreds of replicates in front of every other client; total capacity
+// semantics (one bound across all lanes, whole submissions admitted or
+// rejected atomically) are unchanged.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	depth  int // capacity across all lanes
+	total  int // tasks currently queued
+
+	lanes   map[string]*clientLane
+	ring    []*clientLane // lanes with queued tasks, dequeue order
+	next    int           // ring cursor
+	weights map[string]int
+}
+
+// clientLane is one client's FIFO of queued tasks. head indexes the next
+// task so dequeues never shift the slice; the slice is reset when the
+// lane drains.
+type clientLane struct {
+	client string
+	tasks  []task
+	head   int
+	weight int // tasks served per ring visit (>= 1)
+	credit int // remaining tasks this visit (deficit round-robin)
+}
+
+// newFairQueue builds a queue bounded to depth tasks. weights optionally
+// assigns per-client ring shares (missing or < 1 means 1).
+func newFairQueue(depth int, weights map[string]int) *fairQueue {
+	q := &fairQueue{depth: depth, lanes: make(map[string]*clientLane), weights: weights}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// tryPush enqueues all of ts on client's lane, or none of them when they
+// do not fit the remaining capacity (the caller surfaces ErrQueueFull).
+// Admission is all-or-nothing so a job's replicates always enter the
+// queue together.
+func (q *fairQueue) tryPush(client string, ts []task) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.total+len(ts) > q.depth {
+		return false
+	}
+	lane := q.lanes[client]
+	if lane == nil {
+		w := q.weights[client]
+		if w < 1 {
+			w = 1
+		}
+		lane = &clientLane{client: client, weight: w}
+		q.lanes[client] = lane
+	}
+	if lane.head == len(lane.tasks) {
+		// Empty lane (fresh or fully drained-but-still-ringed): joining
+		// the ring resets its visit credit.
+		lane.tasks = lane.tasks[:0]
+		lane.head = 0
+		lane.credit = lane.weight
+		q.ring = append(q.ring, lane)
+	}
+	lane.tasks = append(lane.tasks, ts...)
+	q.total += len(ts)
+	q.cond.Broadcast()
+	return true
+}
+
+// pop blocks until a task is available and returns it, or returns false
+// once the queue is closed AND drained — workers process everything that
+// was admitted before shutdown began.
+func (q *fairQueue) pop() (task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.total == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.total == 0 {
+		return task{}, false
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	lane := q.ring[q.next]
+	t := lane.tasks[lane.head]
+	lane.tasks[lane.head] = task{} // release the job pointer
+	lane.head++
+	lane.credit--
+	q.total--
+	if lane.head == len(lane.tasks) {
+		// Lane drained: leave the ring and the map (a returning client
+		// gets a fresh lane; abandoned ids hold no memory).
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		delete(q.lanes, lane.client)
+	} else if lane.credit <= 0 {
+		lane.credit = lane.weight
+		q.next++
+	}
+	return t, true
+}
+
+// len returns the number of queued tasks.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// close stops admission and wakes blocked workers; queued tasks still
+// drain through pop.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package simserve
+
+import (
+	"testing"
+	"time"
+)
+
+// mark builds a recognisable task: tests identify pops by replicate index.
+func mark(rep int) task { return task{rep: rep, enqueued: time.Now()} }
+
+func popRep(t *testing.T, q *fairQueue) int {
+	t.Helper()
+	tk, ok := q.pop()
+	if !ok {
+		t.Fatal("pop returned closed on a non-empty queue")
+	}
+	return tk.rep
+}
+
+// TestFairQueueInterleavesClients pins the deficit-round-robin contract:
+// a flood from one client does not starve another — the late, small
+// client is served within one round of the ring, not behind the flood.
+func TestFairQueueInterleavesClients(t *testing.T) {
+	t.Parallel()
+	q := newFairQueue(16, nil)
+	q.tryPush("a", []task{mark(1), mark(2), mark(3)})
+	q.tryPush("b", []task{mark(10)})
+	got := []int{popRep(t, q), popRep(t, q), popRep(t, q), popRep(t, q)}
+	want := []int{1, 10, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v (b starved behind a's flood)", got, want)
+		}
+	}
+}
+
+// TestFairQueueWeights: a weight-2 client is served two tasks per ring
+// visit, so weights trade exact fairness for configured shares.
+func TestFairQueueWeights(t *testing.T) {
+	t.Parallel()
+	q := newFairQueue(16, map[string]int{"a": 2})
+	q.tryPush("a", []task{mark(1), mark(2), mark(3)})
+	q.tryPush("b", []task{mark(10), mark(11)})
+	var got []int
+	for i := 0; i < 5; i++ {
+		got = append(got, popRep(t, q))
+	}
+	want := []int{1, 2, 10, 3, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairQueueAdmissionAllOrNothing: a batch that does not fit leaves the
+// queue untouched — no partial jobs.
+func TestFairQueueAdmissionAllOrNothing(t *testing.T) {
+	t.Parallel()
+	q := newFairQueue(2, nil)
+	if q.tryPush("a", []task{mark(1), mark(2), mark(3)}) {
+		t.Fatal("3 tasks admitted into depth 2")
+	}
+	if q.len() != 0 {
+		t.Fatalf("rejected push left %d tasks behind", q.len())
+	}
+	if !q.tryPush("a", []task{mark(1), mark(2)}) {
+		t.Fatal("exact-fit push rejected")
+	}
+	if q.tryPush("b", []task{mark(9)}) {
+		t.Fatal("push into a full queue admitted")
+	}
+}
+
+// TestFairQueueCloseDrains: close stops admission but queued tasks still
+// drain; pop reports closed only once empty.
+func TestFairQueueCloseDrains(t *testing.T) {
+	t.Parallel()
+	q := newFairQueue(4, nil)
+	q.tryPush("a", []task{mark(1), mark(2)})
+	q.close()
+	if q.tryPush("a", []task{mark(3)}) {
+		t.Fatal("push admitted after close")
+	}
+	if popRep(t, q) != 1 || popRep(t, q) != 2 {
+		t.Fatal("queued tasks lost on close")
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on a closed, drained queue returned a task")
+	}
+}
+
+// TestRateLimiterBucket pins the token-bucket arithmetic: burst tokens up
+// front, refill at the configured rate, and the returned wait names when
+// the next token accrues.
+func TestRateLimiterBucket(t *testing.T) {
+	t.Parallel()
+	l := newRateLimiter(1, 2)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c", now); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, wait := l.allow("c", now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait <= 0 || wait > time.Second+time.Millisecond {
+		t.Fatalf("wait = %v, want ~1s", wait)
+	}
+	if ok, _ := l.allow("c", now.Add(time.Second)); !ok {
+		t.Fatal("refilled token denied")
+	}
+	// Independent buckets: another client is unaffected.
+	if ok, _ := l.allow("d", now); !ok {
+		t.Fatal("fresh client denied")
+	}
+}
+
+// TestRateLimiterOff: rate 0 disables limiting via a nil limiter.
+func TestRateLimiterOff(t *testing.T) {
+	t.Parallel()
+	if l := newRateLimiter(0, 5); l != nil {
+		t.Fatal("rate 0 built a limiter")
+	}
+	var l *rateLimiter
+	if ok, _ := l.allow("anyone", time.Now()); !ok {
+		t.Fatal("nil limiter denied")
+	}
+}
+
+// TestRateLimiterBounded: the bucket map cannot grow past maxRateClients
+// no matter how many distinct ids arrive.
+func TestRateLimiterBounded(t *testing.T) {
+	t.Parallel()
+	l := newRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < maxRateClients+64; i++ {
+		l.allow(string(rune('a'+i%26))+string(rune('0'+i/26%10))+string(rune(i)), now.Add(time.Duration(i)))
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxRateClients {
+		t.Fatalf("%d buckets retained, bound is %d", n, maxRateClients)
+	}
+}

@@ -1,0 +1,86 @@
+package simserve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxRateClients bounds the rate limiter's per-client bucket map; client
+// ids arrive from untrusted headers, and an unbounded map is a memory
+// leak one curl loop can drive. When the bound is hit, the stalest
+// bucket is evicted — a stale bucket is at worst a full one, so eviction
+// never penalises anyone.
+const maxRateClients = 4096
+
+// rateLimiter is a per-client token bucket: each client id accrues rate
+// tokens per second up to burst, and every submission spends one. A nil
+// *rateLimiter admits everything (rate limiting off).
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter, or returns nil when rate <= 0 (off).
+// burst <= 0 selects one second's worth of rate (minimum 1).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from client's bucket. When the bucket is empty
+// it reports false with the wait until a token accrues — the Retry-After
+// the HTTP layer surfaces.
+func (l *rateLimiter) allow(client string, now time.Time) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxRateClients {
+			l.evictStalest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictStalest drops the least-recently-touched bucket. Called with
+// l.mu held; linear scan is fine at the fixed cardinality bound.
+func (l *rateLimiter) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for id, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = id, b.last, false
+		}
+	}
+	delete(l.buckets, victim)
+}

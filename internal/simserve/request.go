@@ -3,7 +3,9 @@ package simserve
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -53,6 +55,50 @@ func isPrintableASCII(s string) bool {
 		}
 	}
 	return true
+}
+
+// clientIDHeader lets cooperating clients name themselves for fair
+// queuing and rate limiting; without it the client id falls back to the
+// connection's remote host. Self-reported ids are an honest-client
+// mechanism — an adversary splitting itself across ids gains queue
+// shares but each id is rate-limited independently.
+const clientIDHeader = "X-Client-Id"
+
+// maxClientIDLen bounds an honored client id, same posture as request ids.
+const maxClientIDLen = 64
+
+// clientID resolves one request's client identity: the sanitized
+// X-Client-Id header when present, else the remote address's host part
+// (so all connections from one machine share a lane), else the raw
+// remote address.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(clientIDHeader); id != "" && len(id) <= maxClientIDLen && isPrintableASCII(id) {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// deadlineHeader carries a per-request deadline in whole milliseconds.
+// The server's MaxDeadline still caps the result; an unparseable or
+// non-positive value is a 400, not a silent fallback — a client that
+// states a deadline means it.
+const deadlineHeader = "X-Deadline-Ms"
+
+// deadlineFrom parses the request's deadline header. Zero with a nil
+// error means no deadline was requested (the server default applies).
+func deadlineFrom(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get(deadlineHeader)
+	if h == "" {
+		return 0, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("simserve: %s must be a positive integer of milliseconds, got %q", deadlineHeader, h)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
 }
 
 // withRequestID returns ctx carrying the request id.

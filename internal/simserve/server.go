@@ -21,6 +21,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobilenet/internal/cancel"
+	"mobilenet/internal/chaos"
 	"mobilenet/internal/obs"
 	"mobilenet/internal/prof"
 	"mobilenet/internal/scenario"
@@ -78,6 +80,34 @@ type Config struct {
 	// MaxSweeps bounds retained finished-sweep records; 0 selects 256.
 	// Like MaxJobs, the oldest finished records are dropped first.
 	MaxSweeps int
+
+	// DefaultDeadline bounds jobs submitted without an explicit deadline;
+	// 0 applies no default (jobs run to their step cap unless MaxDeadline
+	// is set). A job past its deadline is cancelled mid-replicate within
+	// one engine check interval and reports status "cancelled".
+	DefaultDeadline time.Duration
+	// MaxDeadline caps every job's effective deadline, including jobs
+	// that asked for none — a server with MaxDeadline set never runs a
+	// job unbounded. 0 applies no cap.
+	MaxDeadline time.Duration
+	// RateLimit is the per-client token-bucket refill rate in submissions
+	// per second, keyed by client id (X-Client-Id header or remote
+	// address). 0 disables rate limiting. Over-limit submissions are shed
+	// at the HTTP layer with 429 + Retry-After before any spec parsing.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity; 0 selects one second's
+	// worth of RateLimit (minimum 1).
+	RateBurst int
+	// ClientWeights optionally assigns fair-queue weights by client id: a
+	// weight-w client's lane serves w tasks per round-robin visit.
+	// Missing clients weigh 1 (plain round robin).
+	ClientWeights map[string]int
+	// Chaos, when non-nil, arms the fault-injection harness (see
+	// internal/chaos): worker panics, engine step stalls, dropped cache
+	// writes and dequeue latency fire at the injector's configured rates,
+	// and each firing is counted in mobiserved_chaos_injections_total.
+	// Nil (production) costs one nil-check per injection point.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -158,6 +188,10 @@ const (
 	StatusRunning = "running"
 	StatusDone    = "done"
 	StatusFailed  = "failed"
+	// StatusCancelled reports a job stopped before completing — deadline
+	// expiry or server shutdown — as distinct from an engine failure.
+	// Cancelled jobs never cache a payload.
+	StatusCancelled = "cancelled"
 )
 
 // ErrQueueFull reports that the run queue cannot hold the submission's
@@ -174,12 +208,24 @@ type job struct {
 	hash      string
 	spec      scenario.Spec // canonical
 	requestID string        // id of the request that created the job
+	client    string        // fair-queue lane the job's replicates ride
 	status    string
 	errMsg    string
 	reps      []scenario.Rep
 	pending   int
+	cancelled bool          // at least one replicate stopped on cancellation
+	cancelMsg string        // first cancellation cause observed
 	payload   []byte        // encoded Result, set when status == done
-	done      chan struct{} // closed on done or failed
+	done      chan struct{} // closed on done, failed or cancelled
+
+	// ctx is the job's execution context: workers run every replicate
+	// under it, engines poll it each check interval. cancelCause fires it
+	// on deadline expiry (via deadlineTimer), on the first real replicate
+	// failure (siblings of a doomed job stop instead of finishing work
+	// nobody will assemble), and on shutdown past the drain budget.
+	ctx           context.Context
+	cancelCause   context.CancelCauseFunc
+	deadlineTimer *time.Timer
 
 	// trace spans the job's lifecycle (submit, per-replicate queue wait
 	// and execution, assembly) for GET /v1/jobs/{id}/trace.
@@ -235,7 +281,6 @@ type Server struct {
 
 	mu       sync.Mutex
 	closed   bool
-	queued   int // tasks currently in the tasks channel
 	jobs     map[string]*job
 	inflight map[string]*job // hash -> unfinished job, for coalescing
 	finished []string        // finished job ids, oldest first, for eviction
@@ -246,8 +291,15 @@ type Server struct {
 	nextSweepID    uint64
 	sweepWG        sync.WaitGroup // sweep dispatcher goroutines
 
-	tasks chan task
-	wg    sync.WaitGroup
+	queue   *fairQueue
+	wg      sync.WaitGroup
+	limiter *rateLimiter // nil when rate limiting is off
+	chaos   *chaos.Injector
+
+	// slowStepHook, when chaos arms slow-step, rides job contexts into the
+	// engines (cancel.WithHook) and stalls at the amortized poll points —
+	// fault injection without the engines knowing chaos exists.
+	slowStepHook func()
 
 	// Service counters live in the telemetry registry (initMetrics) so the
 	// /metrics body is one WritePrometheus call; the fields are the write
@@ -261,6 +313,9 @@ type Server struct {
 	sweepsFailed      *telemetry.Counter
 	sweepPointsCached *telemetry.Counter
 	seriesServed      *telemetry.Counter
+	panicsRecovered   *telemetry.Counter
+	jobsCancelled     *telemetry.Counter
+	shed              map[string]*telemetry.Counter // shed reason -> counter
 	stages            map[string]*telemetry.Histogram // stage name -> latency histogram
 	httpHists         map[string]*telemetry.Histogram // route -> latency histogram
 	phaseHists        map[string]map[string]*telemetry.Histogram // engine -> phase -> histogram
@@ -282,8 +337,17 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		sweeps:   make(map[string]*sweepJob),
-		tasks:    make(chan task, cfg.QueueDepth),
+		queue:    newFairQueue(cfg.QueueDepth, cfg.ClientWeights),
+		limiter:  newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		chaos:    cfg.Chaos,
 		reqBase:  time.Now().UnixNano(),
+	}
+	if s.chaos.Active(chaos.SlowStep) {
+		s.slowStepHook = func() {
+			if s.chaos.Fire(chaos.SlowStep) {
+				time.Sleep(s.chaos.Delay(chaos.SlowStep))
+			}
+		}
 	}
 	s.initMetrics()
 	s.mux = newMux(s)
@@ -303,7 +367,7 @@ func New(cfg Config) *Server {
 // the enqueue itself — and lands in the stage histogram even when the
 // submission is rejected, so admission-path regressions are visible.
 func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
-	return s.SubmitWithRequestID(spec, "")
+	return s.SubmitWithOptions(spec, SubmitOptions{})
 }
 
 // SubmitWithRequestID is Submit carrying the originating request id, which
@@ -313,6 +377,42 @@ func (s *Server) Submit(spec scenario.Spec) (Ticket, error) {
 // in-flight job keeps that job's original id: the job's identity is its
 // content hash, and the first requester named it.
 func (s *Server) SubmitWithRequestID(spec scenario.Spec, requestID string) (Ticket, error) {
+	return s.SubmitWithOptions(spec, SubmitOptions{RequestID: requestID})
+}
+
+// SubmitOptions carries a submission's execution envelope — everything
+// about HOW to run that is not part of the scenario's identity. None of it
+// touches the canonical spec or the content hash.
+type SubmitOptions struct {
+	// RequestID threads the originating request id into the job record
+	// and its trace (see SubmitWithRequestID).
+	RequestID string
+	// Client keys the fair-queue lane (and, at the HTTP layer, the rate
+	// limiter). Empty ids share the anonymous lane.
+	Client string
+	// Deadline bounds the job's wall-clock; 0 asks for the server's
+	// DefaultDeadline. Either way MaxDeadline caps the result.
+	Deadline time.Duration
+}
+
+// effectiveDeadline resolves a requested deadline against the server's
+// default and cap. 0 means unbounded only when the server sets no
+// MaxDeadline.
+func (s *Server) effectiveDeadline(req time.Duration) time.Duration {
+	d := req
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if max := s.cfg.MaxDeadline; max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	return d
+}
+
+// SubmitWithOptions is Submit carrying the full execution envelope: the
+// originating request id, the client id for fair queuing, and the
+// requested deadline.
+func (s *Server) SubmitWithOptions(spec scenario.Spec, opts SubmitOptions) (Ticket, error) {
 	t0 := time.Now()
 	defer s.stages[stageAdmission].Since(t0)
 	c, err := spec.Canonical()
@@ -354,42 +454,56 @@ func (s *Server) SubmitWithRequestID(spec scenario.Spec, requestID string) (Tick
 		// condition, so deliberately NOT ErrQueueFull (no point retrying).
 		return Ticket{}, fmt.Errorf("simserve: %d replicates exceed the queue depth %d; lower reps or raise the server's -queue", c.Reps, s.cfg.QueueDepth)
 	}
-	if s.queued+c.Reps > s.cfg.QueueDepth {
-		return Ticket{}, ErrQueueFull
-	}
-	// Counted only once work is actually created: rejected submissions are
-	// neither hits nor misses ("misses" = submissions that had to run).
-	s.cacheMisses.Add(1)
-	s.nextID++
 	j := &job{
-		id:        fmt.Sprintf("job-%d", s.nextID),
 		hash:      hash,
 		spec:      c,
-		requestID: requestID,
+		requestID: opts.RequestID,
+		client:    opts.Client,
 		status:    StatusQueued,
 		reps:      make([]scenario.Rep, c.Reps),
 		pending:   c.Reps,
 		done:      make(chan struct{}),
 		trace:     prof.NewTrace(),
 	}
+	j.ctx, j.cancelCause = context.WithCancelCause(context.Background())
+	if d := s.effectiveDeadline(opts.Deadline); d > 0 {
+		// One AfterFunc per job instead of a second derived context: the
+		// workers only ever consult j.ctx, and the timer names the
+		// deadline in the cancellation cause the client reads back.
+		j.deadlineTimer = time.AfterFunc(d, func() {
+			j.cancelCause(fmt.Errorf("job deadline (%s) exceeded", d))
+		})
+	}
+	// One timestamp covers the whole fan-out: replicates of one job enter
+	// the queue together, and per-task clock reads would only smear the
+	// queue-wait histogram by the enqueue loop's own cost. Admission is
+	// all-or-nothing against the global depth bound.
+	now := time.Now()
+	ts := make([]task, c.Reps)
+	for rep := 0; rep < c.Reps; rep++ {
+		ts[rep] = task{job: j, rep: rep, enqueued: now}
+	}
+	if !s.queue.tryPush(opts.Client, ts) {
+		if j.deadlineTimer != nil {
+			j.deadlineTimer.Stop()
+		}
+		j.cancelCause(nil)
+		return Ticket{}, ErrQueueFull
+	}
+	// Counted only once work is actually created: rejected submissions are
+	// neither hits nor misses ("misses" = submissions that had to run).
+	s.cacheMisses.Add(1)
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
 	j.trace.NameThread(0, "job")
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
-	// Capacity was reserved above, so these sends cannot block. One
-	// timestamp covers the whole fan-out: replicates of one job entered
-	// the queue together, and per-send clock reads would only smear the
-	// queue-wait histogram by the enqueue loop's own cost.
-	s.queued += c.Reps
-	now := time.Now()
-	for rep := 0; rep < c.Reps; rep++ {
-		s.tasks <- task{job: j, rep: rep, enqueued: now}
-	}
 	// The submit span starts at the trace epoch (spans never precede it)
 	// and covers the admission work from t0, so the trace timeline opens
 	// with how long admission took and who asked.
 	args := map[string]string{"hash": hash, "reps": strconv.Itoa(c.Reps)}
-	if requestID != "" {
-		args["request_id"] = requestID
+	if opts.RequestID != "" {
+		args["request_id"] = opts.RequestID
 	}
 	j.trace.Add("submit "+c.Engine, "job", 0, j.trace.Epoch(), time.Since(t0), args)
 	return Ticket{JobID: j.id, Hash: hash, Status: j.status}, nil
@@ -414,14 +528,20 @@ func (s *Server) checkBounds(c scenario.Spec) error {
 	return nil
 }
 
-// worker executes replicate tasks until the task channel closes.
+// worker executes replicate tasks until the queue closes and drains.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for t := range s.tasks {
+	for {
+		t, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if s.chaos.Fire(chaos.QueueLatency) {
+			time.Sleep(s.chaos.Delay(chaos.QueueLatency))
+		}
 		wait := time.Since(t.enqueued)
 		s.stages[stageQueueWait].Record(wait)
 		s.mu.Lock()
-		s.queued--
 		if t.job.status == StatusQueued {
 			t.job.status = StatusRunning
 		}
@@ -434,9 +554,17 @@ func (s *Server) worker() {
 			rep scenario.Rep
 			err error
 		)
-		if !ok {
+		switch {
+		case !ok:
 			err = fmt.Errorf("simserve: unknown engine %q", t.job.spec.Engine)
-		} else {
+		case t.job.ctx.Err() != nil:
+			// The job was cancelled while this replicate waited in the
+			// queue — deadline expiry, a sibling's failure, or shutdown
+			// escalation. Skip the run entirely: an abandoned job must
+			// free its workers, not occupy them for a payload nobody
+			// will receive.
+			err = fmt.Errorf("%w: %v", scenario.ErrCancelled, context.Cause(t.job.ctx))
+		default:
 			// The pool is the service's parallelism layer: replicates
 			// already fan out across every worker, so each replicate
 			// labels components sequentially. This deliberately overrides
@@ -451,12 +579,19 @@ func (s *Server) worker() {
 			// and the job trace. Like Parallelism this is execution-only —
 			// canonicalisation zeroed it, so it never splits the cache.
 			spec.Profile = true
+			// The engines poll this context at their amortized check
+			// interval; slow-step chaos rides the same poll points as a
+			// context hook, so the engines never import chaos.
+			ctx := t.job.ctx
+			if s.slowStepHook != nil {
+				ctx = cancel.WithHook(ctx, s.slowStepHook)
+			}
 			// The execute stage times exactly the Runner.RunRep seam — the
 			// scenario runner's whole per-replicate simulation — so the
 			// histogram hook sits once per replicate, never inside the
 			// per-step hot loop.
 			t0 := time.Now()
-			rep, err = r.RunRep(spec, seed)
+			rep, err = s.runRep(ctx, r, spec, seed, t.rep)
 			exec := time.Since(t0)
 			s.stages[stageExecute].Record(exec)
 			s.mu.Lock()
@@ -482,6 +617,25 @@ func (s *Server) worker() {
 	}
 }
 
+// runRep is the pool's panic boundary around one replicate. An engine
+// panic — a bug, or injected worker-panic chaos — fails only its own job:
+// the recover converts it into an error naming the panic value and the
+// replicate index, the counter records it, and the worker survives to
+// serve the next task. The boundary sits exactly at the Runner.RunRep
+// seam so no job bookkeeping runs inside the recoverable region.
+func (s *Server) runRep(ctx context.Context, r scenario.Runner, spec scenario.Spec, seed uint64, rep int) (out scenario.Rep, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panicsRecovered.Add(1)
+			err = fmt.Errorf("simserve: panic in replicate %d: %v", rep, v)
+		}
+	}()
+	if s.chaos.Fire(chaos.WorkerPanic) {
+		panic("chaos: injected worker panic")
+	}
+	return r.RunRep(ctx, spec, seed)
+}
+
 // phaseArgs renders a replicate's phase breakdown as trace span arguments
 // (milliseconds, matching the trace viewer's display unit).
 func phaseArgs(b *prof.Breakdown) map[string]string {
@@ -497,11 +651,27 @@ func phaseArgs(b *prof.Breakdown) map[string]string {
 
 // completeRep records one replicate outcome and finalises the job when it
 // was the last one. Replicate outcomes land at their replicate index, so
-// the assembled result is independent of worker scheduling.
+// the assembled result is independent of worker scheduling. Cancellations
+// are kept apart from real failures: a cancelled replicate marks the job
+// cancelled, while a real failure additionally cancels the job's context
+// so sibling replicates stop instead of finishing work nobody will
+// assemble.
 func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 	s.mu.Lock()
-	if err != nil && j.errMsg == "" {
-		j.errMsg = err.Error()
+	if err != nil {
+		if errors.Is(err, scenario.ErrCancelled) {
+			j.cancelled = true
+			if j.cancelMsg == "" {
+				j.cancelMsg = err.Error()
+			}
+		} else {
+			if j.errMsg == "" {
+				j.errMsg = err.Error()
+			}
+			if j.cancelCause != nil {
+				j.cancelCause(fmt.Errorf("sibling replicate failed: %v", err))
+			}
+		}
 	}
 	j.reps[rep] = out
 	j.pending--
@@ -510,15 +680,16 @@ func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 		return
 	}
 	errMsg := j.errMsg
+	cancelled := j.cancelled
 	s.mu.Unlock()
 
 	// Last replicate: no other worker touches this job's reps anymore, so
 	// assemble and encode outside the lock — a large result (many reps
 	// with curves) must not stall every Submit/Job/metrics call while it
-	// marshals.
+	// marshals. Cancelled jobs skip assembly: their reps are partial.
 	var payload []byte
 	var assembleDur time.Duration
-	if errMsg == "" {
+	if errMsg == "" && !cancelled {
 		t0 := time.Now()
 		res, aerr := scenario.Assemble(j.spec, j.hash, j.reps)
 		if aerr == nil {
@@ -535,17 +706,39 @@ func (s *Server) completeRep(j *job, rep int, out scenario.Rep, err error) {
 	s.mu.Lock()
 	j.errMsg = errMsg
 	j.assembleTotal = assembleDur
-	if errMsg == "" {
-		j.status = StatusDone
-		j.payload = payload
-		t0 := time.Now()
-		s.cache.Put(j.hash, payload)
-		s.stages[stageCacheWrite].Since(t0)
-		s.jobsServed.Add(1)
-	} else {
+	switch {
+	case errMsg != "":
+		// A real failure outranks cancellation: "a replicate failed" is
+		// more actionable than "and then its siblings were stopped".
 		j.status = StatusFailed
 		j.payload = nil
 		s.jobsFailed.Add(1)
+	case cancelled:
+		j.status = StatusCancelled
+		j.errMsg = j.cancelMsg
+		j.payload = nil
+		s.jobsCancelled.Add(1)
+	default:
+		j.status = StatusDone
+		j.payload = payload
+		if s.chaos.Fire(chaos.CacheWriteError) {
+			// Injected cache-write fault: the job still serves from its
+			// own record (j.payload above); only the shared cache misses
+			// out, which the next identical submission repairs by
+			// re-running. This is the failure mode of a flaky cache
+			// backend, and correctness must not depend on the write.
+		} else {
+			t0 := time.Now()
+			s.cache.Put(j.hash, payload)
+			s.stages[stageCacheWrite].Since(t0)
+		}
+		s.jobsServed.Add(1)
+	}
+	if j.deadlineTimer != nil {
+		j.deadlineTimer.Stop()
+	}
+	if j.cancelCause != nil {
+		j.cancelCause(nil)
 	}
 	delete(s.inflight, j.hash)
 	s.finished = append(s.finished, j.id)
@@ -589,7 +782,7 @@ func (s *Server) JobTrace(id string) (tr *prof.Trace, ok bool, err error) {
 	if !found {
 		return nil, false, nil
 	}
-	if j.status != StatusDone && j.status != StatusFailed {
+	if j.status != StatusDone && j.status != StatusFailed && j.status != StatusCancelled {
 		return nil, true, ErrJobNotDone
 	}
 	return j.trace, true, nil
@@ -684,29 +877,41 @@ func (s *Server) Wait(ctx context.Context, id string) ([]byte, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j.status != StatusDone {
+	switch j.status {
+	case StatusDone:
+		return j.payload, nil
+	case StatusCancelled:
+		return nil, fmt.Errorf("simserve: job %s cancelled: %s", j.id, j.errMsg)
+	default:
 		return nil, fmt.Errorf("simserve: job %s failed: %s", j.id, j.errMsg)
 	}
-	return j.payload, nil
 }
 
 // QueueDepth returns the number of replicate tasks waiting for a worker.
 func (s *Server) QueueDepth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.queued
+	return s.queue.len()
 }
 
+// shutdownResidual bounds how long Shutdown waits for workers after
+// cancelling every in-flight job: the engines' amortized poll notices the
+// cancellation within a check interval, so this covers one interval of
+// the slowest step plus scheduling noise — not a second drain budget.
+const shutdownResidual = 5 * time.Second
+
 // Shutdown stops accepting submissions, drains queued work and waits for
-// the pool and any sweep dispatchers to exit, or returns ctx's error if
-// it expires first. Sweep dispatchers cannot hang the drain: their point
-// submissions fail with errShutdown once the server is closed, and points
-// already queued complete because the pool drains the task channel.
+// the pool and any sweep dispatchers to exit. If ctx expires before the
+// drain finishes, Shutdown escalates: it cancels every in-flight job's
+// context (engines stop mid-replicate at their next poll, jobs finish as
+// cancelled) and grants a short residual wait before returning ctx's
+// error if workers still have not exited. Sweep dispatchers cannot hang
+// the drain: their point submissions fail with errShutdown once the
+// server is closed, and points already queued complete because the pool
+// drains the queue.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.tasks)
+		s.queue.close()
 	}
 	s.mu.Unlock()
 	drained := make(chan struct{})
@@ -716,9 +921,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(drained)
 	}()
 	select {
-	case <-ctx.Done():
-		return ctx.Err()
 	case <-drained:
 		return nil
+	case <-ctx.Done():
 	}
+	// Drain budget exhausted: abandon graceful completion and cancel
+	// everything still running.
+	s.mu.Lock()
+	for _, j := range s.inflight {
+		if j.cancelCause != nil {
+			j.cancelCause(errShutdown)
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case <-drained:
+	case <-time.After(shutdownResidual):
+	}
+	return ctx.Err()
 }

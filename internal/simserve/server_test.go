@@ -65,7 +65,7 @@ func pollJob(t *testing.T, ts *httptest.Server, id string) JobView {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Status == StatusDone || v.Status == StatusFailed {
+		if v.Status == StatusDone || v.Status == StatusFailed || v.Status == StatusCancelled {
 			return v
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -25,7 +25,9 @@ type sweepJob struct {
 	hash      string
 	spec      sweep.Spec
 	points    []sweep.Point
-	requestID string // id of the request that created the sweep
+	requestID string        // id of the request that created the sweep
+	client    string        // fair-queue lane the sweep's point jobs ride
+	deadline  time.Duration // per-point deadline forwarded to each job
 
 	status      string
 	pointStatus []string // per point: queued/running/done/failed
@@ -104,6 +106,15 @@ func (s *Server) SubmitSweep(sp sweep.Spec) (SweepTicket, error) {
 // id; the dispatcher propagates it into every per-point job submission, so
 // the point jobs' traces all name the sweep's request.
 func (s *Server) SubmitSweepWithRequestID(sp sweep.Spec, requestID string) (SweepTicket, error) {
+	return s.SubmitSweepWithOptions(sp, SubmitOptions{RequestID: requestID})
+}
+
+// SubmitSweepWithOptions is SubmitSweep carrying the full execution
+// envelope. The client id keys every point job into the sweep owner's
+// fair-queue lane (a big sweep competes as one client, not as hundreds of
+// anonymous jobs), and the deadline applies per point job — bounding each
+// point's wall-clock, not the whole sweep's.
+func (s *Server) SubmitSweepWithOptions(sp sweep.Spec, opts SubmitOptions) (SweepTicket, error) {
 	// Expansion, bounds checks and hashing are the sweep_expand stage of
 	// the lifecycle (the dispatcher's dedup pass lands there too).
 	t0 := time.Now()
@@ -133,7 +144,9 @@ func (s *Server) SubmitSweepWithRequestID(sp sweep.Spec, requestID string) (Swee
 		hash:        hash,
 		spec:        sp,
 		points:      points,
-		requestID:   requestID,
+		requestID:   opts.RequestID,
+		client:      opts.Client,
+		deadline:    opts.Deadline,
 		status:      StatusQueued,
 		pointStatus: make([]string, len(points)),
 		pointCached: make([]bool, len(points)),
@@ -222,7 +235,9 @@ dispatch:
 			err    error
 		)
 		for attempt := 0; ; attempt++ {
-			ticket, err = s.submitPoint(u.Spec, j.requestID, cancelled)
+			ticket, err = s.submitPoint(u.Spec, SubmitOptions{
+				RequestID: j.requestID, Client: j.client, Deadline: j.deadline,
+			}, cancelled)
 			if err != nil || !ticket.Cached {
 				break
 			}
@@ -258,12 +273,14 @@ dispatch:
 	s.finishSweep(j)
 }
 
-// submitPoint submits one point spec under the sweep's request id,
-// absorbing transient queue-full rejections by backing off until the
-// queue has room, the sweep is cancelled, or the server shuts down.
-func (s *Server) submitPoint(spec scenario.Spec, requestID string, cancelled func() bool) (Ticket, error) {
+// submitPoint submits one point spec under the sweep's execution
+// envelope, absorbing transient queue-full rejections by backing off
+// until the queue has room, the sweep is cancelled, or the server shuts
+// down. These retries are internal flow control and never touch the shed
+// counters — the sweep was already admitted at the HTTP layer.
+func (s *Server) submitPoint(spec scenario.Spec, opts SubmitOptions, cancelled func() bool) (Ticket, error) {
 	for {
-		t, err := s.SubmitWithRequestID(spec, requestID)
+		t, err := s.SubmitWithOptions(spec, opts)
 		if err == nil {
 			return t, nil
 		}

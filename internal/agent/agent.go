@@ -103,6 +103,24 @@ func (p *Population) Step() {
 	p.t++
 }
 
+// StepMoved advances every agent exactly like Step and, when the mobility
+// state implements mobility.MovedStepper, appends the indices of agents
+// whose position changed to moved (ascending) and returns it with ok true.
+// When the model cannot report moves the population still steps — through
+// the ordinary Step path, consuming randomness identically — and StepMoved
+// returns the slice unchanged with ok false, meaning "every agent may have
+// moved". Trajectories are bit-identical either way.
+func (p *Population) StepMoved(moved []int32) (out []int32, ok bool) {
+	if ms, can := p.mob.(mobility.MovedStepper); can {
+		moved = ms.StepMoved(p.pos, moved)
+		p.t++
+		return moved, true
+	}
+	p.mob.Step(p.pos)
+	p.t++
+	return moved, false
+}
+
 // StepAgent advances only agent i (used by the Frog model, where inactive
 // agents stay frozen).
 func (p *Population) StepAgent(i int) {

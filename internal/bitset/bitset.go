@@ -178,6 +178,13 @@ func (s *Set) Clear() {
 	s.count = 0
 }
 
+// Words exposes the set's backing bit words for read-only bulk scans: word
+// w holds elements [64w, 64w+64), lowest bit first. The slice aliases the
+// set's storage and may be shorter than Capacity/64 suggests if the set
+// never grew; callers must not mutate it — writes would desynchronise the
+// cached element count.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls fn for every element in ascending order. Iteration stops if
 // fn returns false.
 func (s *Set) ForEach(fn func(i int) bool) {

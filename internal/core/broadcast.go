@@ -16,11 +16,15 @@ import (
 type Broadcast struct {
 	cfg Config
 	pop *agent.Population
-	lab *visibility.Labeller
+	lab *visibility.Incremental
 
-	informed      []bool
-	informedCount int
-	src           int
+	// informed is the informed set as a bitset; the spread path floods it
+	// directly through the labeller's union-find roots (visibility.Flood),
+	// so ordinary steps never materialise component labels.
+	informed *bitset.Set
+	newly    []int32 // per-step newly-informed scratch, reused
+	moved    []int32 // per-step moved-agent scratch, reused
+	src      int
 
 	area      *bitset.Set // informed area I(t); nil unless tracked
 	frontierX int32
@@ -31,8 +35,6 @@ type Broadcast struct {
 
 	cells      *cellTracker // Theorem 1 tessellation bookkeeping; nil when off
 	sourceCell int
-
-	compScratch []bool // per-component informed flags, reused across steps
 
 	coverageStep int // first step with |I(t)| = n; -1 until then
 
@@ -61,7 +63,9 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 		cfg:          cfg,
 		pop:          pop,
 		lab:          cfg.newLabeller(),
-		informed:     make([]bool, cfg.K),
+		informed:     bitset.New(cfg.K),
+		newly:        make([]int32, 0, cfg.K),
+		moved:        make([]int32, 0, cfg.K),
 		coverageStep: -1,
 		frontierX:    -1,
 		obsr:         cfg.Observer,
@@ -70,8 +74,7 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 	if b.src == SourceRandom {
 		b.src = src.Intn(cfg.K)
 	}
-	b.informed[b.src] = true
-	b.informedCount = 1
+	b.informed.Add(b.src)
 	if cfg.TrackInformedArea || cfg.RecordFrontier || (b.obsr != nil && b.obsr.NeedsCoverage()) {
 		b.area = bitset.New(cfg.Grid.N())
 	}
@@ -84,71 +87,77 @@ func NewBroadcast(cfg Config) (*Broadcast, error) {
 	}
 	// Time-0 exchange on the initial configuration. The mark anchors the
 	// profiler so the time-0 flood and record are attributed like any step
-	// (the labeller laps index/label internally).
+	// (the labeller laps index/label internally). No moved report exists
+	// yet, so the area trackers take their one full pass here.
 	cfg.Profile.Mark()
-	b.exchange()
+	b.exchange(nil, false)
 	b.record()
 	return b, nil
 }
 
-// exchange floods rumors through the connected components of the current
-// visibility graph and updates the informed-area trackers. Component
-// computation is skipped entirely once everyone is informed (the
+// exchange floods the rumor through the connected components of the current
+// visibility graph and updates the informed-area trackers.
+//
+// The fast path never materialises component labels: visibility.Flood
+// spreads the informed bitset directly over the labeller's union-find
+// forest, returning the newly informed agents. Labels are computed only
+// when component statistics were requested for this step, in which case the
+// flood reuses them (FloodWithLabels) instead of touching the forest again.
+// Component work is skipped entirely once everyone is informed (the
 // coverage-continuation phase only needs positions), unless component
-// statistics were requested.
-func (b *Broadcast) exchange() {
+// statistics force it.
+//
+// moved, when movedOK, lists exactly the agents whose position changed in
+// the step that preceded this exchange; the area trackers then update from
+// moved agents and newly informed agents only, instead of sweeping the
+// whole informed set. An informed agent that did not move contributed its
+// node the moment it became informed or last moved, so the sweep adds
+// nothing new — the t=0 full pass anchors the induction.
+func (b *Broadcast) exchange(moved []int32, movedOK bool) {
 	// An observer wanting component observables at this step forces the
 	// labelling even in the coverage-continuation phase, where it is
 	// otherwise skipped once everyone is informed.
 	observeComps := b.obsr != nil && b.obsr.NeedsComponents() && b.obsr.Wants(b.pop.Time())
-	if b.cfg.TrackComponents || observeComps || b.informedCount < b.pop.K() {
+	k := b.pop.K()
+	b.newly = b.newly[:0]
+	if b.cfg.TrackComponents || observeComps {
 		labels, count := b.lab.Components(b.pop.Positions(), b.cfg.Radius)
-		if b.cfg.TrackComponents || observeComps {
-			// One size pass serves both the running maximum and the
-			// per-step observables.
-			var m int
-			m, b.sizeScratch = visibility.MaxSizeScratch(labels, count, b.sizeScratch)
-			if b.cfg.TrackComponents && m > b.maxComp {
-				b.maxComp = m
-			}
-			if observeComps {
-				b.lastComps = count
-				b.lastLargest = m
-			}
+		// One size pass serves both the running maximum and the per-step
+		// observables.
+		var m int
+		m, b.sizeScratch = visibility.MaxSizeScratch(labels, count, b.sizeScratch)
+		if b.cfg.TrackComponents && m > b.maxComp {
+			b.maxComp = m
 		}
-		if b.informedCount < b.pop.K() {
-			// Mark components containing at least one informed agent...
-			if cap(b.compScratch) < count {
-				b.compScratch = make([]bool, count)
-			}
-			compInformed := b.compScratch[:count]
-			for i := range compInformed {
-				compInformed[i] = false
-			}
-			for i, inf := range b.informed {
-				if inf {
-					compInformed[labels[i]] = true
-				}
-			}
-			// ...and flood them.
-			for i := range b.informed {
-				if !b.informed[i] && compInformed[labels[i]] {
-					b.informed[i] = true
-					b.informedCount++
-				}
-			}
+		if observeComps {
+			b.lastComps = count
+			b.lastLargest = m
 		}
+		if b.informed.Len() < k {
+			b.newly = b.lab.FloodWithLabels(labels, count, b.informed, b.newly)
+		}
+	} else if b.informed.Len() < k {
+		b.newly = b.lab.Flood(b.pop.Positions(), b.cfg.Radius, b.informed, b.newly)
 	}
 	if b.area != nil {
 		g := b.pop.Grid()
 		pos := b.pop.Positions()
-		for i, inf := range b.informed {
-			if !inf {
-				continue
+		if movedOK {
+			// Incremental area update: only a moved informed agent or a
+			// newly informed one can stand on a node the area lacks.
+			for _, i := range moved {
+				if b.informed.Contains(int(i)) {
+					b.touchArea(g, pos[i])
+				}
 			}
-			b.area.Add(int(g.ID(pos[i])))
-			if pos[i].X > b.frontierX {
-				b.frontierX = pos[i].X
+			for _, i := range b.newly {
+				b.touchArea(g, pos[i])
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				if b.informed.Contains(i) {
+					b.touchArea(g, pos[i])
+				}
 			}
 		}
 		if b.coverageStep < 0 && b.area.Len() == g.N() {
@@ -158,9 +167,20 @@ func (b *Broadcast) exchange() {
 	if b.cells != nil && !b.cells.allReached() {
 		t := b.pop.Time()
 		pos := b.pop.Positions()
-		for i, inf := range b.informed {
-			if inf {
+		if movedOK {
+			for _, i := range moved {
+				if b.informed.Contains(int(i)) {
+					b.cells.observe(pos[i], t)
+				}
+			}
+			for _, i := range b.newly {
 				b.cells.observe(pos[i], t)
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				if b.informed.Contains(i) {
+					b.cells.observe(pos[i], t)
+				}
 			}
 		}
 	}
@@ -169,9 +189,18 @@ func (b *Broadcast) exchange() {
 	b.cfg.Profile.Lap(prof.Spread)
 }
 
+// touchArea adds one agent position to the informed area and advances the
+// frontier.
+func (b *Broadcast) touchArea(g *grid.Grid, p grid.Point) {
+	b.area.Add(int(g.ID(p)))
+	if p.X > b.frontierX {
+		b.frontierX = p.X
+	}
+}
+
 func (b *Broadcast) record() {
 	if b.cfg.RecordCurve {
-		b.curve = append(b.curve, b.informedCount)
+		b.curve = append(b.curve, b.informed.Len())
 	}
 	if b.cfg.RecordFrontier {
 		b.frontier = append(b.frontier, b.frontierX)
@@ -182,7 +211,7 @@ func (b *Broadcast) record() {
 			covered = b.area.Len()
 		}
 		b.obsr.Record(t, obs.Sample{
-			Informed:   b.informedCount,
+			Informed:   b.informed.Len(),
 			Components: b.lastComps,
 			Largest:    b.lastLargest,
 			Covered:    covered,
@@ -193,28 +222,31 @@ func (b *Broadcast) record() {
 }
 
 // Step advances the system one time unit: all agents move synchronously,
-// then rumors flood the new components.
+// then rumors flood the new components. Models that report per-step moves
+// feed the incremental area trackers; the trajectory is bit-identical
+// either way (see agent.Population.StepMoved).
 func (b *Broadcast) Step() {
 	p := b.cfg.Profile
 	p.Mark()
-	b.pop.Step()
+	moved, ok := b.pop.StepMoved(b.moved[:0])
+	b.moved = moved
 	p.Lap(prof.Move)
-	b.exchange()
+	b.exchange(moved, ok)
 	b.record()
 	p.StepDone()
 }
 
 // Done reports whether every agent is informed.
-func (b *Broadcast) Done() bool { return b.informedCount == b.pop.K() }
+func (b *Broadcast) Done() bool { return b.informed.Len() == b.pop.K() }
 
 // Time returns the current simulation time.
 func (b *Broadcast) Time() int { return b.pop.Time() }
 
 // InformedCount returns the number of informed agents.
-func (b *Broadcast) InformedCount() int { return b.informedCount }
+func (b *Broadcast) InformedCount() int { return b.informed.Len() }
 
 // Informed reports whether agent i knows the rumor.
-func (b *Broadcast) Informed(i int) bool { return b.informed[i] }
+func (b *Broadcast) Informed(i int) bool { return b.informed.Contains(i) }
 
 // SourceAgent returns the index of the source agent.
 func (b *Broadcast) SourceAgent() int { return b.src }

@@ -99,6 +99,14 @@ type Config struct {
 	// keeps the loop condition a constant-false branch.
 	Cancel *cancel.Check
 
+	// FullRelabel forces the component labeller to rebuild its spatial
+	// index and relabel from scratch every step instead of maintaining
+	// them incrementally. Results are bit-for-bit identical either way —
+	// the differential tests in internal/visibility pin that — so this is
+	// purely an execution knob, kept for ablation measurements and as a
+	// bisection lever when diagnosing a suspected kernel fault.
+	FullRelabel bool
+
 	// Placement, when non-nil, overrides the mobility model's initial
 	// placement with explicit agent positions (len == K, all on-grid).
 	// Deterministic placements support scenario construction and
@@ -142,11 +150,14 @@ func (c *Config) validate() error {
 }
 
 // newLabeller builds the engine's component labeller with the configured
-// parallelism and profiler applied.
-func (c *Config) newLabeller() *visibility.Labeller {
-	l := visibility.NewLabeller(c.K)
+// parallelism and profiler applied. Engines get the incremental kernel by
+// default; FullRelabel routes every call through the retained from-scratch
+// path (identical results, see visibility.Incremental).
+func (c *Config) newLabeller() *visibility.Incremental {
+	l := visibility.NewIncremental(c.K)
 	l.SetParallelism(c.Parallelism)
 	l.SetProfile(c.Profile)
+	l.SetFullRebuild(c.FullRelabel)
 	return l
 }
 

@@ -20,7 +20,7 @@ import (
 type Gossip struct {
 	cfg   Config
 	pop   *agent.Population
-	lab   *visibility.Labeller
+	lab   *visibility.Incremental
 	total int // |M|, number of distinct rumors
 
 	rumors  []*bitset.Set // rumors[i] = M_{a_i}(t)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mobilenet/internal/agent"
+	"mobilenet/internal/bitset"
 	"mobilenet/internal/cancel"
 	"mobilenet/internal/grid"
 	"mobilenet/internal/mobility"
@@ -91,9 +92,11 @@ func (c *Config) maxSteps() int {
 }
 
 // newLabeller builds the wake-up labeller with the configured parallelism
-// and profiler.
-func newLabeller(cfg *Config) *visibility.Labeller {
-	l := visibility.NewLabeller(cfg.K)
+// and profiler. Frog runs get the incremental kernel: sleepers are frozen,
+// so on a typical step only the active minority moves and the dirty-cell
+// path shines.
+func newLabeller(cfg *Config) *visibility.Incremental {
+	l := visibility.NewIncremental(cfg.K)
 	l.SetParallelism(cfg.Parallelism)
 	l.SetProfile(cfg.Profile)
 	return l
@@ -103,11 +106,9 @@ func newLabeller(cfg *Config) *visibility.Labeller {
 type System struct {
 	cfg    Config
 	pop    *agent.Population
-	lab    *visibility.Labeller
-	active []bool
-	nAct   int
-
-	compScratch []bool // per-component active flags, reused across steps
+	lab    *visibility.Incremental
+	active *bitset.Set // active (= informed) agents
+	newly  []int32     // per-step newly-woken scratch, reused
 
 	obsr        *obs.Recorder
 	sizeScratch []int32 // component-size buffer for the largest observable
@@ -130,7 +131,8 @@ func New(cfg Config) (*System, error) {
 		cfg:    cfg,
 		pop:    pop,
 		lab:    newLabeller(&cfg),
-		active: make([]bool, cfg.K),
+		active: bitset.New(cfg.K),
+		newly:  make([]int32, 0, cfg.K),
 		obsr:   cfg.Observer,
 	}
 	if s.obsr != nil && s.obsr.NeedsComponents() {
@@ -140,8 +142,7 @@ func New(cfg Config) (*System, error) {
 	if source == -1 {
 		source = src.Intn(cfg.K)
 	}
-	s.active[source] = true
-	s.nAct = 1
+	s.active.Add(source)
 	cfg.Profile.Mark()
 	s.wake()
 	return s, nil
@@ -153,34 +154,22 @@ func New(cfg Config) (*System, error) {
 // paper's radio-faster-than-motion assumption.
 func (s *System) wake() {
 	observeComps := s.obsr != nil && s.obsr.NeedsComponents() && s.obsr.Wants(s.pop.Time())
-	if s.nAct == s.pop.K() && !observeComps {
+	if s.active.Len() == s.pop.K() && !observeComps {
 		s.observe()
 		return
 	}
-	labels, count := s.lab.Components(s.pop.Positions(), s.cfg.Radius)
+	s.newly = s.newly[:0]
 	if observeComps {
+		labels, count := s.lab.Components(s.pop.Positions(), s.cfg.Radius)
 		s.lastComps = count
 		s.lastLargest, s.sizeScratch = visibility.MaxSizeScratch(labels, count, s.sizeScratch)
-	}
-	if s.nAct < s.pop.K() {
-		if cap(s.compScratch) < count {
-			s.compScratch = make([]bool, count)
+		if s.active.Len() < s.pop.K() {
+			s.newly = s.lab.FloodWithLabels(labels, count, s.active, s.newly)
 		}
-		compActive := s.compScratch[:count]
-		for i := range compActive {
-			compActive[i] = false
-		}
-		for i, a := range s.active {
-			if a {
-				compActive[labels[i]] = true
-			}
-		}
-		for i := range s.active {
-			if !s.active[i] && compActive[labels[i]] {
-				s.active[i] = true
-				s.nAct++
-			}
-		}
+	} else {
+		// The common step: wake-ups flood the active bitset straight
+		// through the union-find forest, no labels materialised.
+		s.newly = s.lab.Flood(s.pop.Positions(), s.cfg.Radius, s.active, s.newly)
 	}
 	s.cfg.Profile.Lap(prof.Spread)
 	s.observe()
@@ -191,7 +180,7 @@ func (s *System) wake() {
 func (s *System) observe() {
 	if t := s.pop.Time(); s.obsr != nil && s.obsr.Wants(t) {
 		s.obsr.Record(t, obs.Sample{
-			Informed:   s.nAct,
+			Informed:   s.active.Len(),
 			Components: s.lastComps,
 			Largest:    s.lastLargest,
 		})
@@ -204,8 +193,12 @@ func (s *System) observe() {
 func (s *System) Step() {
 	p := s.cfg.Profile
 	p.Mark()
-	for i, a := range s.active {
-		if a {
+	// Ascending agent-index order is part of the seed contract: StepAgent
+	// draws from the shared randomness stream, so the iteration order must
+	// match the pre-bitset []bool loop bit for bit.
+	k := s.pop.K()
+	for i := 0; i < k; i++ {
+		if s.active.Contains(i) {
 			s.pop.StepAgent(i)
 		}
 	}
@@ -216,16 +209,16 @@ func (s *System) Step() {
 }
 
 // Done reports whether every agent is active (equivalently, informed).
-func (s *System) Done() bool { return s.nAct == s.pop.K() }
+func (s *System) Done() bool { return s.active.Len() == s.pop.K() }
 
 // Time returns the simulation time.
 func (s *System) Time() int { return s.pop.Time() }
 
 // ActiveCount returns the number of active agents.
-func (s *System) ActiveCount() int { return s.nAct }
+func (s *System) ActiveCount() int { return s.active.Len() }
 
 // Active reports whether agent i is active.
-func (s *System) Active(i int) bool { return s.active[i] }
+func (s *System) Active(i int) bool { return s.active.Contains(i) }
 
 // Result summarises a Frog-model run.
 type Result struct {

@@ -121,8 +121,9 @@ func TestChainedWakeups(t *testing.T) {
 	s.pop.SetPosition(2, grid.Point{X: 2, Y: 0})
 	s.pop.SetPosition(3, grid.Point{X: 3, Y: 0})
 	// Re-run the wake pass on the arranged configuration.
-	s.active[1], s.active[2], s.active[3] = false, false, false
-	s.nAct = 1
+	s.active.Remove(1)
+	s.active.Remove(2)
+	s.active.Remove(3)
 	s.wake()
 	if !s.Done() {
 		t.Fatalf("chain did not fully wake: %d active", s.ActiveCount())

@@ -124,8 +124,16 @@ func TrialRunCancellable(d int, seed uint64, horizon int, rec *obs.Recorder, p *
 	if horizon == 0 {
 		horizon = d * d
 	}
-	g, a, b := arena(d)
-	a0, b0 := a, b
+	g, a0Start, b0Start := arena(d)
+	a0, b0 := a0Start, b0Start
+	// The two walkers advance through the batched stepper so the step
+	// reports which of them actually moved: a step where neither moved
+	// cannot change the meeting predicate (had they met, the trial would
+	// already have returned), so the lens check is skipped. The stream is
+	// bit-identical to the scalar two-call form (see walk.StepAllMoved).
+	pair := [2]grid.Point{a0Start, b0Start}
+	var ubuf [2]uint64
+	var movedBuf [2]int32
 	src := rng.New(seed)
 	p.Mark()
 	if rec != nil && rec.Wants(0) {
@@ -137,10 +145,10 @@ func TrialRunCancellable(d int, seed uint64, horizon int, rec *obs.Recorder, p *
 			return t - 1, false, nil
 		}
 		p.Mark()
-		a = walk.Step(g, a, src)
-		b = walk.Step(g, b, src)
+		moved := walk.StepAllMoved(g, pair[:], ubuf[:], src, movedBuf[:0])
+		a, b := pair[0], pair[1]
 		p.Lap(prof.Move)
-		if a == b && inLens(a, a0, b0, d) {
+		if len(moved) > 0 && a == b && inLens(a, a0, b0, d) {
 			p.Lap(prof.Spread)
 			if rec != nil {
 				// The meeting step is always recorded, cadence or not: a

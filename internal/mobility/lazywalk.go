@@ -49,3 +49,12 @@ func (s *lazyState) Step(pos []grid.Point) {
 func (s *lazyState) StepAgent(pos []grid.Point, i int) {
 	pos[i] = walk.Step(s.g, pos[i], s.src)
 }
+
+// StepMoved implements MovedStepper via the batched walk.StepAllMoved
+// kernel, which consumes the identical randomness stream as Step.
+func (s *lazyState) StepMoved(pos []grid.Point, moved []int32) []int32 {
+	if cap(s.buf) < len(pos) {
+		s.buf = make([]uint64, len(pos))
+	}
+	return walk.StepAllMoved(s.g, pos, s.buf, s.src, moved)
+}

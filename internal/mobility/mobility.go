@@ -74,6 +74,26 @@ type State interface {
 	StepAgent(pos []grid.Point, i int)
 }
 
+// MovedStepper is the optional State extension implemented by states that
+// can report which agents changed position during a synchronized step.
+// Engines use it to feed dirty-agent information to incremental per-step
+// structures (the visibility kernel's pair cache, coverage's visited set):
+// an agent not in the report is guaranteed to stand exactly where it stood
+// before the step, so per-agent work keyed on motion can be skipped.
+//
+// Implementations must advance the population exactly like Step — same
+// motion law, same randomness consumption, bit-identical trajectories —
+// and derive the report from the realised positions alone (an agent whose
+// move was clamped at a boundary, paused, or frozen is NOT moved). States
+// without a cheap report simply don't implement the interface; callers
+// fall back to Step.
+type MovedStepper interface {
+	// StepMoved steps every agent like State.Step and appends the indices
+	// of agents whose position changed to moved, in ascending order,
+	// returning the extended slice.
+	StepMoved(pos []grid.Point, moved []int32) []int32
+}
+
 // Default returns the model engines fall back to when none is configured:
 // the paper's lazy random walk.
 func Default() Model { return LazyWalk{} }
@@ -94,6 +114,22 @@ func stepAll(s State, pos []grid.Point) {
 	for i := range pos {
 		s.StepAgent(pos, i)
 	}
+}
+
+// stepAllMoved is the generic MovedStepper loop: it advances every agent
+// through StepAgent in index order — consuming randomness identically to
+// stepAll — and reports moves by comparing each position before and after.
+// Models with per-agent freezes or pauses (trace truncation, waypoint rest
+// ticks) share it.
+func stepAllMoved(s State, pos []grid.Point, moved []int32) []int32 {
+	for i := range pos {
+		before := pos[i]
+		s.StepAgent(pos, i)
+		if pos[i] != before {
+			moved = append(moved, int32(i))
+		}
+	}
+	return moved
 }
 
 // bindCheck validates the arguments common to every Bind implementation.

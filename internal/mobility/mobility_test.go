@@ -345,3 +345,97 @@ func clonePos(pos []grid.Point) []grid.Point {
 	copy(out, pos)
 	return out
 }
+
+// TestStepMovedMatchesStep is the shared MovedStepper contract test: for
+// every model whose state implements the interface, StepMoved must produce
+// trajectories bit-identical to Step under equal seeds and report exactly
+// the agents whose position changed, in ascending index order.
+func TestStepMovedMatchesStep(t *testing.T) {
+	t.Parallel()
+	const side, k, steps = 12, 48, 200
+	g := grid.MustNew(side)
+	for _, m := range allModels(t, side) {
+		t.Run(m.Name(), func(t *testing.T) {
+			plainState, err := m.Bind(g, k, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			movedState, err := m.Bind(g, k, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, ok := movedState.(mobility.MovedStepper)
+			if !ok {
+				t.Skipf("%s does not implement MovedStepper", m.Name())
+			}
+			plain := make([]grid.Point, k)
+			reporting := make([]grid.Point, k)
+			plainState.Place(plain)
+			movedState.Place(reporting)
+			prev := make([]grid.Point, k)
+			moved := make([]int32, 0, k)
+			for s := 0; s < steps; s++ {
+				copy(prev, reporting)
+				plainState.Step(plain)
+				moved = ms.StepMoved(reporting, moved[:0])
+				j := 0
+				for i := range reporting {
+					if plain[i] != reporting[i] {
+						t.Fatalf("t=%d agent %d: StepMoved %v != Step %v", s, i, reporting[i], plain[i])
+					}
+					reported := j < len(moved) && moved[j] == int32(i)
+					if reported {
+						j++
+					}
+					if actually := reporting[i] != prev[i]; actually != reported {
+						t.Fatalf("t=%d agent %d: moved=%v reported=%v", s, i, actually, reported)
+					}
+				}
+				if j != len(moved) {
+					t.Fatalf("t=%d: moved report not ascending: %v", s, moved)
+				}
+			}
+		})
+	}
+}
+
+// TestPopulationStepMoved pins the population-level wrapper: a lazy-walk
+// population reports moves (ok true) with trajectories identical to Step,
+// and a model without the interface still steps identically with ok false.
+func TestPopulationStepMoved(t *testing.T) {
+	t.Parallel()
+	const side, k, steps = 16, 32, 100
+	g := grid.MustNew(side)
+	for _, m := range []mobility.Model{mobility.LazyWalk{}, mobility.LevyFlight{}} {
+		plain, err := agent.NewWithModel(g, k, rng.New(11), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reporting, err := agent.NewWithModel(g, k, rng.New(11), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var moved []int32
+		var sawOK bool
+		for s := 0; s < steps; s++ {
+			plain.Step()
+			var ok bool
+			moved, ok = reporting.StepMoved(moved[:0])
+			sawOK = ok
+			for i := 0; i < k; i++ {
+				if plain.Position(i) != reporting.Position(i) {
+					t.Fatalf("%s t=%d agent %d: StepMoved diverged from Step", m.Name(), s, i)
+				}
+			}
+		}
+		if reporting.Time() != steps {
+			t.Fatalf("%s: StepMoved advanced time to %d, want %d", m.Name(), reporting.Time(), steps)
+		}
+		if m.Name() == "lazy" && !sawOK {
+			t.Fatalf("lazy walk should report moves")
+		}
+		if m.Name() == "levy" && sawOK {
+			t.Fatalf("levy flight unexpectedly implements MovedStepper; update this pin")
+		}
+	}
+}

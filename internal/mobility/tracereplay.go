@@ -76,6 +76,14 @@ func (s *traceState) Place(pos []grid.Point) {
 
 func (s *traceState) Step(pos []grid.Point) { stepAll(s, pos) }
 
+// StepMoved implements MovedStepper: truncated agents are frozen at their
+// final recorded position and recorded stay-moves hold their node, so the
+// generic compare loop reports real motion only. A loop-wrap teleport back
+// to the recorded start is reported as one (typically long) move.
+func (s *traceState) StepMoved(pos []grid.Point, moved []int32) []int32 {
+	return stepAllMoved(s, pos, moved)
+}
+
 func (s *traceState) StepAgent(pos []grid.Point, i int) {
 	c := s.at[i]
 	if c < s.t.Steps() {

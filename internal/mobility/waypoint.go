@@ -64,6 +64,13 @@ func (s *waypointState) Place(pos []grid.Point) {
 
 func (s *waypointState) Step(pos []grid.Point) { stepAll(s, pos) }
 
+// StepMoved implements MovedStepper: paused and just-arrived agents hold
+// their node for the tick, so the generic compare loop reports real motion
+// only.
+func (s *waypointState) StepMoved(pos []grid.Point, moved []int32) []int32 {
+	return stepAllMoved(s, pos, moved)
+}
+
 func (s *waypointState) StepAgent(pos []grid.Point, i int) {
 	if s.wait[i] > 0 {
 		s.wait[i]--

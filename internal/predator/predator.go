@@ -96,10 +96,16 @@ type System struct {
 	predMob mobility.State
 	preyMob mobility.State
 
-	// occupied buckets predators by coarse cell for the capture check.
-	occupied map[uint64][]int32
-	pool     [][]int32
-	keys     []uint64
+	// occupied buckets predators by coarse cell for the capture check. When
+	// the predator mobility state reports per-step moves, the hash is
+	// maintained incrementally — only predators whose cell changed are
+	// re-bucketed — instead of being rebuilt from scratch every step.
+	occupied  map[uint64][]int32
+	pool      [][]int32
+	predKey   []uint64 // current bucket key per predator (valid iff hashLive)
+	predSlot  []int32  // predator's index within its bucket slice
+	predMoved []int32  // per-step moved-predator scratch
+	hashLive  bool
 }
 
 // New places predators and preys (per the configured mobility model, by
@@ -147,7 +153,7 @@ func New(cfg Config) (*System, error) {
 		s.preyAlive[i] = true
 	}
 	cfg.Profile.Mark()
-	s.capture()
+	s.capture(nil, false)
 	s.observe()
 	return s, nil
 }
@@ -165,34 +171,90 @@ func bucketKey(bx, by int32) uint64 {
 	return uint64(uint32(bx))<<32 | uint64(uint32(by))
 }
 
+// cellSize resolves the capture-hash cell side for the configured radius.
+func (s *System) cellSize() int32 {
+	cell := int32(s.cfg.Radius)
+	if cell < 1 {
+		cell = 1
+	}
+	return cell
+}
+
+// insertPredator adds predator i to the bucket for key, recording its slot.
+func (s *System) insertPredator(i int32, key uint64) {
+	b, ok := s.occupied[key]
+	if !ok && len(s.pool) > 0 {
+		n := len(s.pool)
+		b = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+	}
+	s.predSlot[i] = int32(len(b))
+	s.occupied[key] = append(b, i)
+	s.predKey[i] = key
+}
+
+// removePredator takes predator i out of its current bucket by swap-remove;
+// emptied buckets return their backing slice to the pool so the map tracks
+// only occupied cells no matter how far the predators roam.
+func (s *System) removePredator(i int32) {
+	key := s.predKey[i]
+	b := s.occupied[key]
+	last := len(b) - 1
+	slot := s.predSlot[i]
+	movedIn := b[last]
+	b[slot] = movedIn
+	s.predSlot[movedIn] = slot
+	b = b[:last]
+	if last == 0 {
+		s.pool = append(s.pool, b)
+		delete(s.occupied, key)
+	} else {
+		s.occupied[key] = b
+	}
+}
+
+// rebuildHash derives the predator spatial hash from scratch.
+func (s *System) rebuildHash(cell int32) {
+	for key, b := range s.occupied {
+		s.pool = append(s.pool, b[:0])
+		delete(s.occupied, key)
+	}
+	if s.predKey == nil {
+		s.predKey = make([]uint64, len(s.predators))
+		s.predSlot = make([]int32, len(s.predators))
+	}
+	for i := range s.predators {
+		s.insertPredator(int32(i), bucketKey(s.predators[i].X/cell, s.predators[i].Y/cell))
+	}
+	s.hashLive = true
+}
+
+// updateHash re-buckets exactly the predators that moved this step.
+func (s *System) updateHash(cell int32, moved []int32) {
+	for _, i := range moved {
+		key := bucketKey(s.predators[i].X/cell, s.predators[i].Y/cell)
+		if key == s.predKey[i] {
+			continue
+		}
+		s.removePredator(i)
+		s.insertPredator(i, key)
+	}
+}
+
 // capture removes every prey within the capture radius of some predator.
-func (s *System) capture() {
+// moved, when movedOK, lists the predators that changed position since the
+// hash was last current, enabling the incremental bucket update.
+func (s *System) capture(moved []int32, movedOK bool) {
 	if s.alive == 0 {
 		s.cfg.Profile.Lap(prof.Spread)
 		return
 	}
 	r := s.cfg.Radius
-	cell := int32(r)
-	if cell < 1 {
-		cell = 1
-	}
-	// Rebuild the predator spatial hash.
-	for key, b := range s.occupied {
-		s.pool = append(s.pool, b[:0])
-		delete(s.occupied, key)
-	}
-	s.keys = s.keys[:0]
-	for i := range s.predators {
-		key := bucketKey(s.predators[i].X/cell, s.predators[i].Y/cell)
-		b, ok := s.occupied[key]
-		if !ok {
-			if n := len(s.pool); n > 0 {
-				b = s.pool[n-1]
-				s.pool = s.pool[:n-1]
-			}
-			s.keys = append(s.keys, key)
-		}
-		s.occupied[key] = append(b, int32(i))
+	cell := s.cellSize()
+	if s.hashLive && movedOK {
+		s.updateHash(cell, moved)
+	} else {
+		s.rebuildHash(cell)
 	}
 	s.cfg.Profile.Lap(prof.Index)
 	// Check each surviving prey against predators in its 3x3 cell
@@ -227,7 +289,14 @@ func (s *System) capture() {
 func (s *System) Step() {
 	p := s.cfg.Profile
 	p.Mark()
-	s.predMob.Step(s.predators)
+	var moved []int32
+	movedOK := false
+	if ms, ok := s.predMob.(mobility.MovedStepper); ok {
+		s.predMoved = ms.StepMoved(s.predators, s.predMoved[:0])
+		moved, movedOK = s.predMoved, true
+	} else {
+		s.predMob.Step(s.predators)
+	}
 	for i := range s.preys {
 		if s.preyAlive[i] {
 			s.preyMob.StepAgent(s.preys, i)
@@ -235,7 +304,7 @@ func (s *System) Step() {
 	}
 	s.t++
 	p.Lap(prof.Move)
-	s.capture()
+	s.capture(moved, movedOK)
 	s.observe()
 	p.StepDone()
 }

@@ -12,12 +12,18 @@ import (
 	"mobilenet/internal/scenario"
 )
 
-// longSpec is a scenario that runs long enough (hundreds of milliseconds
-// to seconds: 4 agents broadcasting across a 256x256 grid under a 4M step
-// cap) that deadline and shutdown cancellation always catch it mid-run.
+// longSpec is a scenario that runs long enough (tens of seconds: 32768
+// agents broadcasting at radius 1 across a sparse 2048x2048 grid under a
+// 256M step cap) that deadline and shutdown cancellation always catch it
+// mid-run — the replicate must outlast every deadline in this file even at
+// the incremental labeller's per-step cost, or queue-occupancy assertions
+// race against early completion. (The previous 4-agent/256x256 shape
+// reached full broadcast in ~30ms once the labeller went incremental and
+// made the shed test flaky.)
 // Seed varies so concurrent tests never coalesce onto each other's jobs.
 func longSpec(seed uint64) scenario.Spec {
-	return scenario.Spec{Engine: "broadcast", Nodes: 1 << 16, Agents: 4, Seed: seed, MaxSteps: 1 << 22}
+	return scenario.Spec{Engine: "broadcast", Nodes: 1 << 22, Agents: 1 << 15,
+		Radius: 1, Seed: seed, MaxSteps: 1 << 28}
 }
 
 // fastSpec completes in milliseconds.
@@ -352,7 +358,8 @@ func TestQueueFullSheds503RetryAfter(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("submission into a full queue = %d, want 503", resp.StatusCode)
+		v1, _ := s.Job(running.JobID)
+		t.Fatalf("submission into a full queue = %d, want 503 (job1 status=%s err=%q)", resp.StatusCode, v1.Status, v1.Error)
 	}
 	if got := resp.Header.Get("Retry-After"); got != "1" {
 		t.Fatalf("Retry-After = %q, want \"1\"", got)

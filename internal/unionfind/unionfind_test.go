@@ -1,6 +1,7 @@
 package unionfind
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -137,6 +138,56 @@ func TestLabelsDense(t *testing.T) {
 	if len(seen) != n {
 		t.Fatalf("only %d distinct labels used, want %d", len(seen), n)
 	}
+}
+
+// TestDenseLabelsMatchesLabels pins the fused flatten-and-label pass to the
+// map-based reference across random union sequences, including the k-prefix
+// form the visibility labellers use on a capacity-sized forest, and checks
+// the fused pass leaves the forest fully flattened.
+func TestDenseLabelsMatchesLabels(t *testing.T) {
+	t.Parallel()
+	src := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(40)
+		k := 1 + src.Intn(n) // label a prefix of the universe
+		d := New(n)
+		ref := New(n)
+		for e := src.Intn(3 * n); e > 0; e-- {
+			a, b := src.Intn(k), src.Intn(k) // unions stay inside the prefix
+			d.Union(a, b)
+			ref.Union(a, b)
+		}
+		want := make([]int32, n)
+		wantN := ref.Labels(want)
+		got := make([]int32, k)
+		scratch := make([]int32, k)
+		gotN := d.DenseLabels(got, scratch)
+		// The reference labels the whole universe; restricted to the prefix
+		// (where all unions happened) the first-appearance order coincides.
+		for i := 0; i < k; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): DenseLabels[%d] = %d, Labels %d",
+					trial, n, k, i, got[i], want[i])
+			}
+		}
+		if wantPrefix := distinct(want[:k]); gotN != wantPrefix {
+			t.Fatalf("trial %d: DenseLabels count %d, want %d", trial, gotN, wantPrefix)
+		}
+		_ = wantN
+		for i := 0; i < k; i++ {
+			if r := d.Find(i); d.Find(r) != r || int(d.parent[i]) != r {
+				t.Fatalf("trial %d: forest not flattened at %d", trial, i)
+			}
+		}
+	}
+}
+
+func distinct(labels []int32) int {
+	seen := map[int32]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
 }
 
 // TestUnionEdges checks the spanning-edge replay contract the parallel

@@ -1,14 +1,15 @@
 package visibility
 
 // Ablation benchmarks for the component-labelling design choices called out
-// in DESIGN.md. Three generations of the labeller are compared: the O(k²)
+// in DESIGN.md. Four generations of the labeller are compared: the O(k²)
 // all-pairs brute force, the map-backed spatial hash it was first replaced
-// by (retained here verbatim as mapLabeller), and the current flat CSR
-// bucket index in both its sequential and parallel configurations.
-// Correctness equivalence is established by TestAblationBaselinesAgree and
-// the brute-force comparison tests in visibility_test.go; these benchmarks
-// quantify the gaps at sparse-regime densities. BENCH_visibility.json
-// records the measured trajectory.
+// by (retained here verbatim as mapLabeller), the flat CSR bucket index
+// that rebuilds from scratch every call, and the incremental labeller that
+// maintains the index across steps. Correctness equivalence is established
+// by TestAblationBaselinesAgree, the differential harness in
+// differential_test.go, and the brute-force comparison tests in
+// visibility_test.go; these benchmarks quantify the gaps at sparse-regime
+// densities. BENCH_visibility.json records the measured trajectory.
 
 import (
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"mobilenet/internal/grid"
 	"mobilenet/internal/rng"
 	"mobilenet/internal/unionfind"
+	"mobilenet/internal/walk"
 )
 
 // bruteLabeller is the all-pairs baseline: check every agent pair.
@@ -210,6 +212,82 @@ func BenchmarkComponents(b *testing.B) {
 	}
 }
 
+// BenchmarkComponentsStepped is the incremental-kernel ablation: each op
+// advances every agent one lazy-walk step and then relabels — the exact
+// shape of an engine step loop. The rebuild generations (maphash, csr) pay
+// their full per-call cost no matter how little moved; the incremental
+// labeller (inc sequential, incpar with the recheck fanned to 4 workers)
+// pays only for dirty cells plus the frontier recheck of the cached pair
+// set. The gap here — not the static BenchmarkComponents figures, which an
+// incremental labeller would short-circuit through its clean-labels path —
+// is the design's operating speedup. Every row includes the walk.StepAll
+// cost, so the inc rows understate the pure relabel gain.
+//
+// Two radii are swept: r=1 is the operating regime of the standing phase
+// baseline (BENCH_phases.json runs broadcast at r=1), where the pair cache
+// is small and most steps flip nothing; r=benchRadius (8) is the saturated
+// worst case where ~every cached pair has a moved endpoint every step and
+// the pass set is rebuilt wholesale.
+func BenchmarkComponentsStepped(b *testing.B) {
+	for _, k := range []int{1000, 10000, 100000, 1000000} {
+		side := benchSide(k)
+		g := grid.MustNew(side)
+		impls := []struct {
+			name string
+			mk   func(r int) func(pos []grid.Point)
+		}{
+			// steponly times walk.StepAll with no relabel at all: the
+			// motion floor every other row includes. Subtracting it from a
+			// labelled row gives that labeller's net per-step cost, which
+			// is what the ≥2x acceptance ratio against the static csr
+			// record is computed from (see BENCH_visibility.json notes).
+			{"steponly", func(r int) func([]grid.Point) {
+				return func(pos []grid.Point) {}
+			}},
+			{"maphash", func(r int) func([]grid.Point) {
+				l := newMapLabeller(k)
+				return func(pos []grid.Point) { l.components(pos, r) }
+			}},
+			{"csr", func(r int) func([]grid.Point) {
+				l := NewLabeller(k)
+				l.SetParallelism(1)
+				return func(pos []grid.Point) { l.Components(pos, r) }
+			}},
+			{"inc", func(r int) func([]grid.Point) {
+				l := NewIncremental(k)
+				l.SetParallelism(1)
+				return func(pos []grid.Point) { l.Components(pos, r) }
+			}},
+			{"incpar", func(r int) func([]grid.Point) {
+				l := NewIncremental(k)
+				l.SetParallelism(4)
+				return func(pos []grid.Point) { l.Components(pos, r) }
+			}},
+		}
+		for _, r := range []int{1, benchRadius} {
+			for _, im := range impls {
+				b.Run(fmt.Sprintf("impl=%s/k=%d/r=%d", im.name, k, r), func(b *testing.B) {
+					pos := benchPositions(k, side)
+					buf := make([]uint64, 0, k)
+					src := rng.New(2024)
+					relabel := im.mk(r)
+					// Warm-up establishes the incremental pair cache's
+					// high-water mark so steady state is what gets timed.
+					for w := 0; w < 8; w++ {
+						walk.StepAll(g, pos, buf, src)
+						relabel(pos)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						walk.StepAll(g, pos, buf, src)
+						relabel(pos)
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationBruteForceK1024 keeps the all-pairs baseline in the
 // record; it is too slow to sweep past k=1024.
 func BenchmarkAblationBruteForceK1024(b *testing.B) {
@@ -221,11 +299,13 @@ func BenchmarkAblationBruteForceK1024(b *testing.B) {
 	}
 }
 
-// TestAblationBaselinesAgree pins all four implementations to each other at
+// TestAblationBaselinesAgree pins all five implementations to each other at
 // bench parameters: identical labels, not just partitions. Every
 // implementation assigns labels by first appearance in agent-index order —
 // a function of the partition alone — so label slices must match exactly
-// however the unions were ordered.
+// however the unions were ordered. (The radius sweep forces the incremental
+// labeller to rebuild each round; its stepped dirty-cell path is pinned by
+// the differential harness in differential_test.go.)
 func TestAblationBaselinesAgree(t *testing.T) {
 	t.Parallel()
 	pos := benchPositions(256, 128)
@@ -234,6 +314,8 @@ func TestAblationBaselinesAgree(t *testing.T) {
 	csr.SetParallelism(1)
 	par := NewLabeller(256)
 	par.SetParallelism(3)
+	inc := NewIncremental(256)
+	inc.SetParallelism(1)
 	slow := newBruteLabeller(256)
 	for _, r := range []int{0, 4, 8, 16} {
 		ml, mc := legacy.components(pos, r)
@@ -242,14 +324,16 @@ func TestAblationBaselinesAgree(t *testing.T) {
 		clCopy := append([]int32(nil), cl...)
 		pl, pc := par.Components(pos, r)
 		plCopy := append([]int32(nil), pl...)
+		il, ic := inc.Components(pos, r)
+		ilCopy := append([]int32(nil), il...)
 		sl, sc := slow.components(pos, r)
-		if mc != cc || cc != pc || pc != sc {
-			t.Fatalf("r=%d: counts differ map=%d csr=%d par=%d brute=%d", r, mc, cc, pc, sc)
+		if mc != cc || cc != pc || pc != ic || ic != sc {
+			t.Fatalf("r=%d: counts differ map=%d csr=%d par=%d inc=%d brute=%d", r, mc, cc, pc, ic, sc)
 		}
 		for i := range clCopy {
-			if clCopy[i] != mlCopy[i] || clCopy[i] != plCopy[i] || clCopy[i] != sl[i] {
-				t.Fatalf("r=%d: labels differ at %d: map=%d csr=%d par=%d brute=%d",
-					r, i, mlCopy[i], clCopy[i], plCopy[i], sl[i])
+			if clCopy[i] != mlCopy[i] || clCopy[i] != plCopy[i] || clCopy[i] != ilCopy[i] || clCopy[i] != sl[i] {
+				t.Fatalf("r=%d: labels differ at %d: map=%d csr=%d par=%d inc=%d brute=%d",
+					r, i, mlCopy[i], clCopy[i], plCopy[i], ilCopy[i], sl[i])
 			}
 		}
 	}

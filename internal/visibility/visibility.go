@@ -442,22 +442,10 @@ func (l *Labeller) Components(pos []grid.Point, r int) (labels []int32, count in
 	// Dense deterministic labels without allocation. The label of an agent
 	// depends only on which agents share its component — never on the
 	// union order — because first appearance is scanned in index order.
-	rl := l.rootLabel[:k]
-	for i := range rl {
-		rl[i] = -1
-	}
 	out := l.labels[:k]
-	next := int32(0)
-	for i := 0; i < k; i++ {
-		root := d.Find(i)
-		if rl[root] < 0 {
-			rl[root] = next
-			next++
-		}
-		out[i] = rl[root]
-	}
+	next := d.DenseLabels(out, l.rootLabel[:k])
 	l.prof.Lap(prof.Label)
-	return out, int(next)
+	return out, next
 }
 
 // FloorRadius converts a real-valued radius (such as Lemma 6's island

@@ -6,6 +6,7 @@ import (
 
 	"mobilenet/internal/grid"
 	"mobilenet/internal/rng"
+	"mobilenet/internal/walk"
 )
 
 // pt builds a grid.Point tersely for test fixtures.
@@ -299,6 +300,39 @@ func TestComponentsSteadyStateAllocs(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("r=%d: %v allocs per steady-state Components call, want 0", r, allocs)
 		}
+	}
+
+	// The incremental kernel carries the same pledge, on both of its
+	// steady-state paths: repeated calls with unchanged positions (empty
+	// moved set, cached labels) and stepped positions under the lazy walk
+	// (cell surgery plus frontier recheck, with periodic in-capacity
+	// rescans as the drift budget runs out).
+	for _, r := range []int{0, 1, 8} {
+		inc := NewIncremental(k)
+		inc.Components(pos, r)
+		allocs := testing.AllocsPerRun(20, func() {
+			inc.Components(pos, r)
+		})
+		if allocs != 0 {
+			t.Errorf("r=%d: %v allocs per static incremental call, want 0", r, allocs)
+		}
+	}
+	g := grid.MustNew(256)
+	walkSrc := rng.New(77)
+	buf := make([]uint64, 0, k)
+	stepped := NewIncremental(k)
+	for warm := 0; warm < 32; warm++ {
+		// Warm past the pair-cache high-water mark so measured rescans
+		// reuse capacity.
+		walk.StepAll(g, pos, buf, walkSrc)
+		stepped.Components(pos, 8)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		walk.StepAll(g, pos, buf, walkSrc)
+		stepped.Components(pos, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per stepped incremental call, want 0", allocs)
 	}
 }
 

@@ -99,6 +99,61 @@ func StepAll(g *grid.Grid, pos []grid.Point, buf []uint64, src *rng.Source) {
 	}
 }
 
+// StepAllMoved advances every position one lazy step exactly like StepAll
+// and additionally reports which agents actually changed position: the
+// indices of agents whose new position differs from their old one (a "stay"
+// outcome, or a direction clamped at the boundary, leaves an agent
+// unmoved) are appended to moved in ascending order and the extended slice
+// is returned.
+//
+// The kernel consumes the identical randomness stream as StepAll — and
+// therefore as len(pos) successive Step calls — under equal seeds; the
+// moved report is derived purely from the position comparison and never
+// touches the generator. TestStepAllMovedMatchesStepAll pins both
+// properties. The incremental connectivity kernel consumes the report to
+// skip index and relabel work for unmoved agents.
+func StepAllMoved(g *grid.Grid, pos []grid.Point, buf []uint64, src *rng.Source, moved []int32) []int32 {
+	buf = buf[:len(pos)]
+	for i := range buf {
+		u := src.Uint64()
+		for u == 0 {
+			u = src.Uint64()
+		}
+		buf[i] = u
+	}
+	edge := int32(g.Side()) - 1
+	for i, u := range buf {
+		outcome, _ := bits.Mul64(u, 5)
+		p := pos[i]
+		q := p
+		switch outcome {
+		case 0:
+			if q.X > 0 {
+				q.X--
+			}
+		case 1:
+			if q.X < edge {
+				q.X++
+			}
+		case 2:
+			if q.Y > 0 {
+				q.Y--
+			}
+		case 3:
+			if q.Y < edge {
+				q.Y++
+			}
+		default:
+			// stay
+		}
+		if q != p {
+			pos[i] = q
+			moved = append(moved, int32(i))
+		}
+	}
+	return moved
+}
+
 // SimpleStep advances a non-lazy simple-random-walk step: the agent always
 // moves, choosing uniformly among its nv grid neighbours.
 //

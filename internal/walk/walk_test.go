@@ -389,6 +389,55 @@ func TestStepAllMatchesStep(t *testing.T) {
 	}
 }
 
+// TestStepAllMovedMatchesStepAll pins the moved-reporting kernel to the
+// plain batched one: same seed, bit-identical trajectories, and a moved
+// report that is exactly the set of agents whose position changed — the
+// contract the incremental connectivity kernel and the coverage engine
+// build on. Tiny grids keep boundary clamping (an unmoved "move") hot.
+func TestStepAllMovedMatchesStepAll(t *testing.T) {
+	t.Parallel()
+	for _, side := range []int{1, 2, 3, 16, 64} {
+		g := grid.MustNew(side)
+		const k, steps = 37, 400
+		plainSrc := rng.New(4321)
+		movedSrc := rng.New(4321)
+		plain := make([]grid.Point, k)
+		withMoved := make([]grid.Point, k)
+		for i := range plain {
+			p := grid.Point{X: int32(i % side), Y: int32((i * 5) % side)}
+			plain[i], withMoved[i] = p, p
+		}
+		buf := make([]uint64, k)
+		moved := make([]int32, 0, k)
+		prev := make([]grid.Point, k)
+		for s := 0; s < steps; s++ {
+			copy(prev, withMoved)
+			StepAll(g, plain, buf, plainSrc)
+			moved = StepAllMoved(g, withMoved, buf, movedSrc, moved[:0])
+			for i := range plain {
+				if plain[i] != withMoved[i] {
+					t.Fatalf("side=%d t=%d agent %d: StepAllMoved %v != StepAll %v",
+						side, s, i, withMoved[i], plain[i])
+				}
+			}
+			j := 0
+			for i := range withMoved {
+				reported := j < len(moved) && moved[j] == int32(i)
+				if reported {
+					j++
+				}
+				if actually := withMoved[i] != prev[i]; actually != reported {
+					t.Fatalf("side=%d t=%d agent %d: moved=%v but reported=%v",
+						side, s, i, actually, reported)
+				}
+			}
+			if j != len(moved) {
+				t.Fatalf("side=%d t=%d: moved report not ascending or has extras: %v", side, s, moved)
+			}
+		}
+	}
+}
+
 func BenchmarkStep(b *testing.B) {
 	g := grid.MustNew(128)
 	src := rng.New(1)

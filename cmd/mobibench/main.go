@@ -21,6 +21,22 @@
 //	chaos   opt-in: cold-style submissions retried with capped
 //	        exponential backoff + jitter against a fault-injecting
 //	        server (-chaos, or an external daemon started with one)
+//	store   opt-in: resubmissions of a pre-warmed spec set against a
+//	        server whose LRU is too small to hold it, so nearly every
+//	        hit is served through the disk result store (internal/store);
+//	        boots its own store-armed in-process server unless -addr
+//	        names a daemon started with -store
+//	fleet   opt-in: unique-seed sweeps against a coordinator that shards
+//	        points across workers by rendezvous hash (internal/cluster);
+//	        boots its own two-worker in-process fleet unless -addr names
+//	        a daemon started with -coordinator
+//
+// -store-bench switches to the disk-store baseline recorder instead of the
+// workload phases: it measures the same point's end-to-end latency cold
+// (full simulation), LRU-warm (memory hit) and disk-warm (store hit after
+// a restart empties the LRU), plus fleet sweep throughput at 1, 2 and 4
+// workers, and writes BENCH_store.json — the standing baseline for the
+// distributed execution tier.
 //
 // The loop is closed: each client submits, waits for the result, then
 // submits again — so the reported throughput at concurrency -c is the
@@ -34,6 +50,8 @@
 //	go run ./cmd/mobibench -smoke          # CI: seconds, schema-validated, no file written
 //	go run ./cmd/mobibench -smoke -trace-out bench-trace.json   # plus a Perfetto-loadable trace
 //	go run ./cmd/mobibench -smoke -workloads chaos -chaos 'worker-panic:0.05'   # retry-path smoke
+//	go run ./cmd/mobibench -smoke -workloads store,fleet        # distributed-tier smoke
+//	go run ./cmd/mobibench -store-bench -out BENCH_store.json   # disk-store + fleet baseline
 //
 // -trace-out additionally records a client-side execution trace — one span
 // per request on a lane per (workload, client), capped per phase so long
@@ -61,8 +79,10 @@ import (
 	"time"
 
 	"mobilenet/internal/chaos"
+	"mobilenet/internal/cluster"
 	"mobilenet/internal/prof"
 	"mobilenet/internal/simserve"
+	"mobilenet/internal/store"
 	"mobilenet/internal/telemetry"
 )
 
@@ -75,23 +95,25 @@ func main() {
 
 // benchConfig is the parsed flag set.
 type benchConfig struct {
-	addr      string // base URL of a running mobiserved; "" = in-process
-	conc      int
-	duration  time.Duration
-	workloads []string
-	nodes     int
-	agents    int
-	out       string  // "-" = stdout; "" = validate only
-	traceOut  string  // "" = no trace export
-	smoke     bool
-	chaosSpec string  // fault-injection spec for the in-process server
-	rateLimit float64 // per-client rate limit for the in-process server
+	addr       string // base URL of a running mobiserved; "" = in-process
+	conc       int
+	duration   time.Duration
+	workloads  []string
+	nodes      int
+	agents     int
+	out        string // "-" = stdout; "" = validate only
+	traceOut   string // "" = no trace export
+	smoke      bool
+	storeBench bool    // record the BENCH_store.json baseline instead of workload phases
+	chaosSpec  string  // fault-injection spec for the in-process server
+	rateLimit  float64 // per-client rate limit for the in-process server
 }
 
-// knownWorkloads in report order. chaos is opt-in (not part of
-// defaultWorkloads): it expects a fault-injecting server and measures the
-// retry path, which would only muddy the standing baseline.
-var knownWorkloads = []string{"cold", "cached", "sweep", "series", "chaos"}
+// knownWorkloads in report order. chaos, store and fleet are opt-in (not
+// part of defaultWorkloads): chaos expects a fault-injecting server and
+// measures the retry path; store and fleet boot their own store-armed or
+// sharded backends — all three would only muddy the standing baseline.
+var knownWorkloads = []string{"cold", "cached", "sweep", "series", "chaos", "store", "fleet"}
 
 // defaultWorkloads are the phases a plain run benches.
 var defaultWorkloads = []string{"cold", "cached", "sweep", "series"}
@@ -117,6 +139,7 @@ func run(args []string, out io.Writer) error {
 		outPath   = fs.String("out", "BENCH_load.json", "baseline file to write ('-' = stdout)")
 		traceOut  = fs.String("trace-out", "", "export a client-side bench trace (Chrome trace-event JSON, validated before writing) to this file")
 		smoke     = fs.Bool("smoke", false, "CI smoke mode: short phases, validate the report schema, write no baseline (honours -addr)")
+		storeB    = fs.Bool("store-bench", false, "record the disk-store + fleet baseline (BENCH_store.json) instead of the workload phases")
 		chaosSpec = fs.String("chaos", "", "arm the in-process server with this fault-injection spec (see internal/chaos; ignored with -addr)")
 		rateLim   = fs.Float64("rate-limit", 0, "per-client rate limit for the in-process server (ignored with -addr)")
 	)
@@ -126,7 +149,7 @@ func run(args []string, out io.Writer) error {
 	cfg := benchConfig{
 		addr: normalizeAddr(*addr), conc: *conc, duration: *duration,
 		nodes: *nodes, agents: *agents, out: *outPath, traceOut: *traceOut, smoke: *smoke,
-		chaosSpec: *chaosSpec, rateLimit: *rateLim,
+		storeBench: *storeB, chaosSpec: *chaosSpec, rateLimit: *rateLim,
 	}
 	if cfg.smoke {
 		// Seconds, not minutes: every workload path is exercised, but just
@@ -138,6 +161,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if cfg.conc < 1 || cfg.duration <= 0 || cfg.nodes < 4 || cfg.agents < 1 {
 		return fmt.Errorf("c, d, nodes and agents must be positive (and nodes at least 4)")
+	}
+	if cfg.storeBench {
+		if cfg.out == "BENCH_load.json" {
+			cfg.out = "BENCH_store.json" // retarget the mode's default; an explicit -out wins
+		}
+		return runStoreBench(cfg, out)
 	}
 	for _, w := range strings.Split(*workloads, ",") {
 		w = strings.TrimSpace(w)
@@ -317,9 +346,12 @@ func writeBenchTrace(tr *prof.Trace, path string, progress io.Writer) error {
 // the closed loop for the configured duration, scrapes again, and folds
 // both views into the result.
 func runPhase(cl *client, name string, cfg benchConfig, tr *prof.Trace, phase int) (WorkloadResult, error) {
-	request, err := makeWorkload(cl, name, cfg)
+	request, cleanup, err := makeWorkload(cl, name, cfg)
 	if err != nil {
 		return WorkloadResult{}, err
+	}
+	if cleanup != nil {
+		defer cleanup()
 	}
 	before, err := cl.scrape()
 	if err != nil {
@@ -424,45 +456,99 @@ func runPhase(cl *client, name string, cfg benchConfig, tr *prof.Trace, phase in
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // makeWorkload returns the request function one closed-loop client calls
-// repeatedly, after any pre-warm the workload needs. Seeds come from a
-// package-level counter so every "unique" request is unique across the
-// whole bench run, phases included.
-func makeWorkload(cl *client, name string, cfg benchConfig) (func() error, error) {
+// repeatedly, after any pre-warm the workload needs, plus an optional
+// cleanup for workloads that boot their own backends (store, fleet). Seeds
+// come from a package-level counter so every "unique" request is unique
+// across the whole bench run, phases included.
+func makeWorkload(cl *client, name string, cfg benchConfig) (func() error, func(), error) {
 	spec := func(seed uint64) []byte {
 		return []byte(fmt.Sprintf(`{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d}`, cfg.nodes, cfg.agents, seed))
+	}
+	sweepSpec := func(seed uint64) []byte {
+		return []byte(fmt.Sprintf(
+			`{"base":{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d},"axes":[{"field":"agents","values":[%d,%d]}]}`,
+			cfg.nodes, cfg.agents, seed, cfg.agents, cfg.agents*2))
 	}
 	switch name {
 	case "cold":
 		return func() error {
 			_, err := cl.submitAndWait(spec(nextSeed()))
 			return err
-		}, nil
+		}, nil, nil
 	case "cached":
 		warm := spec(1)
 		if _, err := cl.submitAndWait(warm); err != nil {
-			return nil, fmt.Errorf("pre-warm: %w", err)
+			return nil, nil, fmt.Errorf("pre-warm: %w", err)
 		}
 		return func() error {
 			_, err := cl.submitAndWait(warm)
 			return err
-		}, nil
+		}, nil, nil
 	case "sweep":
 		return func() error {
-			seed := nextSeed()
-			body := fmt.Sprintf(
-				`{"base":{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d},"axes":[{"field":"agents","values":[%d,%d]}]}`,
-				cfg.nodes, cfg.agents, seed, cfg.agents, cfg.agents*2)
-			return cl.sweepAndWait([]byte(body))
-		}, nil
+			return cl.sweepAndWait(sweepSpec(nextSeed()))
+		}, nil, nil
 	case "series":
 		observed := []byte(fmt.Sprintf(
 			`{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":2,"observe":{"observables":["informed"],"every":4}}`,
 			cfg.nodes, cfg.agents))
 		hash, err := cl.submitAndWait(observed)
 		if err != nil {
-			return nil, fmt.Errorf("pre-warm: %w", err)
+			return nil, nil, fmt.Errorf("pre-warm: %w", err)
 		}
-		return func() error { return cl.getSeries(hash) }, nil
+		return func() error { return cl.getSeries(hash) }, nil, nil
+	case "store":
+		// The disk-hit path: a pre-warmed spec set resubmitted against a
+		// server whose LRU holds only two entries, so nearly every answer
+		// reads through to the content-addressed disk store. With -addr the
+		// external daemon is assumed to carry -store (and its own -cache).
+		target, cleanup := cl, func() {}
+		if cfg.addr == "" {
+			base, shutdown, err := startStoreServer()
+			if err != nil {
+				return nil, nil, err
+			}
+			cleanup = shutdown
+			target = newClient(base, cfg.conc)
+			if err := target.waitHealthy(10 * time.Second); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		const specSet = 32
+		specs := make([][]byte, specSet)
+		for i := range specs {
+			specs[i] = spec(nextSeed())
+			if _, err := target.submitAndWait(specs[i]); err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("pre-warm: %w", err)
+			}
+		}
+		var next atomic.Uint64
+		return func() error {
+			_, err := target.submitAndWait(specs[next.Add(1)%specSet])
+			return err
+		}, cleanup, nil
+	case "fleet":
+		// Unique-seed two-point sweeps against a coordinator: each point is
+		// dispatched to its rendezvous home over real HTTP. With -addr the
+		// external daemon is assumed to run -coordinator.
+		target, cleanup := cl, func() {}
+		if cfg.addr == "" {
+			base, shutdown, err := startFleet(2)
+			if err != nil {
+				return nil, nil, err
+			}
+			cleanup = shutdown
+			target = newClient(base, cfg.conc)
+			if err := target.waitHealthy(10 * time.Second); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+		}
+		return func() error {
+			return target.sweepAndWait(sweepSpec(nextSeed()))
+		}, cleanup, nil
 	case "chaos":
 		// The resilience workload: cold-style submissions against a
 		// fault-injecting server, retried the way a well-behaved client
@@ -488,9 +574,9 @@ func makeWorkload(cl *client, name string, cfg benchConfig) (func() error, error
 				}
 			}
 			return fmt.Errorf("%d attempts exhausted: %w", chaosRetryAttempts, lastErr)
-		}, nil
+		}, nil, nil
 	}
-	return nil, fmt.Errorf("unknown workload %q", name)
+	return nil, nil, fmt.Errorf("unknown workload %q", name)
 }
 
 // Chaos-workload retry policy: a handful of attempts, exponential backoff
@@ -545,6 +631,320 @@ func startLocal(cfg benchConfig) (string, func(), error) {
 		svc.Shutdown(ctx)
 	}
 	return "http://" + l.Addr().String(), shutdown, nil
+}
+
+// serveOne puts a service behind a loopback HTTP listener and returns the
+// base URL plus a shutdown that drains both layers.
+func serveOne(svc *simserve.Server) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: svc}
+	go hs.Serve(l)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		svc.Shutdown(ctx)
+	}
+	return "http://" + l.Addr().String(), shutdown, nil
+}
+
+// startStoreServer boots an in-process server with a disk result store in
+// a throwaway directory and an LRU deliberately too small (2 entries) to
+// answer the store workload's 32-spec set from memory.
+func startStoreServer() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "mobibench-store-")
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := store.Open(dir, 1<<30)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	svc := simserve.New(simserve.Config{CacheEntries: 2, Store: st, DefaultDeadline: requestBudget})
+	base, shutdown, err := serveOne(svc)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return base, func() { shutdown(); os.RemoveAll(dir) }, nil
+}
+
+// startFleet boots n in-process workers plus a coordinator sharding sweep
+// points across them — the same wiring cmd/mobiserved -coordinator uses —
+// and returns the coordinator's base URL and a fleet-wide shutdown.
+func startFleet(n int) (string, func(), error) {
+	var shutdowns []func()
+	shutdownAll := func() {
+		// Coordinator first: it stops dispatching before its workers go away.
+		for i := len(shutdowns) - 1; i >= 0; i-- {
+			shutdowns[i]()
+		}
+	}
+	fail := func(err error) (string, func(), error) {
+		shutdownAll()
+		return "", nil, err
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		base, shutdown, err := serveOne(simserve.New(simserve.Config{DefaultDeadline: requestBudget}))
+		if err != nil {
+			return fail(err)
+		}
+		shutdowns = append(shutdowns, shutdown)
+		addrs = append(addrs, strings.TrimPrefix(base, "http://"))
+	}
+	var coord *simserve.Server
+	exec, err := cluster.New(cluster.Config{
+		Workers: addrs,
+		Lookup:  func(hash string) ([]byte, bool) { return coord.Result(hash) },
+		Persist: func(hash string, payload []byte) { coord.PutResult(hash, payload) },
+	})
+	if err != nil {
+		return fail(err)
+	}
+	coord = simserve.New(simserve.Config{Executor: exec, DefaultDeadline: requestBudget})
+	base, shutdown, err := serveOne(coord)
+	if err != nil {
+		return fail(err)
+	}
+	shutdowns = append(shutdowns, shutdown)
+	return base, shutdownAll, nil
+}
+
+// StoreReport is the BENCH_store.json schema: the same point measured
+// through each cache tier, plus fleet sweep throughput as workers scale.
+type StoreReport struct {
+	Description     string               `json:"description"`
+	Recorded        string               `json:"recorded"`
+	Environment     Environment          `json:"environment"`
+	Config          StoreRunConfig       `json:"config"`
+	PointLatencyMS  map[string]Quantiles `json:"point_latency_ms"`
+	FleetThroughput []FleetPoint         `json:"fleet_throughput"`
+	Notes           string               `json:"notes"`
+}
+
+// StoreRunConfig records the store-bench shape.
+type StoreRunConfig struct {
+	Points      int     `json:"points"` // distinct specs in the latency set
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s"` // per fleet-throughput rung
+	Nodes       int     `json:"nodes"`
+	Agents      int     `json:"agents"`
+}
+
+// FleetPoint is one fleet-throughput rung: closed-loop unique-seed
+// two-point sweeps against a coordinator with that many workers.
+type FleetPoint struct {
+	Workers    int     `json:"workers"`
+	Sweeps     uint64  `json:"sweeps"`
+	SweepsPerS float64 `json:"sweeps_per_s"`
+	PointsPerS float64 `json:"points_per_s"`
+}
+
+// fleetRungs are the worker counts the store bench ladders through.
+var fleetRungs = []int{1, 2, 4}
+
+// runStoreBench records the BENCH_store.json baseline: each cache tier's
+// point latency (cold = full simulation; lru_warm = memory hit; disk_warm
+// = store hit on a restarted server whose LRU starts empty), then fleet
+// sweep throughput at 1, 2 and 4 workers.
+func runStoreBench(cfg benchConfig, out io.Writer) error {
+	points := 64
+	if cfg.smoke {
+		points = 8
+	}
+	dir, err := os.MkdirTemp("", "mobibench-storebench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	openServer := func() (*client, func(), error) {
+		st, err := store.Open(dir, 1<<30)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, shutdown, err := serveOne(simserve.New(simserve.Config{Store: st, DefaultDeadline: requestBudget}))
+		if err != nil {
+			return nil, nil, err
+		}
+		cl := newClient(base, cfg.conc)
+		if err := cl.waitHealthy(10 * time.Second); err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		return cl, shutdown, nil
+	}
+	seeds := make([]uint64, points)
+	for i := range seeds {
+		seeds[i] = nextSeed()
+	}
+	spec := func(seed uint64) []byte {
+		return []byte(fmt.Sprintf(`{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d}`, cfg.nodes, cfg.agents, seed))
+	}
+	measure := func(cl *client, class string) (Quantiles, error) {
+		var hist telemetry.Histogram
+		for _, seed := range seeds {
+			t0 := time.Now()
+			if _, err := cl.submitAndWait(spec(seed)); err != nil {
+				return Quantiles{}, fmt.Errorf("%s point: %w", class, err)
+			}
+			hist.Record(time.Since(t0))
+		}
+		return Quantiles{
+			P50:  ms(hist.Quantile(0.50)),
+			P90:  ms(hist.Quantile(0.90)),
+			P99:  ms(hist.Quantile(0.99)),
+			Mean: hist.Sum().Seconds() * 1e3 / float64(points),
+		}, nil
+	}
+
+	fmt.Fprintf(out, "mobibench: store tiers (%d points)\n", points)
+	cl, shutdown, err := openServer()
+	if err != nil {
+		return err
+	}
+	cold, err := measure(cl, "cold")
+	if err != nil {
+		shutdown()
+		return err
+	}
+	lru, err := measure(cl, "lru_warm")
+	if err != nil {
+		shutdown()
+		return err
+	}
+	shutdown() // flushes the write-behind spill; the store now holds every point
+	cl, shutdown, err = openServer()
+	if err != nil {
+		return err
+	}
+	disk, err := measure(cl, "disk_warm")
+	shutdown()
+	if err != nil {
+		return err
+	}
+
+	report := &StoreReport{
+		Description: fmt.Sprintf(
+			"Distributed execution tier baseline. point_latency_ms measures the same %d distinct scenario points end to end through each cache tier: cold (first submission, full simulation), lru_warm (resubmission answered by the in-memory LRU), disk_warm (resubmission against a restarted server whose LRU starts empty, answered through the content-addressed disk store). fleet_throughput is closed-loop unique-seed two-point sweeps at concurrency %d for %s against an in-process coordinator sharding points by rendezvous hash across 1, 2 and 4 workers. Regenerate with: go run ./cmd/mobibench -store-bench -out BENCH_store.json",
+			points, cfg.conc, cfg.duration),
+		Recorded: time.Now().Format("2006-01-02"),
+		Environment: Environment{
+			Goos: runtime.GOOS, Goarch: runtime.GOARCH,
+			GoVersion: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0),
+		},
+		Config: StoreRunConfig{
+			Points: points, Concurrency: cfg.conc,
+			DurationS: cfg.duration.Seconds(), Nodes: cfg.nodes, Agents: cfg.agents,
+		},
+		PointLatencyMS: map[string]Quantiles{"cold": cold, "lru_warm": lru, "disk_warm": disk},
+		Notes:          "The cold/disk_warm gap is what a restart no longer costs (ROADMAP item 1: results survive the process); the disk_warm/lru_warm gap is the price of a store read-through vs a memory hit. Fleet rungs all run the same in-process workers on one machine, so points_per_s scaling understates what distinct hosts would give — the rung structure (1 vs 2 vs 4) is the comparable shape, not the absolute numbers.",
+	}
+
+	for _, n := range fleetRungs {
+		fmt.Fprintf(out, "mobibench: fleet rung (%d workers, c=%d, %s)\n", n, cfg.conc, cfg.duration)
+		base, stopFleet, err := startFleet(n)
+		if err != nil {
+			return err
+		}
+		tcl := newClient(base, cfg.conc)
+		if err := tcl.waitHealthy(10 * time.Second); err != nil {
+			stopFleet()
+			return err
+		}
+		var sweeps atomic.Uint64
+		var firstErr atomic.Value
+		deadline := time.Now().Add(cfg.duration)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					body := fmt.Sprintf(
+						`{"base":{"engine":"broadcast","nodes":%d,"agents":%d,"reps":1,"seed":%d},"axes":[{"field":"agents","values":[%d,%d]}]}`,
+						cfg.nodes, cfg.agents, nextSeed(), cfg.agents, cfg.agents*2)
+					if err := tcl.sweepAndWait([]byte(body)); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					sweeps.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		stopFleet()
+		if err, _ := firstErr.Load().(error); err != nil {
+			return fmt.Errorf("fleet rung %d: %w", n, err)
+		}
+		done := sweeps.Load()
+		if done == 0 {
+			return fmt.Errorf("fleet rung %d completed no sweeps within %s", n, cfg.duration)
+		}
+		rate := float64(done) / elapsed.Seconds()
+		report.FleetThroughput = append(report.FleetThroughput, FleetPoint{
+			Workers: n, Sweeps: done, SweepsPerS: rate, PointsPerS: 2 * rate,
+		})
+	}
+
+	if err := validateStoreReport(report); err != nil {
+		return fmt.Errorf("store report failed schema validation: %w", err)
+	}
+	encoded, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	encoded = append(encoded, '\n')
+	switch cfg.out {
+	case "":
+		fmt.Fprintf(out, "mobibench: store-bench schema ok, nothing written\n")
+	case "-":
+		out.Write(encoded)
+	default:
+		if err := os.WriteFile(cfg.out, encoded, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mobibench: wrote %s\n", cfg.out)
+	}
+	return nil
+}
+
+// validateStoreReport checks the BENCH_store.json invariants the schema
+// pin and CI rely on: the regeneration command, every cache tier present
+// with ordered positive quantiles, and one positive throughput rung per
+// fleet size.
+func validateStoreReport(r *StoreReport) error {
+	if !strings.Contains(r.Description, "go run ./cmd/mobibench -store-bench") {
+		return fmt.Errorf("description lacks the regeneration command")
+	}
+	if r.Recorded == "" {
+		return fmt.Errorf("recorded date missing")
+	}
+	for _, tier := range []string{"cold", "lru_warm", "disk_warm"} {
+		q, ok := r.PointLatencyMS[tier]
+		if !ok {
+			return fmt.Errorf("point_latency_ms misses tier %q", tier)
+		}
+		if q.P50 <= 0 || q.P90 < q.P50 || q.P99 < q.P90 {
+			return fmt.Errorf("tier %q quantiles degenerate: %+v", tier, q)
+		}
+	}
+	if len(r.FleetThroughput) != len(fleetRungs) {
+		return fmt.Errorf("fleet_throughput has %d rungs, want %d", len(r.FleetThroughput), len(fleetRungs))
+	}
+	for i, fp := range r.FleetThroughput {
+		if fp.Workers != fleetRungs[i] || fp.Sweeps == 0 || fp.SweepsPerS <= 0 || fp.PointsPerS <= 0 {
+			return fmt.Errorf("fleet rung %d degenerate: %+v", i, fp)
+		}
+	}
+	return nil
 }
 
 // client is a thin HTTP client over the service API with the polling

@@ -98,6 +98,106 @@ func TestWritesBaselineFile(t *testing.T) {
 	}
 }
 
+// TestDistributedWorkloadsSmoke drives the store and fleet workloads at
+// smoke scale: each boots its own backend (store-armed server, two-worker
+// fleet) and must produce a schema-valid phase.
+func TestDistributedWorkloadsSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-workloads", "store,fleet"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "schema ok") {
+		t.Errorf("smoke output missing validation line:\n%s", out.String())
+	}
+}
+
+// TestStoreBenchSmoke runs the BENCH_store.json recorder end to end at
+// smoke scale (8 points, short fleet rungs) and checks it validates its
+// own report without writing anything.
+func TestStoreBenchSmoke(t *testing.T) {
+	t.Parallel()
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-store-bench"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "store-bench schema ok") {
+		t.Errorf("store-bench output missing validation line:\n%s", out.String())
+	}
+}
+
+// TestBenchStoreBaselineSchema pins the standing BENCH_store.json at the
+// repo root, mirroring the BENCH_phases.json pin: regeneration command,
+// parseable date, every cache tier with ordered quantiles, and the fleet
+// ladder at its fixed rungs.
+func TestBenchStoreBaselineSchema(t *testing.T) {
+	t.Parallel()
+	data, err := os.ReadFile("../../BENCH_store.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep StoreReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateStoreReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := time.Parse("2006-01-02", rep.Recorded); err != nil {
+		t.Errorf("recorded date %q: %v", rep.Recorded, err)
+	}
+	// The tiers must relate the way the architecture promises: a memory or
+	// disk hit beats re-running the simulation. The margin is large (a
+	// cache hit is one round trip; cold includes a full run plus polling),
+	// so the pin survives noisy hardware.
+	cold, lru, disk := rep.PointLatencyMS["cold"], rep.PointLatencyMS["lru_warm"], rep.PointLatencyMS["disk_warm"]
+	if lru.P50 >= cold.P50 {
+		t.Errorf("lru_warm p50 %.3fms not faster than cold p50 %.3fms", lru.P50, cold.P50)
+	}
+	if disk.P50 >= cold.P50 {
+		t.Errorf("disk_warm p50 %.3fms not faster than cold p50 %.3fms", disk.P50, cold.P50)
+	}
+	if !strings.Contains(rep.Notes, "ROADMAP") {
+		t.Error("notes do not tie the baseline to its roadmap item")
+	}
+}
+
+func TestValidateStoreReport(t *testing.T) {
+	t.Parallel()
+	good := func() *StoreReport {
+		return &StoreReport{
+			Description: "x. Regenerate with: go run ./cmd/mobibench -store-bench -out BENCH_store.json",
+			Recorded:    time.Now().Format("2006-01-02"),
+			PointLatencyMS: map[string]Quantiles{
+				"cold": {P50: 2, P90: 3, P99: 4}, "lru_warm": {P50: 0.1, P90: 0.2, P99: 0.3},
+				"disk_warm": {P50: 0.2, P90: 0.4, P99: 0.6},
+			},
+			FleetThroughput: []FleetPoint{
+				{Workers: 1, Sweeps: 10, SweepsPerS: 5, PointsPerS: 10},
+				{Workers: 2, Sweeps: 20, SweepsPerS: 10, PointsPerS: 20},
+				{Workers: 4, Sweeps: 30, SweepsPerS: 15, PointsPerS: 30},
+			},
+		}
+	}
+	if err := validateStoreReport(good()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	for name, breakIt := range map[string]func(*StoreReport){
+		"missing regen command": func(r *StoreReport) { r.Description = "nope" },
+		"missing tier":          func(r *StoreReport) { delete(r.PointLatencyMS, "disk_warm") },
+		"inverted quantiles":    func(r *StoreReport) { r.PointLatencyMS["cold"] = Quantiles{P50: 4, P90: 3, P99: 2} },
+		"missing rung":          func(r *StoreReport) { r.FleetThroughput = r.FleetThroughput[:2] },
+		"wrong rung order":      func(r *StoreReport) { r.FleetThroughput[0].Workers = 2 },
+		"zero throughput":       func(r *StoreReport) { r.FleetThroughput[1].SweepsPerS = 0 },
+	} {
+		r := good()
+		breakIt(r)
+		if err := validateStoreReport(r); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
 func TestValidateReport(t *testing.T) {
 	t.Parallel()
 	good := func() *Report {

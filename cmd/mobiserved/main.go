@@ -51,12 +51,30 @@
 // latency — for resilience testing against a live daemon; see
 // EXPERIMENTS.md, "Breaking the server on purpose".
 //
+// The daemon scales past one process along two axes (internal/store,
+// internal/cluster; see DESIGN.md §15). -store DIR arms a disk-backed,
+// content-hash-addressed result store as a spill tier under the LRU:
+// evicted and computed payloads persist (fsync + checksum framing, bounded
+// by -store-cap with oldest-first eviction), so a restarted daemon serves
+// previously computed points from disk instead of re-running them.
+// -coordinator host:port,... turns the process into a fleet coordinator:
+// sweeps are expanded exactly as in a single process, then each distinct
+// point is dispatched to the worker that wins its rendezvous hash — one
+// home per point fleet-wide, so overlapping sweeps from many clients
+// converge on one execution per distinct point. A worker that stops
+// answering has its points re-routed to the next worker in their hash
+// order (bounded retries with jittered exponential backoff,
+// mobiserved_points_rerouted_total counts the failovers), and a /healthz
+// probe loop clears recovered workers early. The flag is the worker list
+// because -workers already names the local pool size.
+//
 // Usage:
 //
 //	mobiserved -addr :8080 -workers 8 -queue 256 -cache 256 -sweep-points 1024 -series-points 1048576 \
 //	           -log-level info -slow-ms 1000 -pprof \
 //	           -default-deadline 0 -max-deadline 0 -rate-limit 0 -rate-burst 0 \
-//	           -shutdown-timeout 0 -chaos ''
+//	           -shutdown-timeout 0 -chaos '' \
+//	           -store '' -store-cap 1073741824 -coordinator '' -probe-interval 2s
 //
 // Quickstart:
 //
@@ -88,12 +106,15 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mobilenet/internal/chaos"
+	"mobilenet/internal/cluster"
 	"mobilenet/internal/simserve"
+	"mobilenet/internal/store"
 	"mobilenet/internal/telemetry"
 )
 
@@ -109,6 +130,8 @@ func main() {
 // serveOpts bundles everything serve needs beyond the service config.
 type serveOpts struct {
 	cfg      simserve.Config
+	fleet    []string      // coordinator mode: worker addresses to shard sweeps across
+	probe    time.Duration // worker health-probe interval (coordinator mode)
 	grace    time.Duration // drain budget: HTTP requests finish, queue drains
 	shutdown time.Duration // hard bound: past this, in-flight jobs are cancelled; 0 = grace
 	pprof    bool          // mount /debug/pprof/
@@ -135,6 +158,10 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		rateLimit    = fs.Float64("rate-limit", 0, "per-client submissions per second; over-limit requests get 429 + Retry-After (0 disables)")
 		rateBurst    = fs.Int("rate-burst", 0, "per-client submission burst (0 = one second's worth of -rate-limit)")
 		chaosSpec    = fs.String("chaos", "", "fault-injection spec, e.g. 'worker-panic:0.05,slow-step:0.02:1ms' (see internal/chaos; empty disables)")
+		storeDir     = fs.String("store", "", "disk result-store directory: spill tier under the LRU, survives restarts (empty disables)")
+		storeCap     = fs.Int64("store-cap", 1<<30, "disk result-store size bound in bytes; oldest entries are evicted past it")
+		coordinators = fs.String("coordinator", "", "coordinator mode: comma-separated worker addresses (host:port) to shard sweep points across (empty = run as a plain worker)")
+		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "coordinator worker /healthz probe interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,6 +172,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if *defDeadline < 0 || *maxDeadline < 0 || *shutdownTO < 0 || *rateLimit < 0 || *rateBurst < 0 {
 		return fmt.Errorf("default-deadline, max-deadline, shutdown-timeout, rate-limit and rate-burst must be non-negative")
 	}
+	if *storeDir != "" && *storeCap <= 0 {
+		return fmt.Errorf("store-cap must be positive when -store is set")
+	}
+	if *probeEvery <= 0 {
+		return fmt.Errorf("probe-interval must be positive")
+	}
+	fleet := splitFleet(*coordinators)
+	if *coordinators != "" && len(fleet) == 0 {
+		return fmt.Errorf("coordinator flag %q names no worker addresses", *coordinators)
+	}
 	level, err := parseLogLevel(*logLevel)
 	if err != nil {
 		return err
@@ -152,6 +189,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	injector, err := chaos.Parse(*chaosSpec)
 	if err != nil {
 		return err
+	}
+	var diskStore *store.Store
+	if *storeDir != "" {
+		diskStore, err = store.Open(*storeDir, *storeCap)
+		if err != nil {
+			return fmt.Errorf("opening result store: %w", err)
+		}
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -164,14 +208,28 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			MaxSweepPoints: *sweepPoints, MaxSeriesPoints: *seriesPoints,
 			DefaultDeadline: *defDeadline, MaxDeadline: *maxDeadline,
 			RateLimit: *rateLimit, RateBurst: *rateBurst,
-			Chaos: injector,
+			Chaos: injector, Store: diskStore,
 		},
+		fleet:    fleet,
+		probe:    *probeEvery,
 		grace:    *grace,
 		shutdown: *shutdownTO,
 		pprof:    *pprofFlag,
 		slow:     time.Duration(*slowMS) * time.Millisecond,
 		logger:   logger,
 	}, out)
+}
+
+// splitFleet parses the -coordinator worker list: comma-separated
+// addresses, whitespace tolerated, empties dropped.
+func splitFleet(s string) []string {
+	var fleet []string
+	for _, part := range strings.Split(s, ",") {
+		if addr := strings.TrimSpace(part); addr != "" {
+			fleet = append(fleet, addr)
+		}
+	}
+	return fleet
 }
 
 // parseLogLevel maps the -log-level flag onto a slog level.
@@ -193,8 +251,55 @@ func parseLogLevel(s string) (slog.Level, error) {
 // then shuts down gracefully: in-flight HTTP requests finish, the queue
 // drains, and the worker pool exits, all within the grace budget.
 func serve(ctx context.Context, l net.Listener, opts serveOpts, out *os.File) error {
-	svc := simserve.New(opts.cfg)
+	// Coordinator mode: sweeps shard across the fleet instead of the local
+	// pool. The executor's hooks close over svc and the telemetry handles,
+	// both assigned below before the listener accepts its first request —
+	// nothing dispatches a point until a sweep arrives over HTTP.
+	var (
+		svc      *simserve.Server
+		exec     *cluster.Executor
+		rerouted *telemetry.Counter
+		dispatch = make(map[string]*telemetry.Histogram, len(opts.fleet))
+	)
+	if len(opts.fleet) > 0 {
+		var err error
+		exec, err = cluster.New(cluster.Config{
+			Workers: opts.fleet,
+			Lookup:  func(hash string) ([]byte, bool) { return svc.Result(hash) },
+			Persist: func(hash string, payload []byte) { svc.PutResult(hash, payload) },
+			OnReroute: func(worker string) {
+				rerouted.Inc()
+				opts.logger.Warn("worker abandoned; points re-routed", "worker", worker)
+			},
+			OnDispatch: func(worker string, d time.Duration) { dispatch[worker].Record(d) },
+		})
+		if err != nil {
+			return err
+		}
+		opts.cfg.Executor = exec
+	}
+	svc = simserve.New(opts.cfg)
 	registerProcessMetrics(svc.Metrics())
+	if exec != nil {
+		m := svc.Metrics()
+		rerouted = m.Counter("mobiserved_points_rerouted_total",
+			"Sweep-point failovers: a worker exhausted its retry budget and its points moved to the next worker in their rendezvous order.")
+		for _, w := range opts.fleet {
+			dispatch[w] = m.Histogram("mobiserved_worker_dispatch_seconds",
+				"End-to-end remote point dispatch latency (submit, poll, fetch) per worker.",
+				telemetry.Label{Name: "worker", Value: w})
+		}
+		m.IntGaugeFunc("mobiserved_fleet_workers",
+			"Workers configured on this coordinator.",
+			func() int64 { return int64(len(opts.fleet)) })
+		m.IntGaugeFunc("mobiserved_fleet_healthy_workers",
+			"Workers not currently marked down.",
+			func() int64 { return int64(exec.Healthy()) })
+		probeStop := make(chan struct{})
+		go exec.ProbeLoop(probeStop, opts.probe)
+		defer close(probeStop)
+		fmt.Fprintf(out, "mobiserved coordinating %d workers: %s\n", len(opts.fleet), strings.Join(opts.fleet, ", "))
+	}
 	var handler http.Handler = requestLogger(svc, opts.logger, opts.slow)
 	if opts.pprof {
 		// Explicit handler registration instead of the package's

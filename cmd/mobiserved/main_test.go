@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mobilenet/internal/simserve"
+	"mobilenet/internal/store"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -27,6 +28,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-log-level", "loud"},
 		{"-definitely-not-a-flag"},
 		{"-addr", "not-an-address:-1:-1"},
+		{"-store", "/tmp/x", "-store-cap", "0"},
+		{"-probe-interval", "-1s"},
+		{"-coordinator", " , "},
 	} {
 		if err := run(context.Background(), args, os.Stdout); err == nil {
 			t.Errorf("args %v accepted", args)
@@ -174,6 +178,186 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("serve did not shut down")
+	}
+}
+
+// TestSplitFleet pins the -coordinator list parsing.
+func TestSplitFleet(t *testing.T) {
+	t.Parallel()
+	got := splitFleet(" w1:8081, w2:8082 ,,w3:8083")
+	want := []string{"w1:8081", "w2:8082", "w3:8083"}
+	if len(got) != len(want) {
+		t.Fatalf("splitFleet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitFleet = %v, want %v", got, want)
+		}
+	}
+	if splitFleet("") != nil {
+		t.Fatal("empty list should parse to nil")
+	}
+}
+
+// startDaemon boots one daemon through the real serve path on an ephemeral
+// port and returns its base URL plus a shutdown func.
+func startDaemon(t *testing.T, opts serveOpts) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.logger == nil {
+		opts.logger = testLogger(&syncBuffer{}, slog.LevelError)
+	}
+	if opts.grace == 0 {
+		opts.grace = 30 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, opts, os.Stdout) }()
+	base := "http://" + l.Addr().String()
+	waitHealthy(t, base)
+	return base, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve returned %v on shutdown", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("serve did not shut down")
+		}
+	}
+}
+
+// TestServeCoordinatorEndToEnd boots two workers and a coordinator through
+// the real daemon path and drives a sweep over HTTP: the coordinator must
+// shard, assemble, and expose the fleet metric families.
+func TestServeCoordinatorEndToEnd(t *testing.T) {
+	t.Parallel()
+	w1, stop1 := startDaemon(t, serveOpts{cfg: simserve.Config{Workers: 2}})
+	defer stop1()
+	w2, stop2 := startDaemon(t, serveOpts{cfg: simserve.Config{Workers: 2}})
+	defer stop2()
+	coord, stopC := startDaemon(t, serveOpts{
+		cfg:   simserve.Config{Workers: 2},
+		fleet: []string{strings.TrimPrefix(w1, "http://"), strings.TrimPrefix(w2, "http://")},
+		probe: 50 * time.Millisecond,
+	})
+	defer stopC()
+
+	resp, err := http.Post(coord+"/v1/sweeps", "application/json", strings.NewReader(
+		`{"base":{"engine":"broadcast","nodes":256,"agents":8,"radius":1,"seed":1,"metrics":["curve"]},
+		  "axes":[{"field":"seed","from":1,"to":4,"step":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticket struct {
+		SweepID string `json:"sweep_id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ticket)
+	resp.Body.Close()
+	if err != nil || ticket.SweepID == "" {
+		t.Fatalf("sweep ticket: %+v err %v", ticket, err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		body, code := getBody(t, coord+"/v1/sweeps/"+ticket.SweepID)
+		if code != http.StatusOK {
+			t.Fatalf("sweep poll: status %d", code)
+		}
+		if strings.Contains(body, `"status":"done"`) {
+			break
+		}
+		if strings.Contains(body, `"status":"failed"`) || time.Now().After(deadline) {
+			t.Fatalf("sweep did not complete: %.400s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	metrics, code := getBody(t, coord+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"mobiserved_fleet_workers 2",
+		"mobiserved_fleet_healthy_workers 2",
+		"mobiserved_points_rerouted_total 0",
+		"mobiserved_worker_dispatch_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("coordinator metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeStoreSurvivesRestart pins the daemon-level durability claim: a
+// result computed before a restart is served as cached after it, because
+// the disk store under the LRU outlives the process.
+func TestServeStoreSurvivesRestart(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	spec := `{"engine":"broadcast","nodes":256,"agents":8,"radius":1,"seed":9}`
+
+	open := func() (string, func()) {
+		st, err := store.Open(dir, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return startDaemon(t, serveOpts{cfg: simserve.Config{Workers: 2, Store: st}})
+	}
+
+	base, stop := open()
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticket struct {
+		Hash   string `json:"hash"`
+		Cached bool   `json:"cached"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ticket)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before []byte
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		body, code := getBody(t, base+"/v1/results/"+ticket.Hash)
+		if code == http.StatusOK {
+			before = []byte(body)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(before) == 0 {
+		t.Fatal("job never finished")
+	}
+	stop() // flushes the write-behind spill on shutdown
+
+	base2, stop2 := open()
+	defer stop2()
+	resp, err = http.Post(base2+"/v1/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticket2 struct {
+		Hash   string `json:"hash"`
+		Cached bool   `json:"cached"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ticket2)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ticket2.Cached {
+		t.Fatal("restarted daemon re-ran a point the disk store already holds")
+	}
+	after, code := getBody(t, base2+"/v1/results/"+ticket2.Hash)
+	if code != http.StatusOK || after != string(before) {
+		t.Fatalf("payload changed across restart (status %d, %d vs %d bytes)", code, len(after), len(before))
 	}
 }
 

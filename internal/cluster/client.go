@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mobilenet/internal/scenario"
+	"mobilenet/internal/simserve"
+)
+
+// errPermanent wraps failures no amount of retrying or re-routing fixes —
+// the worker understood the request and rejected it (4xx), or the job ran
+// and failed. Re-running the same spec elsewhere would fail identically
+// (execution is deterministic), so the executor surfaces these instead of
+// burning the failover chain on them.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// permanent reports whether err came from the permanent class.
+func permanent(err error) bool {
+	var p errPermanent
+	return errors.As(err, &p)
+}
+
+// Poll pacing for a dispatched job: start tight (points at sweep scale are
+// often milliseconds) and back off to a cap so long points do not hammer
+// the worker.
+const (
+	pollBase = 2 * time.Millisecond
+	pollCap  = 100 * time.Millisecond
+)
+
+// queueFullRetry paces resubmission against a worker's full run queue.
+// Backpressure is flow control, not failure: the worker is alive and
+// draining, so the client waits rather than triggering failover (which
+// would break the one-home-per-point dedup for no capacity gain).
+const queueFullRetry = 5 * time.Millisecond
+
+// Client speaks the mobiserved HTTP API to one worker. The zero value is
+// unusable; construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the worker at addr (host:port or a full
+// http:// base URL). The http.Client bounds each round trip, not a whole
+// job's run: polls are individual requests.
+func NewClient(addr string, hc *http.Client) *Client {
+	base := addr
+	if len(base) < 7 || base[:7] != "http://" {
+		base = "http://" + base
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// Addr returns the worker's base URL.
+func (c *Client) Addr() string { return c.base }
+
+// Healthy probes the worker's liveness endpoint.
+func (c *Client) Healthy() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: worker %s health %d", c.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// RunPoint executes one canonical spec on the worker end to end: submit,
+// absorb queue-full backpressure, poll the job, and fetch the result
+// payload by hash — the exact bytes the worker computed and cached.
+// cancelled aborts between round trips (the job keeps running on the
+// worker; its result stays in the worker's cache for whoever asks next).
+// The returned cached flag reports the worker answered without running
+// anything. Errors are permanent (errPermanent: 4xx, failed or cancelled
+// jobs) or transient (everything else — transport failures, 5xx); the
+// caller owns retry and failover policy.
+func (c *Client) RunPoint(spec scenario.Spec, cancelled func() bool) (payload []byte, cached bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, errPermanent{err}
+	}
+	var ticket simserve.Ticket
+	for {
+		status, err := c.postJSON("/v1/run", body, &ticket)
+		if err != nil {
+			return nil, false, err
+		}
+		if status == http.StatusServiceUnavailable {
+			// Queue full: wait for the worker to drain, unless the sweep
+			// died meanwhile.
+			if cancelled != nil && cancelled() {
+				return nil, false, errPermanent{errors.New("cluster: sweep cancelled")}
+			}
+			time.Sleep(queueFullRetry)
+			continue
+		}
+		if status != http.StatusOK && status != http.StatusAccepted {
+			return nil, false, errPermanent{fmt.Errorf("cluster: worker %s rejected the point: %d", c.base, status)}
+		}
+		break
+	}
+	if !ticket.Cached {
+		if err := c.pollJob(ticket.JobID, cancelled); err != nil {
+			return nil, false, err
+		}
+	}
+	payload, err = c.fetchResult(ticket.Hash)
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, ticket.Cached, nil
+}
+
+// postJSON posts body and decodes a JSON response into out (when the
+// status carries one). Transport errors return as-is (transient).
+func (c *Client) postJSON(path string, body []byte, out any) (int, error) {
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
+
+// pollJob waits for a job to finish, backing the poll interval off from
+// pollBase to pollCap. A failed or cancelled job is a permanent error
+// carrying the worker's message.
+func (c *Client) pollJob(id string, cancelled func() bool) error {
+	interval := pollBase
+	for {
+		resp, err := c.hc.Get(c.base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var v simserve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch v.Status {
+		case simserve.StatusDone:
+			return nil
+		case simserve.StatusFailed, simserve.StatusCancelled:
+			return errPermanent{fmt.Errorf("cluster: worker %s job %s %s: %s", c.base, id, v.Status, v.Error)}
+		}
+		if cancelled != nil && cancelled() {
+			return errPermanent{errors.New("cluster: sweep cancelled")}
+		}
+		time.Sleep(interval)
+		if interval *= 2; interval > pollCap {
+			interval = pollCap
+		}
+	}
+}
+
+// fetchResult fetches the exact cached payload bytes for a hash.
+func (c *Client) fetchResult(hash string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/results/" + hash)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The worker finished the job but no longer holds the payload —
+		// eviction raced us. Transient: a resubmission recomputes it.
+		return nil, fmt.Errorf("cluster: worker %s has no payload for %s (status %d)", c.base, hash, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}

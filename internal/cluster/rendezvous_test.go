@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRankDeterministic pins that placement is a pure function of the
+// (worker set, key) pair: same inputs, same full order, on every call.
+func TestRankDeterministic(t *testing.T) {
+	t.Parallel()
+	workers := []string{"a:1", "b:2", "c:3", "d:4"}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("%064d", i)
+		first := Rank(workers, key)
+		for trial := 0; trial < 3; trial++ {
+			again := Rank(workers, key)
+			for j := range first {
+				if again[j] != first[j] {
+					t.Fatalf("key %s: order changed between calls: %v vs %v", key, first, again)
+				}
+			}
+		}
+		// The order is a permutation of all indices.
+		seen := make(map[int]bool)
+		for _, wi := range first {
+			if wi < 0 || wi >= len(workers) || seen[wi] {
+				t.Fatalf("key %s: %v is not a permutation", key, first)
+			}
+			seen[wi] = true
+		}
+	}
+}
+
+// TestRankSpreads sanity-checks the load split: across many keys every
+// worker wins a non-trivial share (a broken hash that sends everything to
+// one worker would defeat the whole sharding design).
+func TestRankSpreads(t *testing.T) {
+	t.Parallel()
+	workers := []string{"w0:80", "w1:80", "w2:80", "w3:80"}
+	wins := make([]int, len(workers))
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		wins[Rank(workers, fmt.Sprintf("%064x", i*2654435761))[0]]++
+	}
+	for wi, n := range wins {
+		if n < keys/len(workers)/2 {
+			t.Fatalf("worker %d won only %d of %d keys: %v", wi, n, keys, wins)
+		}
+	}
+}
+
+// TestRankMinimalDisruption pins the rendezvous property that makes
+// failover cheap: removing one worker moves ONLY the keys it owned —
+// every other key keeps its winner.
+func TestRankMinimalDisruption(t *testing.T) {
+	t.Parallel()
+	workers := []string{"w0:80", "w1:80", "w2:80", "w3:80"}
+	without3 := workers[:3]
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("%064x", uint64(i)*11400714819323198485)
+		full := Rank(workers, key)
+		if full[0] == 3 {
+			continue // owned by the removed worker; allowed to move
+		}
+		if got := Rank(without3, key)[0]; got != full[0] {
+			t.Fatalf("key %s moved from %d to %d though worker 3 never owned it", key, full[0], got)
+		}
+	}
+}
+
+// TestRankFailoverIsNextRank pins that a dead home's keys land exactly on
+// the next worker in that key's preference order — the invariant the
+// executor's re-route loop relies on for structural dedup during failover
+// (every coordinator agrees where a dead worker's points go).
+func TestRankFailoverIsNextRank(t *testing.T) {
+	t.Parallel()
+	workers := []string{"w0:80", "w1:80", "w2:80", "w3:80"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i*6364136223846793005)
+		full := Rank(workers, key)
+		home := full[0]
+		survivors := append([]string{}, workers...)
+		survivors = append(survivors[:home], survivors[home+1:]...)
+		// Rank among survivors must elect the worker that was full[1].
+		wantAddr := workers[full[1]]
+		if got := survivors[Rank(survivors, key)[0]]; got != wantAddr {
+			t.Fatalf("key %s: survivors elected %s, want next-in-chain %s", key, got, wantAddr)
+		}
+	}
+}

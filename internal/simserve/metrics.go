@@ -86,6 +86,29 @@ func (s *Server) initMetrics() {
 			"Submissions shed at the HTTP layer by reason.",
 			telemetry.Label{Name: "reason", Value: reason})
 	}
+	// Disk-store families exist only when a spill tier is configured, so
+	// the memory-only /metrics body — the one TestMetricsGoldenExposition
+	// pins — is untouched. Counters are read from the store's own
+	// snapshot: the store already counts its outcomes, and mirroring them
+	// through gauge functions keeps one source of truth.
+	if st := s.cfg.Store; st != nil {
+		m.IntGaugeFunc("mobiserved_store_entries", "Results held in the disk store.",
+			func() int64 { return int64(st.Stats().Entries) })
+		m.IntGaugeFunc("mobiserved_store_bytes", "Payload bytes held in the disk store.",
+			func() int64 { return st.Stats().Bytes })
+		m.CounterFunc("mobiserved_store_hits_total", "Reads served from the disk store.",
+			func() uint64 { return st.Stats().Hits })
+		m.CounterFunc("mobiserved_store_misses_total", "Disk-store probes that found nothing.",
+			func() uint64 { return st.Stats().Misses })
+		m.CounterFunc("mobiserved_store_evictions_total", "Entries evicted from the disk store for space.",
+			func() uint64 { return st.Stats().Evictions })
+		m.CounterFunc("mobiserved_store_corrupt_total", "Torn or corrupt disk entries detected and dropped.",
+			func() uint64 { return st.Stats().Corrupt })
+		m.CounterFunc("mobiserved_store_write_errors_total", "Disk-store commits that failed.",
+			func() uint64 { return st.Stats().WriteErrors })
+		m.CounterFunc("mobiserved_store_dropped_writes_total", "Spill writes shed because the write-behind queue was full.",
+			func() uint64 { return s.cache.droppedWrites.Load() })
+	}
 	// Chaos-injection counters exist only for the points the injector
 	// arms, so a production /metrics body never mentions chaos. The
 	// OnFire observer is the injector's single notification seam.

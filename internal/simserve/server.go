@@ -26,6 +26,7 @@ import (
 	"mobilenet/internal/obs"
 	"mobilenet/internal/prof"
 	"mobilenet/internal/scenario"
+	"mobilenet/internal/store"
 	"mobilenet/internal/telemetry"
 	"mobilenet/internal/theory"
 )
@@ -108,6 +109,25 @@ type Config struct {
 	// and each firing is counted in mobiserved_chaos_injections_total.
 	// Nil (production) costs one nil-check per injection point.
 	Chaos *chaos.Injector
+
+	// Store, when non-nil, adds a disk-backed content-addressed spill tier
+	// under the LRU (see internal/store): evicted-or-never-cached results
+	// are read through from disk (and promoted), finished results are
+	// written behind, and a daemon restart over the same directory serves
+	// previously computed points byte-identical without re-running them.
+	// The caller owns opening (store.Open) and therefore the directory and
+	// byte-bound policy; the server owns the read-through/write-behind
+	// traffic and the store's telemetry exposition. Nil keeps the
+	// memory-only pre-store behaviour.
+	Store *store.Store
+
+	// Executor, when non-nil, replaces the sweep dispatcher's local
+	// execution of distinct points: a coordinator plugs in a
+	// fleet-sharding executor (see internal/cluster) here, so sweep points
+	// run on workers chosen by rendezvous hashing while single-run
+	// submissions still execute locally. Nil (the default, and every
+	// worker) executes points on the server's own pool.
+	Executor PointExecutor
 }
 
 func (c Config) withDefaults() Config {
@@ -277,7 +297,7 @@ type JobView struct {
 // Submit/Job/Result/Wait.
 type Server struct {
 	cfg   Config
-	cache *lru
+	cache *tieredCache
 
 	mu       sync.Mutex
 	closed   bool
@@ -315,9 +335,9 @@ type Server struct {
 	seriesServed      *telemetry.Counter
 	panicsRecovered   *telemetry.Counter
 	jobsCancelled     *telemetry.Counter
-	shed              map[string]*telemetry.Counter // shed reason -> counter
-	stages            map[string]*telemetry.Histogram // stage name -> latency histogram
-	httpHists         map[string]*telemetry.Histogram // route -> latency histogram
+	shed              map[string]*telemetry.Counter              // shed reason -> counter
+	stages            map[string]*telemetry.Histogram            // stage name -> latency histogram
+	httpHists         map[string]*telemetry.Histogram            // route -> latency histogram
 	phaseHists        map[string]map[string]*telemetry.Histogram // engine -> phase -> histogram
 
 	// Request-id generation state: start-time base plus a sequence, so
@@ -333,7 +353,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		cache:    newLRU(cfg.CacheEntries),
+		cache:    newTieredCache(cfg.CacheEntries, cfg.Store),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		sweeps:   make(map[string]*sweepJob),
@@ -816,6 +836,20 @@ func (s *Server) Result(hash string) ([]byte, bool) {
 	return s.cache.Get(hash)
 }
 
+// PutResult inserts a payload computed elsewhere into the result cache
+// under its content hash — the coordinator's persistence seam: sweep-point
+// payloads fetched from fleet workers land here, so the coordinator serves
+// /v1/results/{hash} for every point it dispatched and its disk store
+// accumulates the fleet's work across restarts. The disk commit is
+// synchronous (a dropped spill here would cost a network re-fetch, not a
+// local re-run) but runs on the caller — a dispatcher goroutine — never
+// the worker pool. The caller owns handing in the exact canonical bytes;
+// nothing is validated, matching the byte-identity contract everywhere
+// else in the cache path.
+func (s *Server) PutResult(hash string, payload []byte) {
+	s.cache.put(hash, payload)
+}
+
 // seriesSuffix namespaces rendered series payloads in the result cache.
 // Scenario hashes are fixed-width hex, so the suffix cannot collide with a
 // result key.
@@ -914,6 +948,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.queue.close()
 	}
 	s.mu.Unlock()
+	// Queued spill writes are flushed to disk on the way out — whichever
+	// path returns — so a clean restart recovers everything computed.
+	defer s.cache.Close()
 	drained := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -220,54 +220,34 @@ func (s *Server) runSweep(j *sweepJob) {
 		}
 	}
 
-	sem := make(chan struct{}, s.cfg.Workers)
+	// Execution happens below the PointExecutor seam: locally on this
+	// server's pool by default, or sharded across a fleet when a
+	// coordinator configured a remote executor. The dispatcher owns the
+	// in-flight bound and the progress/error accounting either way.
+	exec := s.executor()
+	sem := make(chan struct{}, s.executorConcurrency(exec))
 	var wg sync.WaitGroup
-dispatch:
 	for _, u := range uniq {
 		if cancelled() {
 			break
 		}
 		sem <- struct{}{}
-		// A "cached" ticket can race cache eviction before the payload
-		// read; resubmitting simply runs the point again, so retry.
-		var (
-			ticket Ticket
-			err    error
-		)
-		for attempt := 0; ; attempt++ {
-			ticket, err = s.submitPoint(u.Spec, SubmitOptions{
-				RequestID: j.requestID, Client: j.client, Deadline: j.deadline,
-			}, cancelled)
-			if err != nil || !ticket.Cached {
-				break
-			}
-			if payload, ok := s.cache.Get(ticket.Hash); ok {
-				recordPayload(u, payload, true)
-				<-sem
-				continue dispatch
-			}
-			if attempt >= 2 {
-				err = fmt.Errorf("simserve: cached result for %s evicted before it could be read", ticket.Hash)
-				break
-			}
-		}
-		if err != nil {
-			recordErr(u, fmt.Errorf("simserve: sweep point %d: %w", u.Index, err))
-			<-sem
-			break
-		}
-		recordRunning(u)
 		wg.Add(1)
-		go func(u sweep.DistinctPoint, jobID string) {
+		go func(u sweep.DistinctPoint) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			payload, err := s.Wait(context.Background(), jobID)
+			payload, cached, err := exec.ExecutePoint(u.Point, SubmitOptions{
+				RequestID: j.requestID, Client: j.client, Deadline: j.deadline,
+			}, PointProgress{
+				Cancelled: cancelled,
+				Started:   func() { recordRunning(u) },
+			})
 			if err != nil {
 				recordErr(u, fmt.Errorf("simserve: sweep point %d: %w", u.Index, err))
 				return
 			}
-			recordPayload(u, payload, false)
-		}(u, ticket.JobID)
+			recordPayload(u, payload, cached)
+		}(u)
 	}
 	wg.Wait()
 	s.finishSweep(j)

@@ -196,7 +196,7 @@ func TestExpositionRoundTrip(t *testing.T) {
 	h := r.Histogram("stage_seconds", "Stage latency.", Label{"stage", "execute"})
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 5000; i++ {
-		h.Record(time.Duration(1+rng.Int63n(int64(200 * time.Millisecond))))
+		h.Record(time.Duration(1 + rng.Int63n(int64(200*time.Millisecond))))
 	}
 	var sb strings.Builder
 	r.WritePrometheus(&sb)

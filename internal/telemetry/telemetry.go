@@ -147,6 +147,14 @@ func (r *Registry) IntGaugeFunc(name, help string, fn func() int64, labels ...La
 	r.add(name, help, "gauge", &series{labels: renderLabels(labels), intFn: fn})
 }
 
+// CounterFunc registers a counter computed at scrape time. The function
+// must be monotone (e.g. mirroring a counter another subsystem already
+// maintains); the registry trusts the caller on that, exactly as the
+// Prometheus clients' CounterFunc does.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), intFn: func() int64 { return int64(fn()) }})
+}
+
 // GaugeFunc registers a gauge computed at scrape time and rendered as a
 // float (e.g. a hit rate derived from two counters in the scrape itself).
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {

@@ -234,34 +234,34 @@ func BenchmarkComponentsStepped(b *testing.B) {
 		g := grid.MustNew(side)
 		impls := []struct {
 			name string
-			mk   func(r int) func(pos []grid.Point)
+			mk   func(r int) (func(pos []grid.Point), *Incremental)
 		}{
 			// steponly times walk.StepAll with no relabel at all: the
 			// motion floor every other row includes. Subtracting it from a
 			// labelled row gives that labeller's net per-step cost, which
 			// is what the ≥2x acceptance ratio against the static csr
 			// record is computed from (see BENCH_visibility.json notes).
-			{"steponly", func(r int) func([]grid.Point) {
-				return func(pos []grid.Point) {}
+			{"steponly", func(r int) (func([]grid.Point), *Incremental) {
+				return func(pos []grid.Point) {}, nil
 			}},
-			{"maphash", func(r int) func([]grid.Point) {
+			{"maphash", func(r int) (func([]grid.Point), *Incremental) {
 				l := newMapLabeller(k)
-				return func(pos []grid.Point) { l.components(pos, r) }
+				return func(pos []grid.Point) { l.components(pos, r) }, nil
 			}},
-			{"csr", func(r int) func([]grid.Point) {
+			{"csr", func(r int) (func([]grid.Point), *Incremental) {
 				l := NewLabeller(k)
 				l.SetParallelism(1)
-				return func(pos []grid.Point) { l.Components(pos, r) }
+				return func(pos []grid.Point) { l.Components(pos, r) }, nil
 			}},
-			{"inc", func(r int) func([]grid.Point) {
+			{"inc", func(r int) (func([]grid.Point), *Incremental) {
 				l := NewIncremental(k)
 				l.SetParallelism(1)
-				return func(pos []grid.Point) { l.Components(pos, r) }
+				return func(pos []grid.Point) { l.Components(pos, r) }, l
 			}},
-			{"incpar", func(r int) func([]grid.Point) {
+			{"incpar", func(r int) (func([]grid.Point), *Incremental) {
 				l := NewIncremental(k)
 				l.SetParallelism(4)
-				return func(pos []grid.Point) { l.Components(pos, r) }
+				return func(pos []grid.Point) { l.Components(pos, r) }, l
 			}},
 		}
 		for _, r := range []int{1, benchRadius} {
@@ -270,7 +270,7 @@ func BenchmarkComponentsStepped(b *testing.B) {
 					pos := benchPositions(k, side)
 					buf := make([]uint64, 0, k)
 					src := rng.New(2024)
-					relabel := im.mk(r)
+					relabel, probe := im.mk(r)
 					// Warm-up establishes the incremental pair cache's
 					// high-water mark so steady state is what gets timed.
 					for w := 0; w < 8; w++ {
@@ -282,10 +282,44 @@ func BenchmarkComponentsStepped(b *testing.B) {
 						walk.StepAll(g, pos, buf, src)
 						relabel(pos)
 					}
+					if probe != nil {
+						// Frontier occupancy of the final timed step: the
+						// fraction of agents that moved and of cached pairs
+						// with a moved endpoint. These are the figures the
+						// DESIGN.md §14 "no pair-walk index" decision rests
+						// on — the lazy walk moves half the agents per step,
+						// so ~3/4 of cached pairs are on the frontier and a
+						// moved-pair index could skip only the last quarter.
+						b.ReportMetric(float64(len(probe.movedList))/float64(k), "moved-frac")
+						b.ReportMetric(movedPairFraction(probe), "moved-pair-frac")
+					}
 				})
 			}
 		}
 	}
+}
+
+// movedPairFraction reports the fraction of the incremental labeller's
+// cached candidate pairs with at least one endpoint in the last step's
+// moved set — the share of the pair slab a moved-endpoint-only walk index
+// would still have to visit.
+func movedPairFraction(x *Incremental) float64 {
+	n := len(x.pairs) / 2
+	if n == 0 {
+		return 0
+	}
+	mask := make([]uint64, (x.k+63)/64)
+	for _, i := range x.movedList {
+		mask[i>>6] |= 1 << (uint(i) & 63)
+	}
+	moved := 0
+	for pi := 0; pi < n; pi++ {
+		a, b := x.pairs[2*pi], x.pairs[2*pi+1]
+		if mask[a>>6]&(1<<(uint(a)&63)) != 0 || mask[b>>6]&(1<<(uint(b)&63)) != 0 {
+			moved++
+		}
+	}
+	return float64(moved) / float64(n)
 }
 
 // BenchmarkAblationBruteForceK1024 keeps the all-pairs baseline in the

@@ -918,9 +918,10 @@ func appendBits(dst []uint64, dstN int, src []uint64, srcN int) []uint64 {
 // pairs with at least one endpoint moved this step — reusing the cached
 // bit for fully unmoved pairs, and replays all passing pairs into the
 // reset forest. It reports whether any bit flipped (iff the partition may
-// have changed). When most agents moved (the lazy walk moves ~4/5 of the
-// population every step) the moved-mask test costs more than the distance
-// checks it saves, so the frontier filter turns itself off.
+// have changed). When most agents moved (the lazy walk moves half the
+// population every step, putting ~3/4 of cached pairs on the frontier)
+// the moved-mask test costs more than the distance checks it saves, so
+// the frontier filter turns itself off.
 func (x *Incremental) recheck(pos []grid.Point, r int) bool {
 	useMask := 2*len(x.movedList) < x.k
 	mask := x.movedMask
